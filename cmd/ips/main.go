@@ -1,0 +1,164 @@
+// Command ips trains an IPS shapelet classifier on a dataset and reports its
+// test accuracy, the discovered shapelets, and the per-stage timing
+// breakdown.
+//
+// Usage:
+//
+//	ips -dataset GunPoint                       # synthetic UCR substitute
+//	ips -dataset GunPoint -data /path/to/UCR    # real UCR TSV files
+//	ips -train a_TRAIN.tsv -test a_TEST.tsv     # explicit files
+//
+// Flags:
+//
+//	-k N        shapelets per class (default 5)
+//	-qn N       bagging samples per class (default 10)
+//	-qs N       instances per sample (default 3)
+//	-seed N     random seed (default 1)
+//	-show N     print the first N shapelets as sparklines (default 3)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	ips "ips"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "UCR dataset name (generated synthetically unless -data is set)")
+	data := flag.String("data", "", "directory with real UCR TSV files")
+	trainPath := flag.String("train", "", "training TSV file (overrides -dataset)")
+	testPath := flag.String("test", "", "test TSV file (overrides -dataset)")
+	k := flag.Int("k", 5, "shapelets per class")
+	qn := flag.Int("qn", 10, "bagging samples per class (Q_N)")
+	qs := flag.Int("qs", 3, "instances per sample (Q_S)")
+	seed := flag.Int64("seed", 1, "random seed")
+	show := flag.Int("show", 3, "print the first N shapelets as sparklines")
+	savePath := flag.String("save", "", "write the trained model to this JSON file")
+	loadPath := flag.String("load", "", "classify with a previously saved model instead of training")
+	flag.Parse()
+
+	train, test, err := loadData(*dataset, *data, *trainPath, *testPath, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ips:", err)
+		os.Exit(1)
+	}
+
+	if *loadPath != "" {
+		classifyWithSavedModel(*loadPath, test)
+		return
+	}
+
+	opt := ips.DefaultOptions()
+	opt.K = *k
+	opt.IP.QN = *qn
+	opt.IP.QS = *qs
+	opt.IP.Seed = *seed
+	opt.DABF.Seed = *seed
+	opt.SVM.Seed = *seed
+
+	acc, model, err := ips.Evaluate(train, test, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ips:", err)
+		os.Exit(1)
+	}
+	d := model.Discovery
+	fmt.Printf("dataset            %s (%d train / %d test, length %d, %d classes)\n",
+		train.Name, train.Len(), test.Len(), train.SeriesLen(), len(train.Classes()))
+	fmt.Printf("accuracy           %.2f%%\n", acc)
+	fmt.Printf("candidates         %d generated, %d after DABF pruning\n", d.PoolSize, d.PrunedSize)
+	fmt.Printf("shapelets          %d (k=%d per class)\n", len(model.Shapelets), *k)
+	fmt.Printf("timings            generate %.3fs  prune %.3fs  select %.3fs  total %.3fs\n",
+		d.Timings.CandidateGen.Seconds(), d.Timings.Pruning.Seconds(),
+		d.Timings.Selection.Seconds(), d.Timings.Total().Seconds())
+	var fits []string
+	for c, f := range d.FitsByClass {
+		fits = append(fits, fmt.Sprintf("class %d: %s", c, f))
+	}
+	sort.Strings(fits)
+	fmt.Printf("DABF fits          %s\n", strings.Join(fits, ", "))
+
+	if *savePath != "" {
+		if err := model.SaveFile(*savePath); err != nil {
+			fmt.Fprintln(os.Stderr, "ips: saving model:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("model saved to     %s\n", *savePath)
+	}
+
+	if *show > 0 {
+		fmt.Println("\ntop shapelets:")
+		shown := 0
+		for _, s := range model.Shapelets {
+			if shown >= *show {
+				break
+			}
+			fmt.Printf("  class %d len %3d score %7.3f  %s\n",
+				s.Class, len(s.Values), s.Score, sparkline(s.Values))
+			shown++
+		}
+	}
+}
+
+// classifyWithSavedModel loads a serialized model and reports its accuracy
+// on the test split.
+func classifyWithSavedModel(path string, test *ips.Dataset) {
+	model, err := ips.LoadModel(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ips: loading model:", err)
+		os.Exit(1)
+	}
+	pred := model.Predict(test)
+	correct := 0
+	for i, in := range test.Instances {
+		if pred[i] == in.Label {
+			correct++
+		}
+	}
+	fmt.Printf("loaded model       %s (%d shapelets)\n", path, len(model.Shapelets))
+	fmt.Printf("accuracy           %.2f%% on %d instances\n",
+		100*float64(correct)/float64(test.Len()), test.Len())
+}
+
+func loadData(dataset, dataDir, trainPath, testPath string, seed int64) (train, test *ips.Dataset, err error) {
+	switch {
+	case trainPath != "" && testPath != "":
+		train, err = ips.LoadTSV(trainPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		test, err = ips.LoadTSV(testPath)
+		return train, test, err
+	case dataset != "" && dataDir != "":
+		return ips.LoadSplit(dataDir, dataset)
+	case dataset != "":
+		return ips.GenerateDataset(dataset, ips.GenConfig{Seed: seed})
+	default:
+		return nil, nil, fmt.Errorf("need -dataset, or -train and -test")
+	}
+}
+
+// sparkline renders a series with Unicode block characters.
+func sparkline(s ips.Series) string {
+	if len(s) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range s {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi <= lo {
+		return strings.Repeat(string(levels[0]), len(s))
+	}
+	var sb strings.Builder
+	for _, v := range s {
+		sb.WriteRune(levels[int((v-lo)/(hi-lo)*float64(len(levels)-1))])
+	}
+	return sb.String()
+}

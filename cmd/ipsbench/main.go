@@ -1,0 +1,102 @@
+// Command ipsbench regenerates the tables and figures of the IPS paper's
+// evaluation section (§IV).  Each experiment prints the same rows/series the
+// paper reports, measured on the synthetic UCR substitute (or real UCR TSV
+// files when -data is given).
+//
+// Usage:
+//
+//	ipsbench [flags] <experiment>...
+//
+// Experiments: table2 table3 table4 table5 table6 table7
+//
+//	fig9 fig10a fig10bc fig11 fig12 fig13 all
+//	table6x (additional measured methods: RotF, LTS, FS)
+//	fig11m  (Fig. 11 ranked on measured accuracies)
+//
+// Flags:
+//
+//	-quick       cap dataset sizes for a CI-scale run (default true)
+//	-full        full-scale run (overrides -quick)
+//	-data DIR    load real UCR TSV files from DIR instead of generating
+//	-seed N      random seed (default 1)
+//	-k N         shapelets per class (default 5)
+//	-runs N      repetitions averaged for randomised methods (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ips/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", true, "cap dataset sizes for a CI-scale run")
+	full := flag.Bool("full", false, "full-scale run (overrides -quick)")
+	data := flag.String("data", "", "directory with real UCR TSV files")
+	seed := flag.Int64("seed", 1, "random seed")
+	k := flag.Int("k", 5, "shapelets per class")
+	runs := flag.Int("runs", 1, "repetitions averaged for randomised methods")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ipsbench [flags] <table2|table3|table4|table5|table6|table7|fig9|fig10a|fig10bc|fig11|fig12|fig13|all>...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	h := &bench.Harness{
+		Quick:   *quick && !*full,
+		DataDir: *data,
+		Seed:    *seed,
+		K:       *k,
+		Runs:    *runs,
+		Out:     os.Stdout,
+	}
+
+	experiments := map[string]func() error{
+		"table2":   func() error { _, err := h.Table2(); return err },
+		"table3":   func() error { _, err := h.Table3(); return err },
+		"table4":   func() error { _, err := h.Table4(nil); return err },
+		"table5":   func() error { _, err := h.Table5(nil); return err },
+		"table6":   func() error { _, err := h.Table6(nil); return err },
+		"table7":   func() error { _, err := h.Table7(nil); return err },
+		"fig9":     func() error { _, err := h.Fig9(nil); return err },
+		"fig10a":   func() error { _, err := h.Fig10a(nil); return err },
+		"fig10bc":  func() error { _, err := h.Fig10bc(nil); return err },
+		"fig11":    func() error { _, err := h.Fig11(nil); return err },
+		"fig12":    func() error { _, err := h.Fig12(nil); return err },
+		"fig13":    func() error { _, err := h.Fig13(); return err },
+		"table6x":  func() error { _, err := h.Table6Extended(nil); return err },
+		"fig11m":   func() error { _, err := h.Fig11Measured(nil); return err },
+		"params":   func() error { _, err := h.Params(nil); return err },
+		"cote":     func() error { _, err := h.COTE(nil); return err },
+		"ablation": func() error { _, err := h.Ablation(nil); return err },
+	}
+	order := []string{
+		"table2", "table3", "table4", "table5", "table6", "table7",
+		"fig9", "fig10a", "fig10bc", "fig11", "fig12", "fig13",
+	}
+
+	var names []string
+	for _, arg := range flag.Args() {
+		if arg == "all" {
+			names = order
+			break
+		}
+		names = append(names, arg)
+	}
+	for _, name := range names {
+		run, ok := experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ipsbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		if err := run(); err != nil {
+			fmt.Fprintf(os.Stderr, "ipsbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,50 @@
+// Multivariate classification — the paper's future-work direction,
+// implemented channel-independently: shapelets are discovered per channel
+// and one classifier consumes the concatenated per-channel transforms.
+// The scenario: a 4-channel wearable-sensor stream where only two channels
+// carry class-discriminative motion patterns and the rest are distractors.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ips "ips"
+)
+
+func main() {
+	train, test := ips.GenerateMTS(ips.MTSGenConfig{
+		Channels:    4,
+		Informative: 2, // two motion channels, two distractor channels
+		Classes:     3,
+		Length:      100,
+		Train:       60,
+		Test:        60,
+		Seed:        11,
+	})
+	fmt.Printf("wearable-style workload: %d train / %d test, %d channels, %d classes\n\n",
+		train.Len(), test.Len(), train.NumChannels(), 3)
+
+	opt := ips.DefaultOptions()
+	opt.K = 3
+	opt.IP.Seed, opt.DABF.Seed, opt.SVM.Seed = 11, 11, 11
+	opt.Workers = 4 // parallel per-channel discovery
+
+	acc, model, err := ips.EvaluateMTS(train, test, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("multivariate accuracy: %.1f%%\n\n", acc)
+
+	fmt.Println("shapelets per channel:")
+	for ch, shapelets := range model.ShapeletsPerChannel {
+		kind := "informative"
+		if ch >= 2 {
+			kind = "distractor"
+		}
+		fmt.Printf("  channel %d (%s): %d shapelets\n", ch, kind, len(shapelets))
+	}
+	fmt.Println("\nDistractor channels still produce candidates (noise motifs exist),")
+	fmt.Println("but the SVM learns to down-weight their features: the informative")
+	fmt.Println("channels' shapelet distances carry the class signal.")
+}

@@ -1,0 +1,132 @@
+// Power demand interpretability case study (the paper's Fig. 13 scenario):
+// the ItalyPowerDemand dataset separates summer from winter daily power
+// profiles, and the discovered shapelet highlights the morning heating
+// demand that distinguishes the two seasons.  This example renders the
+// per-class mean profiles and overlays the best shapelet's matching window.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	ips "ips"
+)
+
+func main() {
+	train, test, err := ips.GenerateDataset("ItalyPowerDemand", ips.GenConfig{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := ips.DefaultOptions()
+	opt.K = 3
+	opt.IP.Seed, opt.DABF.Seed, opt.SVM.Seed = 3, 3, 3
+	model, err := ips.Fit(train, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred := model.Predict(test)
+	correct := 0
+	for i, in := range test.Instances {
+		if pred[i] == in.Label {
+			correct++
+		}
+	}
+	fmt.Printf("test accuracy: %.1f%% on %d instances\n\n",
+		100*float64(correct)/float64(test.Len()), test.Len())
+
+	// Per-class mean daily profile.
+	means := classMeans(train)
+	labels := map[int]string{0: "summer", 1: "winter"}
+	for class := 0; class < 2; class++ {
+		fmt.Printf("%-6s mean profile: %s\n", labels[class], spark(means[class]))
+	}
+	fmt.Println()
+
+	// The best shapelet per class and where it aligns on the class mean.
+	for class := 0; class < 2; class++ {
+		s := bestForClass(model.Shapelets, class)
+		if s == nil {
+			continue
+		}
+		at := bestAlignment(s.Values, means[class])
+		marker := strings.Repeat(" ", at) + strings.Repeat("^", len(s.Values))
+		fmt.Printf("%-6s shapelet (len %d): %s\n", labels[class], len(s.Values), spark(s.Values))
+		fmt.Printf("  aligns on the %s mean at hour %d:\n", labels[class], at)
+		fmt.Printf("    %s\n    %s\n", spark(means[class]), marker)
+	}
+	fmt.Println("\nBoth shapelets land on the early-day window where the two")
+	fmt.Println("seasonal profiles diverge — the morning demand difference the")
+	fmt.Println("paper uses to illustrate shapelet interpretability.")
+}
+
+func classMeans(d *ips.Dataset) map[int]ips.Series {
+	sums := map[int]ips.Series{}
+	counts := map[int]int{}
+	for _, in := range d.Instances {
+		if sums[in.Label] == nil {
+			sums[in.Label] = make(ips.Series, len(in.Values))
+		}
+		for i, v := range in.Values {
+			sums[in.Label][i] += v
+		}
+		counts[in.Label]++
+	}
+	for c, s := range sums {
+		for i := range s {
+			s[i] /= float64(counts[c])
+		}
+	}
+	return sums
+}
+
+func bestForClass(shapelets []ips.Shapelet, class int) *ips.Shapelet {
+	var best *ips.Shapelet
+	for i := range shapelets {
+		s := &shapelets[i]
+		if s.Class != class {
+			continue
+		}
+		if best == nil || s.Score > best.Score {
+			best = s
+		}
+	}
+	return best
+}
+
+// bestAlignment returns the offset where the shapelet matches the series
+// best under sliding squared distance.
+func bestAlignment(shapelet, series ips.Series) int {
+	bestAt, bestD := 0, math.Inf(1)
+	for at := 0; at+len(shapelet) <= len(series); at++ {
+		var d float64
+		for i, v := range shapelet {
+			diff := series[at+i] - v
+			d += diff * diff
+		}
+		if d < bestD {
+			bestD = d
+			bestAt = at
+		}
+	}
+	return bestAt
+}
+
+func spark(s ips.Series) string {
+	levels := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range s {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi <= lo {
+		return strings.Repeat(string(levels[0]), len(s))
+	}
+	var sb strings.Builder
+	for _, v := range s {
+		sb.WriteRune(levels[int((v-lo)/(hi-lo)*float64(len(levels)-1))])
+	}
+	return sb.String()
+}

@@ -1,0 +1,84 @@
+package baselines
+
+import (
+	"errors"
+
+	"ips/internal/classify"
+	"ips/internal/ts"
+)
+
+// Ensemble is the COTE-IPS stand-in: a weighted-vote ensemble over
+// heterogeneous classifiers (the paper augments the COTE meta-ensemble [3]
+// with IPS; we ensemble the classifiers this repository measures).  Each
+// member votes with a weight equal to its training accuracy, COTE's scheme.
+type Ensemble struct {
+	members []ensembleMember
+}
+
+type ensembleMember struct {
+	name    string
+	weight  float64
+	predict func(*ts.Dataset) []int
+}
+
+// EnsembleBuilder accumulates members before freezing the ensemble.
+type EnsembleBuilder struct {
+	train   *ts.Dataset
+	members []ensembleMember
+}
+
+// NewEnsembleBuilder starts an ensemble over the given training set; member
+// weights are computed as training accuracy.
+func NewEnsembleBuilder(train *ts.Dataset) *EnsembleBuilder {
+	return &EnsembleBuilder{train: train}
+}
+
+// Add registers a member with an explicit weight.
+func (b *EnsembleBuilder) Add(name string, weight float64, predict func(*ts.Dataset) []int) *EnsembleBuilder {
+	b.members = append(b.members, ensembleMember{name: name, weight: weight, predict: predict})
+	return b
+}
+
+// AddWeighted registers a member weighted by its training-set accuracy.
+func (b *EnsembleBuilder) AddWeighted(name string, predict func(*ts.Dataset) []int) *EnsembleBuilder {
+	acc := classify.Accuracy(predict(b.train), b.train.Labels())
+	return b.Add(name, acc/100, predict)
+}
+
+// Build freezes the ensemble.
+func (b *EnsembleBuilder) Build() (*Ensemble, error) {
+	if len(b.members) == 0 {
+		return nil, errors.New("baselines: ensemble has no members")
+	}
+	return &Ensemble{members: b.members}, nil
+}
+
+// Predict returns the weighted-vote prediction for every instance.
+func (e *Ensemble) Predict(d *ts.Dataset) []int {
+	votes := make([]map[int]float64, d.Len())
+	for i := range votes {
+		votes[i] = map[int]float64{}
+	}
+	for _, m := range e.members {
+		pred := m.predict(d)
+		for i, p := range pred {
+			votes[i][p] += m.weight
+		}
+	}
+	out := make([]int, d.Len())
+	for i, v := range votes {
+		best, bestW := 0, -1.0
+		for class, w := range v {
+			if w > bestW || (w == bestW && class < best) {
+				best, bestW = class, w
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// Accuracy returns the ensemble accuracy (%) on the dataset.
+func (e *Ensemble) Accuracy(d *ts.Dataset) float64 {
+	return classify.Accuracy(e.Predict(d), d.Labels())
+}

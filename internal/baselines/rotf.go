@@ -1,0 +1,186 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"ips/internal/classify"
+	"ips/internal/linalg"
+	"ips/internal/ts"
+)
+
+// RotFConfig parameterises the Rotation Forest baseline (Rodríguez et al.;
+// the strongest non-shapelet classical method in the paper's Table VI).
+// Each ensemble member partitions the features into groups, fits a PCA per
+// group on a bootstrap sample of a random class subset, rotates the full
+// training set with the resulting block-diagonal matrix, and trains a CART
+// tree on the rotated features.
+type RotFConfig struct {
+	// Trees is the ensemble size (default 10).
+	Trees int
+	// GroupSize is the number of features per PCA group (default 8).
+	GroupSize int
+	// SampleFraction is the bootstrap fraction per group (default 0.75).
+	SampleFraction float64
+	Tree           classify.TreeConfig
+	Seed           int64
+}
+
+func (c RotFConfig) defaults() RotFConfig {
+	if c.Trees <= 0 {
+		c.Trees = 10
+	}
+	if c.GroupSize <= 0 {
+		c.GroupSize = 8
+	}
+	if c.SampleFraction <= 0 || c.SampleFraction > 1 {
+		c.SampleFraction = 0.75
+	}
+	return c
+}
+
+// rotMember is one rotation + tree.
+type rotMember struct {
+	groups [][]int       // feature indices per group
+	pcas   []*linalg.PCA // rotation per group
+	tree   *classify.Tree
+}
+
+// RotF is a trained rotation forest over raw series values.
+type RotF struct {
+	members []rotMember
+	classes []int
+}
+
+// RotFTrain fits a rotation forest on the raw series values of the dataset.
+func RotFTrain(train *ts.Dataset, cfg RotFConfig) (*RotF, error) {
+	cfg = cfg.defaults()
+	if err := train.Validate(true); err != nil {
+		return nil, err
+	}
+	X := make([][]float64, train.Len())
+	for i, in := range train.Instances {
+		X[i] = in.Values
+	}
+	y := train.Labels()
+	dim := len(X[0])
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	forest := &RotF{classes: train.Classes()}
+
+	for m := 0; m < cfg.Trees; m++ {
+		member := rotMember{}
+		// Random feature partition into groups of GroupSize.
+		perm := rng.Perm(dim)
+		for at := 0; at < dim; at += cfg.GroupSize {
+			end := at + cfg.GroupSize
+			if end > dim {
+				end = dim
+			}
+			member.groups = append(member.groups, perm[at:end])
+		}
+		// Per group: bootstrap a random class subset, fit PCA.
+		for _, group := range member.groups {
+			sub := bootstrapClassSubset(X, y, forest.classes, cfg.SampleFraction, rng)
+			gdata := make([][]float64, len(sub))
+			for i, row := range sub {
+				g := make([]float64, len(group))
+				for j, f := range group {
+					g[j] = row[f]
+				}
+				gdata[i] = g
+			}
+			pca, err := linalg.FitPCA(gdata)
+			if err != nil {
+				return nil, err
+			}
+			member.pcas = append(member.pcas, pca)
+		}
+		// Rotate the FULL training set and train the tree.
+		rotated := make([][]float64, len(X))
+		for i, row := range X {
+			rotated[i] = member.rotate(row)
+		}
+		tree, err := classify.TrainTree(rotated, y, cfg.Tree)
+		if err != nil {
+			return nil, err
+		}
+		member.tree = tree
+		forest.members = append(forest.members, member)
+	}
+	return forest, nil
+}
+
+// bootstrapClassSubset draws a bootstrap sample (with replacement) of the
+// instances belonging to a random non-empty subset of classes — the step
+// that decorrelates the per-group rotations across ensemble members.
+func bootstrapClassSubset(X [][]float64, y []int, classes []int, fraction float64, rng *rand.Rand) [][]float64 {
+	chosen := map[int]bool{}
+	for _, c := range classes {
+		if rng.Float64() < 0.5 {
+			chosen[c] = true
+		}
+	}
+	if len(chosen) == 0 {
+		chosen[classes[rng.Intn(len(classes))]] = true
+	}
+	var pool []int
+	for i, label := range y {
+		if chosen[label] {
+			pool = append(pool, i)
+		}
+	}
+	if len(pool) == 0 {
+		for i := range y {
+			pool = append(pool, i)
+		}
+	}
+	n := int(fraction * float64(len(pool)))
+	if n < 2 {
+		n = 2
+	}
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = X[pool[rng.Intn(len(pool))]]
+	}
+	return out
+}
+
+// rotate maps a raw feature vector through the member's block-diagonal PCA.
+func (m *rotMember) rotate(x []float64) []float64 {
+	out := make([]float64, 0, len(x))
+	for gi, group := range m.groups {
+		g := make([]float64, len(group))
+		for j, f := range group {
+			g[j] = x[f]
+		}
+		out = append(out, m.pcas[gi].Transform(g)...)
+	}
+	return out
+}
+
+// Predict returns the majority vote of the ensemble for every instance.
+func (f *RotF) Predict(d *ts.Dataset) []int {
+	out := make([]int, d.Len())
+	for i, in := range d.Instances {
+		votes := map[int]int{}
+		for _, m := range f.members {
+			votes[m.tree.Predict(m.rotate(in.Values))]++
+		}
+		best, bestN := 0, -1
+		for label, n := range votes {
+			if n > bestN || (n == bestN && label < best) {
+				best, bestN = label, n
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// RotFEvaluate trains a rotation forest and returns its test accuracy.
+func RotFEvaluate(train, test *ts.Dataset, cfg RotFConfig) (float64, error) {
+	f, err := RotFTrain(train, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return classify.Accuracy(f.Predict(test), test.Labels()), nil
+}

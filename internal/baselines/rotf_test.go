@@ -1,0 +1,70 @@
+package baselines
+
+import (
+	"testing"
+
+	"ips/internal/ts"
+)
+
+func TestRotFLearnsPlantedPatterns(t *testing.T) {
+	train := plantedDataset(15, 60, 2, 31)
+	test := plantedDataset(15, 60, 2, 32)
+	acc, err := RotFEvaluate(train, test, RotFConfig{Trees: 10, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 70 {
+		t.Fatalf("rotation forest accuracy = %v%%", acc)
+	}
+}
+
+func TestRotFMultiClass(t *testing.T) {
+	train := plantedDataset(12, 50, 3, 34)
+	test := plantedDataset(12, 50, 3, 35)
+	acc, err := RotFEvaluate(train, test, RotFConfig{Trees: 8, Seed: 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 55 { // chance is 33%
+		t.Fatalf("3-class rotation forest accuracy = %v%%", acc)
+	}
+}
+
+func TestRotFDeterministic(t *testing.T) {
+	train := plantedDataset(10, 40, 2, 37)
+	test := plantedDataset(10, 40, 2, 38)
+	f1, err := RotFTrain(train, RotFConfig{Trees: 4, Seed: 39})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := RotFTrain(train, RotFConfig{Trees: 4, Seed: 39})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := f1.Predict(test)
+	p2 := f2.Predict(test)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("same seed should give identical predictions")
+		}
+	}
+}
+
+func TestRotFErrors(t *testing.T) {
+	if _, err := RotFTrain(&ts.Dataset{}, RotFConfig{}); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+}
+
+func TestRotFGroupSizeLargerThanDim(t *testing.T) {
+	// Series shorter than the group size: a single group covers everything.
+	train := plantedDataset(10, 6, 2, 40)
+	test := plantedDataset(10, 6, 2, 41)
+	acc, err := RotFEvaluate(train, test, RotFConfig{Trees: 4, GroupSize: 100, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 50 {
+		t.Fatalf("oversized group accuracy = %v%%", acc)
+	}
+}

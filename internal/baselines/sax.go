@@ -1,0 +1,56 @@
+package baselines
+
+import (
+	"strings"
+
+	"ips/internal/ts"
+)
+
+// saxBreakpoints4 are the standard Gaussian equiprobable breakpoints for a
+// 4-symbol SAX alphabet.
+var saxBreakpoints4 = []float64{-0.6745, 0, 0.6745}
+
+// PAA reduces a series to segments equal-width averages (piecewise aggregate
+// approximation).
+func PAA(x []float64, segments int) []float64 {
+	n := len(x)
+	if segments <= 0 || n == 0 {
+		return nil
+	}
+	if segments > n {
+		segments = n
+	}
+	out := make([]float64, segments)
+	for s := 0; s < segments; s++ {
+		lo := s * n / segments
+		hi := (s + 1) * n / segments
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for i := lo; i < hi; i++ {
+			sum += x[i]
+		}
+		out[s] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// SAXWord converts a subsequence to its SAX word: z-normalise, PAA to the
+// given number of segments, and discretise each segment against the Gaussian
+// breakpoints of a 4-symbol alphabet.
+func SAXWord(x []float64, segments int) string {
+	z := ts.ZNorm(x)
+	paa := PAA(z, segments)
+	var sb strings.Builder
+	for _, v := range paa {
+		sym := byte('a')
+		for _, bp := range saxBreakpoints4 {
+			if v > bp {
+				sym++
+			}
+		}
+		sb.WriteByte(sym)
+	}
+	return sb.String()
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ips/internal/classify"
+	"ips/internal/core"
+	"ips/internal/dabf"
+	"ips/internal/ip"
+	"ips/internal/ts"
+)
+
+// AblationRow reports one configuration of the design-choice ablation.
+type AblationRow struct {
+	Variant  string
+	Accuracy float64
+	Runtime  time.Duration
+}
+
+// AblationResult holds the ablation grid for one dataset.
+type AblationResult struct {
+	Dataset string
+	Rows    []AblationRow
+}
+
+// Ablation measures the contribution of each IPS design choice on a dataset
+// sweep: the full pipeline, then one variant per removed ingredient —
+// no DT, no CR, naive pruning instead of the DABF, and no discord
+// candidates in the inter-class utility (Def. 12 uses motifs AND discords
+// of other classes; this variant drops the discords).
+func (h *Harness) Ablation(datasets []string) ([]AblationResult, error) {
+	if datasets == nil {
+		datasets = []string{"ItalyPowerDemand", "GunPoint", "ArrowHead"}
+	}
+	var out []AblationResult
+	for _, name := range datasets {
+		train, test, err := h.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		res := AblationResult{Dataset: name}
+
+		run := func(variant string, opt core.Options, mutatePool bool) error {
+			t0 := time.Now()
+			var acc float64
+			if mutatePool {
+				acc, err = h.evaluateWithoutDiscords(train, test, opt)
+			} else {
+				acc, _, err = core.Evaluate(train, test, opt)
+			}
+			if err != nil {
+				return err
+			}
+			res.Rows = append(res.Rows, AblationRow{Variant: variant, Accuracy: acc, Runtime: time.Since(t0)})
+			return nil
+		}
+
+		base := h.ipsOptions()
+		if err := run("full", base, false); err != nil {
+			return nil, err
+		}
+		v := base
+		v.DisableDT = true
+		if err := run("no DT", v, false); err != nil {
+			return nil, err
+		}
+		v = base
+		v.DisableCR = true
+		if err := run("no CR", v, false); err != nil {
+			return nil, err
+		}
+		v = base
+		v.DisableDABF = true
+		if err := run("naive pruning", v, false); err != nil {
+			return nil, err
+		}
+		if err := run("no discords", base, true); err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+
+		header := []string{"variant", "accuracy", "runtime(s)"}
+		var cells [][]string
+		for _, r := range res.Rows {
+			cells = append(cells, []string{r.Variant, f1(r.Accuracy), secs(r.Runtime)})
+		}
+		fmt.Fprintf(h.out(), "Design-choice ablation on %s\n", name)
+		table(h.out(), header, cells)
+	}
+	return out, nil
+}
+
+// evaluateWithoutDiscords runs the pipeline with discord candidates stripped
+// from the pool before pruning/selection, isolating their contribution to
+// the inter-class utility.
+func (h *Harness) evaluateWithoutDiscords(train, test *ts.Dataset, opt core.Options) (float64, error) {
+	opt = opt.WithDefaults()
+	pool, err := ip.Generate(train, opt.IP)
+	if err != nil {
+		return 0, err
+	}
+	for class, cands := range pool.ByClass {
+		var motifsOnly []ip.Candidate
+		for _, c := range cands {
+			if c.Kind == ip.Motif {
+				motifsOnly = append(motifsOnly, c)
+			}
+		}
+		pool.ByClass[class] = motifsOnly
+	}
+	d, err := dabf.Build(pool, opt.DABF)
+	if err != nil {
+		return 0, err
+	}
+	pruned, _ := dabf.Prune(pool, d)
+	shapelets := core.SelectTopK(pruned, train, d, core.SelectionConfig{K: opt.K, UseDT: true, UseCR: true})
+	if len(shapelets) == 0 {
+		return 0, fmt.Errorf("bench: no shapelets without discords")
+	}
+	X := classify.Transform(train, shapelets)
+	scaler, err := classify.FitScaler(X)
+	if err != nil {
+		return 0, err
+	}
+	svm, err := classify.TrainSVM(scaler.Apply(X), train.Labels(), opt.SVM)
+	if err != nil {
+		return 0, err
+	}
+	pred := svm.PredictAll(scaler.Apply(classify.Transform(test, shapelets)))
+	return classify.Accuracy(pred, test.Labels()), nil
+}

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ips/internal/core"
+	"ips/internal/dabf"
+	"ips/internal/ip"
+	"ips/internal/ts"
+)
+
+// Fig10aRow holds one dataset's pruning-time comparison (Fig. 10a).
+type Fig10aRow struct {
+	Dataset    string
+	WithDABF   time.Duration
+	WithoutDAB time.Duration
+}
+
+// Fig10bcRow holds one dataset's selection-time and accuracy comparison
+// (Fig. 10b and 10c).
+type Fig10bcRow struct {
+	Dataset  string
+	TimeDTCR time.Duration
+	TimeRaw  time.Duration
+	AccDTCR  float64
+	AccRaw   float64
+}
+
+// Fig10Datasets is the dataset sweep used for both panels; the paper plots
+// all UCR datasets, we default to a representative spread.
+var Fig10Datasets = []string{
+	"ItalyPowerDemand", "SonyAIBORobotSurface1", "TwoLeadECG", "ECG200",
+	"GunPoint", "ArrowHead", "Coffee", "BeetleFly", "ShapeletSim", "ToeSegmentation1",
+}
+
+// Fig10a reproduces Fig. 10(a): candidate pruning time with and without the
+// DABF across datasets.  Expectation: every dataset lands in the upper
+// triangle (naive slower), 2–10× in the paper.
+func (h *Harness) Fig10a(datasets []string) ([]Fig10aRow, error) {
+	if datasets == nil {
+		datasets = Fig10Datasets
+		if h.Quick {
+			datasets = datasets[:6]
+		}
+	}
+	cfg := h.ipsOptions()
+	// Pruning cost is the quantity under test: use a large candidate pool so
+	// the asymptotic gap (DABF O(|Φ|) vs naive O(|Φ|²)) is visible above
+	// constant factors, as it is at the paper's full scale.
+	cfg.IP.QN = 40
+	if h.Quick {
+		cfg.IP.QN = 20
+	}
+	var rows []Fig10aRow
+	for _, name := range datasets {
+		train, _, err := h.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		pool, err := ip.Generate(train, cfg.IP)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		d, err := dabf.Build(pool, cfg.DABF)
+		if err != nil {
+			return nil, err
+		}
+		dabf.Prune(pool, d)
+		withDABF := time.Since(t0)
+
+		t0 = time.Now()
+		dabf.NaivePrune(pool, cfg.DABF.Dim, cfg.DABF.Sigma)
+		without := time.Since(t0)
+
+		rows = append(rows, Fig10aRow{Dataset: name, WithDABF: withDABF, WithoutDAB: without})
+	}
+
+	header := []string{"dataset", "with DABF(s)", "without DABF(s)", "speedup"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Dataset, secs(r.WithDABF), secs(r.WithoutDAB),
+			f2(r.WithoutDAB.Seconds() / r.WithDABF.Seconds()),
+		})
+	}
+	fmt.Fprintln(h.out(), "Fig. 10(a) — pruning time with vs without DABF")
+	table(h.out(), header, cells)
+	return rows, nil
+}
+
+// Fig10bc reproduces Fig. 10(b,c): top-k selection time and final accuracy
+// with and without the DT & CR optimisations.  Expectation: 50–90% of the
+// selection time saved with near-identical accuracy.
+func (h *Harness) Fig10bc(datasets []string) ([]Fig10bcRow, error) {
+	if datasets == nil {
+		datasets = Fig10Datasets
+		if h.Quick {
+			datasets = datasets[:6]
+		}
+	}
+	var rows []Fig10bcRow
+	for _, name := range datasets {
+		train, test, err := h.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig10bcRow{Dataset: name}
+
+		opt := h.ipsOptions()
+		acc, _, err := core.Evaluate(train, test, opt)
+		if err != nil {
+			return nil, err
+		}
+		row.AccDTCR = acc
+		row.TimeDTCR = h.selectionTime(train, opt)
+
+		opt.DisableDT = true
+		opt.DisableCR = true
+		acc, _, err = core.Evaluate(train, test, opt)
+		if err != nil {
+			return nil, err
+		}
+		row.AccRaw = acc
+		row.TimeRaw = h.selectionTime(train, opt)
+
+		rows = append(rows, row)
+	}
+
+	header := []string{"dataset", "select DT+CR(s)", "select raw(s)", "time saved", "acc DT+CR", "acc raw"}
+	var cells [][]string
+	for _, r := range rows {
+		saved := 1 - r.TimeDTCR.Seconds()/r.TimeRaw.Seconds()
+		cells = append(cells, []string{
+			r.Dataset, secs(r.TimeDTCR), secs(r.TimeRaw),
+			fmt.Sprintf("%.0f%%", 100*saved), f1(r.AccDTCR), f1(r.AccRaw),
+		})
+	}
+	fmt.Fprintln(h.out(), "Fig. 10(b,c) — selection time and accuracy with vs without DT & CR")
+	table(h.out(), header, cells)
+	return rows, nil
+}
+
+// selectionTime isolates the Alg. 4 stage runtime under the given options.
+func (h *Harness) selectionTime(train *ts.Dataset, opt core.Options) time.Duration {
+	pool, err := ip.Generate(train, opt.IP)
+	if err != nil {
+		return 0
+	}
+	d, err := dabf.Build(pool, opt.DABF)
+	if err != nil {
+		return 0
+	}
+	pruned, _ := dabf.Prune(pool, d)
+	t0 := time.Now()
+	core.SelectTopK(pruned, train, d, core.SelectionConfig{
+		K:     opt.K,
+		UseDT: !opt.DisableDT,
+		UseCR: !opt.DisableCR,
+	})
+	return time.Since(t0)
+}

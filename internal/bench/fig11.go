@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ips/internal/stats"
+)
+
+// Fig11Result holds the statistical comparison of Fig. 11.
+type Fig11Result struct {
+	Friedman *stats.FriedmanResult
+	CD       float64
+	// Ranked pairs (method, average rank), best first.
+	Ranked []MethodRank
+	// Wilcoxon holds the pairwise IPS-vs-other p-values with Holm rejection.
+	Wilcoxon []PairwiseTest
+}
+
+// MethodRank pairs a method with its average rank.
+type MethodRank struct {
+	Method  string
+	AvgRank float64
+}
+
+// PairwiseTest is one Wilcoxon signed-rank comparison against IPS.
+type PairwiseTest struct {
+	Method   string
+	PValue   float64
+	Rejected bool // significantly different from IPS at Holm-corrected 5%
+}
+
+// Fig11 reproduces Fig. 11: the Friedman test over the 13 methods on the 46
+// datasets, Wilcoxon signed-rank post-hoc tests against IPS with Holm's
+// correction, and an ASCII critical-difference diagram.  It ranks the
+// paper's published Table VI matrix by default; pass measured accuracies
+// (dataset → method → accuracy, using names from Methods) to rank a
+// measured matrix instead.
+func (h *Harness) Fig11(measured map[string]map[string]float64) (*Fig11Result, error) {
+	datasets := AllDatasets()
+	var matrix [][]float64
+	for _, name := range datasets {
+		row := make([]float64, len(Methods))
+		pub := PublishedAccuracy[name]
+		for j, m := range Methods {
+			v := pub[j]
+			if measured != nil {
+				if dm, ok := measured[name]; ok {
+					if mv, ok := dm[m]; ok {
+						v = mv
+					}
+				}
+			}
+			if math.IsNaN(v) {
+				v = 0 // the one missing entry (ELIS) ranks last, as in the paper
+			}
+			row[j] = v
+		}
+		matrix = append(matrix, row)
+	}
+	fr, err := stats.Friedman(matrix)
+	if err != nil {
+		return nil, err
+	}
+	cd, err := stats.NemenyiCD(len(Methods), len(datasets))
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{Friedman: fr, CD: cd}
+	for j, m := range Methods {
+		res.Ranked = append(res.Ranked, MethodRank{Method: m, AvgRank: fr.AvgRanks[j]})
+	}
+	sort.Slice(res.Ranked, func(i, j int) bool { return res.Ranked[i].AvgRank < res.Ranked[j].AvgRank })
+
+	// Wilcoxon post-hoc: IPS against every other method.
+	ipsCol := len(Methods) - 1
+	ipsScores := column(matrix, ipsCol)
+	var pvals []float64
+	var names []string
+	for j, m := range Methods {
+		if j == ipsCol {
+			continue
+		}
+		_, p, err := stats.WilcoxonSignedRank(ipsScores, column(matrix, j))
+		if err != nil {
+			return nil, err
+		}
+		pvals = append(pvals, p)
+		names = append(names, m)
+	}
+	rejected := stats.HolmCorrection(pvals, 0.05)
+	for i, m := range names {
+		res.Wilcoxon = append(res.Wilcoxon, PairwiseTest{Method: m, PValue: pvals[i], Rejected: rejected[i]})
+	}
+
+	fmt.Fprintf(h.out(), "Fig. 11 — Friedman χ² = %.2f, p = %.4g (k=%d methods, N=%d datasets), Nemenyi CD = %.3f\n",
+		fr.Stat, fr.PValue, len(Methods), len(datasets), cd)
+	fmt.Fprintln(h.out(), renderCD(res.Ranked, cd))
+	fmt.Fprintln(h.out(), "Wilcoxon signed-rank vs IPS (Holm α=0.05):")
+	var cells [][]string
+	for _, w := range res.Wilcoxon {
+		sig := "not significant"
+		if w.Rejected {
+			sig = "significant"
+		}
+		cells = append(cells, []string{w.Method, fmt.Sprintf("%.4g", w.PValue), sig})
+	}
+	table(h.out(), []string{"method", "p-value", "verdict"}, cells)
+	return res, nil
+}
+
+func column(m [][]float64, j int) []float64 {
+	out := make([]float64, len(m))
+	for i := range m {
+		out[i] = m[i][j]
+	}
+	return out
+}
+
+// renderCD draws an ASCII critical-difference diagram: methods on an average
+// rank axis, with a bar marking the CD width from the best method.
+func renderCD(ranked []MethodRank, cd float64) string {
+	if len(ranked) == 0 {
+		return ""
+	}
+	lo := math.Floor(ranked[0].AvgRank)
+	hi := math.Ceil(ranked[len(ranked)-1].AvgRank)
+	if hi <= lo {
+		hi = lo + 1
+	}
+	const width = 70
+	pos := func(rank float64) int {
+		p := int((rank - lo) / (hi - lo) * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("rank %-5.1f%s%5.1f\n", lo, strings.Repeat(" ", width-10), hi))
+	axis := []byte(strings.Repeat("-", width))
+	for _, r := range ranked {
+		axis[pos(r.AvgRank)] = '+'
+	}
+	sb.WriteString("     " + string(axis) + "\n")
+	// CD bar anchored at the best method.
+	bar := []byte(strings.Repeat(" ", width))
+	from := pos(ranked[0].AvgRank)
+	to := pos(ranked[0].AvgRank + cd)
+	for i := from; i <= to && i < width; i++ {
+		bar[i] = '='
+	}
+	sb.WriteString("  CD " + string(bar) + "\n")
+	for _, r := range ranked {
+		sb.WriteString(fmt.Sprintf("     %s %s (%.2f)\n",
+			strings.Repeat(" ", pos(r.AvgRank)), r.Method, r.AvgRank))
+	}
+	return sb.String()
+}

@@ -1,0 +1,61 @@
+package bench
+
+import "fmt"
+
+// Fig12Row holds one dataset's accuracy-vs-k sweep.
+type Fig12Row struct {
+	Dataset string
+	Acc     map[int]float64
+}
+
+// Fig12Ks are the shapelet numbers Fig. 12 sweeps.
+var Fig12Ks = []int{1, 2, 5, 10, 20}
+
+// Fig12Datasets are the four datasets of Fig. 12.
+var Fig12Datasets = []string{"ArrowHead", "MoteStrain", "ShapeletSim", "ToeSegmentation1"}
+
+// Fig12 reproduces Fig. 12: IPS accuracy as the shapelet number varies.
+// Expectation: accuracy rises from k=1 and saturates around k≈5.
+func (h *Harness) Fig12(datasets []string) ([]Fig12Row, error) {
+	if datasets == nil {
+		datasets = Fig12Datasets
+	}
+	ks := Fig12Ks
+	if h.Quick {
+		ks = []int{1, 5, 20}
+	}
+	var rows []Fig12Row
+	for _, name := range datasets {
+		train, test, err := h.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig12Row{Dataset: name, Acc: map[int]float64{}}
+		for _, k := range ks {
+			opt := h.ipsOptions()
+			opt.K = k
+			acc, _, err := evaluateWithOptions(train, test, opt)
+			if err != nil {
+				return nil, err
+			}
+			row.Acc[k] = acc
+		}
+		rows = append(rows, row)
+	}
+
+	header := []string{"dataset"}
+	for _, k := range ks {
+		header = append(header, fmt.Sprintf("k=%d", k))
+	}
+	var cells [][]string
+	for _, r := range rows {
+		c := []string{r.Dataset}
+		for _, k := range ks {
+			c = append(c, f1(r.Acc[k]))
+		}
+		cells = append(cells, c)
+	}
+	fmt.Fprintln(h.out(), "Fig. 12 — IPS accuracy (%) by shapelet number k")
+	table(h.out(), header, cells)
+	return rows, nil
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+)
+
+// Fig9Point is one (method, k) measurement of Fig. 9.
+type Fig9Point struct {
+	K        int
+	Accuracy float64
+	Runtime  time.Duration
+}
+
+// Fig9Result holds the Fig. 9 sweep for one dataset.
+type Fig9Result struct {
+	Dataset string
+	Base    []Fig9Point
+	IPS     []Fig9Point
+	BSP     []Fig9Point
+}
+
+// Fig9Ks are the shapelet numbers Fig. 9 sweeps.
+var Fig9Ks = []int{1, 2, 5, 10, 20}
+
+// Fig9Datasets are the two datasets of Fig. 9.
+var Fig9Datasets = []string{"BeetleFly", "TwoLeadECG"}
+
+// Fig9 reproduces Fig. 9: runtime and accuracy of BASE, IPS, and BSPCOVER as
+// the shapelet number k grows.  Expectation: BASE's accuracy is markedly
+// lower; IPS tracks BSPCOVER's accuracy at a fraction of its runtime;
+// runtimes of BASE/IPS grow roughly linearly with k.
+func (h *Harness) Fig9(datasets []string) ([]Fig9Result, error) {
+	if datasets == nil {
+		datasets = Fig9Datasets
+	}
+	ks := Fig9Ks
+	if h.Quick {
+		ks = []int{1, 5, 20}
+	}
+	var out []Fig9Result
+	for _, name := range datasets {
+		train, test, err := h.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		res := Fig9Result{Dataset: name}
+		for _, k := range ks {
+			opt := h.ipsOptions()
+			opt.K = k
+			acc, rt, err := evaluateWithOptions(train, test, opt)
+			if err != nil {
+				return nil, err
+			}
+			res.IPS = append(res.IPS, Fig9Point{K: k, Accuracy: acc, Runtime: rt})
+
+			baseRes, err := h.RunBase(train, test, k)
+			if err != nil {
+				return nil, err
+			}
+			res.Base = append(res.Base, Fig9Point{K: k, Accuracy: baseRes.Accuracy, Runtime: baseRes.Runtime})
+
+			bspRes, err := h.RunBSPCover(train, test, k)
+			if err != nil {
+				return nil, err
+			}
+			res.BSP = append(res.BSP, Fig9Point{K: k, Accuracy: bspRes.Accuracy, Runtime: bspRes.Runtime})
+		}
+		out = append(out, res)
+
+		header := []string{"k", "BASE acc", "IPS acc", "BSP acc", "BASE s", "IPS s", "BSP s"}
+		var cells [][]string
+		for i, k := range ks {
+			cells = append(cells, []string{
+				fmt.Sprintf("%d", k),
+				f1(res.Base[i].Accuracy), f1(res.IPS[i].Accuracy), f1(res.BSP[i].Accuracy),
+				secs(res.Base[i].Runtime), secs(res.IPS[i].Runtime), secs(res.BSP[i].Runtime),
+			})
+		}
+		fmt.Fprintf(h.out(), "Fig. 9 — efficiency and accuracy vs k on %s\n", name)
+		table(h.out(), header, cells)
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+)
+
+// ParamsRow is one (Q_N, Q_S) measurement of the parameter-sensitivity
+// sweep.
+type ParamsRow struct {
+	QN, QS   int
+	Accuracy float64
+	Runtime  time.Duration
+}
+
+// ParamsResult holds the sweep of one dataset.
+type ParamsResult struct {
+	Dataset string
+	Rows    []ParamsRow
+}
+
+// paramsQN and paramsQS are the parameter sets of §IV-A.
+var (
+	paramsQN = []int{10, 20, 50, 100}
+	paramsQS = []int{2, 3, 4, 5, 10}
+)
+
+// Params sweeps the paper's sample-number (Q_N) and sample-size (Q_S)
+// parameter grids and reports IPS accuracy and runtime for each setting —
+// the sensitivity study behind the §IV-A parameter choices.  In quick mode
+// the grid shrinks to the corners plus the default.
+func (h *Harness) Params(datasets []string) ([]ParamsResult, error) {
+	if datasets == nil {
+		datasets = []string{"ItalyPowerDemand", "GunPoint"}
+	}
+	qns, qss := paramsQN, paramsQS
+	if h.Quick {
+		qns = []int{10, 50}
+		qss = []int{2, 3, 10}
+	}
+	var out []ParamsResult
+	for _, name := range datasets {
+		train, test, err := h.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		res := ParamsResult{Dataset: name}
+		for _, qn := range qns {
+			for _, qs := range qss {
+				opt := h.ipsOptions()
+				opt.IP.QN = qn
+				opt.IP.QS = qs
+				acc, rt, err := evaluateWithOptions(train, test, opt)
+				if err != nil {
+					return nil, err
+				}
+				res.Rows = append(res.Rows, ParamsRow{QN: qn, QS: qs, Accuracy: acc, Runtime: rt})
+			}
+		}
+		out = append(out, res)
+
+		header := []string{"Q_N", "Q_S", "accuracy", "runtime(s)"}
+		var cells [][]string
+		for _, r := range res.Rows {
+			cells = append(cells, []string{
+				fmt.Sprintf("%d", r.QN), fmt.Sprintf("%d", r.QS),
+				f1(r.Accuracy), secs(r.Runtime),
+			})
+		}
+		fmt.Fprintf(h.out(), "Parameter sensitivity (Q_N × Q_S) on %s\n", name)
+		table(h.out(), header, cells)
+	}
+	return out, nil
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+
+	"ips/internal/classify"
+)
+
+// Table2Row holds one dataset's Table II measurements: BASE accuracy at each
+// k plus the 1NN-ED and 1NN-DTW references.
+type Table2Row struct {
+	Dataset string
+	BaseAcc map[int]float64
+	ED      float64
+	DTW     float64
+}
+
+// Table2Ks are the k values Table II sweeps.
+var Table2Ks = []int{1, 2, 5, 10, 20, 50, 100}
+
+// Table2Datasets are the four datasets of Table II.
+var Table2Datasets = []string{"ArrowHead", "MoteStrain", "ShapeletSim", "ToeSegmentation1"}
+
+// Table2 reproduces Table II: the MP baseline's top-k accuracy versus
+// 1NN-ED/1NN-DTW, demonstrating the two issues of §II-B (BASE stays below
+// the simple baselines at every k).
+func (h *Harness) Table2() ([]Table2Row, error) {
+	ks := Table2Ks
+	if h.Quick {
+		ks = []int{1, 5, 20}
+	}
+	var rows []Table2Row
+	for _, name := range Table2Datasets {
+		train, test, err := h.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{Dataset: name, BaseAcc: map[int]float64{}}
+		for _, k := range ks {
+			r, err := h.RunBase(train, test, k)
+			if err != nil {
+				return nil, err
+			}
+			row.BaseAcc[k] = r.Accuracy
+		}
+		row.ED = h.RunNN(train, test, classify.NNConfig{Metric: classify.Euclidean}).Accuracy
+		row.DTW = h.RunNN(train, test, classify.NNConfig{Metric: classify.DTWWindowed}).Accuracy
+		rows = append(rows, row)
+	}
+
+	header := []string{"dataset"}
+	for _, k := range ks {
+		header = append(header, fmt.Sprintf("k=%d", k))
+	}
+	header = append(header, "1NN-ED", "1NN-DTW")
+	var cells [][]string
+	for _, row := range rows {
+		c := []string{row.Dataset}
+		for _, k := range ks {
+			c = append(c, f1(row.BaseAcc[k]))
+		}
+		c = append(c, f1(row.ED), f1(row.DTW))
+		cells = append(cells, c)
+	}
+	fmt.Fprintln(h.out(), "Table II — accuracy (%) of BASE top-k vs 1NN baselines")
+	table(h.out(), header, cells)
+	return rows, nil
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+)
+
+// Table4Row holds one dataset's efficiency comparison.
+type Table4Row struct {
+	Dataset         string
+	Base, BSP, IPS  time.Duration
+	SpeedupBaseIPS  float64 // BASE vs IPS (paper column 5; ~1.2 on average)
+	SpeedupIPSvsBSP float64 // IPS vs BSPCOVER (paper column 6; ~25 on average)
+	PaperBaseVsIPS  float64
+	PaperIPSvsBSP   float64
+}
+
+// Table4Quick is the dataset subset used in quick mode: small, medium, and
+// the larger-shaped entries so the scaling trend is still visible.
+var Table4Quick = []string{
+	"ItalyPowerDemand", "SonyAIBORobotSurface1", "TwoLeadECG", "ECG200",
+	"GunPoint", "ArrowHead", "Coffee", "BeetleFly", "ToeSegmentation1",
+	"ShapeletSim",
+}
+
+// Table4 reproduces Table IV: the total running time of BASE, BSPCOVER, and
+// IPS per dataset with the two speedup columns.  The paper's expectation:
+// BASE is only slightly faster than IPS (~1.2×) while IPS is far faster than
+// BSPCOVER (~25× on average); exact factors depend on dataset scale.
+func (h *Harness) Table4(datasets []string) ([]Table4Row, error) {
+	if datasets == nil {
+		if h.Quick {
+			datasets = Table4Quick
+		} else {
+			datasets = AllDatasets()
+		}
+	}
+	k := h.k()
+	var rows []Table4Row
+	for _, name := range datasets {
+		train, test, err := h.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		ipsRes, _, err := h.RunIPS(train, test)
+		if err != nil {
+			return nil, err
+		}
+		baseRes, err := h.RunBase(train, test, k)
+		if err != nil {
+			return nil, err
+		}
+		bspRes, err := h.RunBSPCover(train, test, k)
+		if err != nil {
+			return nil, err
+		}
+		row := Table4Row{
+			Dataset:         name,
+			Base:            baseRes.Runtime,
+			BSP:             bspRes.Runtime,
+			IPS:             ipsRes.Runtime,
+			SpeedupBaseIPS:  ipsRes.Runtime.Seconds() / baseRes.Runtime.Seconds(),
+			SpeedupIPSvsBSP: bspRes.Runtime.Seconds() / ipsRes.Runtime.Seconds(),
+		}
+		if p, ok := PublishedRuntime[name]; ok {
+			row.PaperBaseVsIPS = p[2] / p[0]
+			row.PaperIPSvsBSP = p[1] / p[2]
+		}
+		rows = append(rows, row)
+	}
+
+	header := []string{"dataset", "BASE(s)", "BSPCOVER(s)", "IPS(s)",
+		"IPS/BASE", "BSP/IPS", "paper IPS/BASE", "paper BSP/IPS"}
+	var cells [][]string
+	var sumBase, sumBSP float64
+	for _, r := range rows {
+		sumBase += r.SpeedupBaseIPS
+		sumBSP += r.SpeedupIPSvsBSP
+		cells = append(cells, []string{
+			r.Dataset, secs(r.Base), secs(r.BSP), secs(r.IPS),
+			f2(r.SpeedupBaseIPS), f2(r.SpeedupIPSvsBSP),
+			f2(r.PaperBaseVsIPS), f2(r.PaperIPSvsBSP),
+		})
+	}
+	n := float64(len(rows))
+	cells = append(cells, []string{"Average", "", "", "", f2(sumBase / n), f2(sumBSP / n), "1.20", "25.74"})
+	fmt.Fprintln(h.out(), "Table IV — efficiency of BASE / BSPCOVER / IPS and speedups")
+	table(h.out(), header, cells)
+	return rows, nil
+}

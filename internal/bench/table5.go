@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ips/internal/core"
+	"ips/internal/dabf"
+	"ips/internal/ip"
+)
+
+// Table5Row holds one dataset's per-step runtime breakdown.
+type Table5Row struct {
+	Dataset         string
+	CandidateGen    time.Duration
+	PruneNaive      time.Duration // "pruning without DABF"
+	PruneDABF       time.Duration // "pruning with DABF"
+	SelectRaw       time.Duration // "without DT+CR"
+	SelectOptimised time.Duration // "with DT+CR"
+}
+
+// Table5Datasets are the four datasets of Table V.
+var Table5Datasets = []string{"ArrowHead", "Computers", "ShapeletSim", "UWaveGestureLibraryY"}
+
+// Table5 reproduces Table V: the runtime of the three IPS steps, with the
+// pruning step measured both with the DABF and with the naive quadratic
+// method, and top-k selection measured with and without the DT & CR
+// optimisations.  Expectation (paper): DABF and DT+CR each save >= 50%.
+func (h *Harness) Table5(datasets []string) ([]Table5Row, error) {
+	if datasets == nil {
+		datasets = Table5Datasets
+	}
+	cfg := h.ipsOptions()
+	// Per-step cost is the quantity under test: enlarge the candidate pool
+	// so the pruning and selection stages dominate constant factors (see
+	// Fig10a for the same reasoning).
+	cfg.IP.QN = 40
+	if h.Quick {
+		cfg.IP.QN = 20
+	}
+	var rows []Table5Row
+	for _, name := range datasets {
+		train, _, err := h.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		row := Table5Row{Dataset: name}
+
+		t0 := time.Now()
+		pool, err := ip.Generate(train, cfg.IP)
+		if err != nil {
+			return nil, err
+		}
+		row.CandidateGen = time.Since(t0)
+
+		t0 = time.Now()
+		d, err := dabf.Build(pool, cfg.DABF)
+		if err != nil {
+			return nil, err
+		}
+		pruned, _ := dabf.Prune(pool, d)
+		row.PruneDABF = time.Since(t0)
+
+		t0 = time.Now()
+		dabf.NaivePrune(pool, cfg.DABF.Dim, cfg.DABF.Sigma)
+		row.PruneNaive = time.Since(t0)
+
+		t0 = time.Now()
+		core.SelectTopK(pruned, train, d, core.SelectionConfig{K: cfg.K, UseDT: true, UseCR: true})
+		row.SelectOptimised = time.Since(t0)
+
+		t0 = time.Now()
+		core.SelectTopK(pruned, train, d, core.SelectionConfig{K: cfg.K, UseDT: false, UseCR: false})
+		row.SelectRaw = time.Since(t0)
+
+		rows = append(rows, row)
+	}
+
+	header := []string{"dataset", "cand. gen(s)", "prune naive(s)", "prune DABF(s)",
+		"select raw(s)", "select DT+CR(s)"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Dataset, secs(r.CandidateGen), secs(r.PruneNaive), secs(r.PruneDABF),
+			secs(r.SelectRaw), secs(r.SelectOptimised),
+		})
+	}
+	fmt.Fprintln(h.out(), "Table V — per-step efficiency: pruning with/without DABF, selection with/without DT+CR")
+	table(h.out(), header, cells)
+	return rows, nil
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+
+	"ips/internal/baselines"
+	"ips/internal/classify"
+	"ips/internal/nn"
+)
+
+// Table6ExtendedRow adds the additionally implemented Table VI methods —
+// Rotation Forest, LTS, and Fast Shapelets — to the measured comparison.
+type Table6ExtendedRow struct {
+	Table6Row
+	RotF   float64
+	LTS    float64
+	FS     float64
+	ST     float64
+	SDTree float64 // Ye & Keogh's original shapelet decision tree
+	FCN    float64 // plain FCN, the architecture family of the ResNet column
+}
+
+// Table6Extended measures nine methods per dataset: the six of Table6 plus
+// Rotation Forest, learning shapelets (LTS), and fast shapelets (FS), the
+// three Table VI columns this repository implements beyond the paper's own
+// measured set.
+func (h *Harness) Table6Extended(datasets []string) ([]Table6ExtendedRow, error) {
+	if datasets == nil {
+		datasets = Table6Quick
+		if !h.Quick {
+			datasets = AllDatasets()
+		}
+	}
+	base, err := h.Table6(datasets)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table6ExtendedRow
+	for i, name := range datasets {
+		train, test, err := h.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		row := Table6ExtendedRow{Table6Row: base[i]}
+		row.RotF, err = baselines.RotFEvaluate(train, test, baselines.RotFConfig{Seed: h.Seed})
+		if err != nil {
+			return nil, err
+		}
+		iterations := 300
+		if h.Quick {
+			iterations = 120
+		}
+		row.LTS, err = baselines.LTSEvaluate(train, test, baselines.LTSConfig{Iterations: iterations, Seed: h.Seed})
+		if err != nil {
+			return nil, err
+		}
+		row.FS, err = baselines.FastShapeletsEvaluate(train, test,
+			baselines.FSConfig{Seed: h.Seed}, classify.SVMConfig{Seed: h.Seed})
+		if err != nil {
+			return nil, err
+		}
+		row.ST, err = baselines.STEvaluate(train, test,
+			baselines.STConfig{Seed: h.Seed}, classify.SVMConfig{Seed: h.Seed})
+		if err != nil {
+			return nil, err
+		}
+		row.SDTree, err = baselines.SDTreeEvaluate(train, test, baselines.SDTreeConfig{Seed: h.Seed})
+		if err != nil {
+			return nil, err
+		}
+		epochs := 120
+		if h.Quick {
+			epochs = 60
+		}
+		fcn, err := nn.TrainFCN(train, nn.FCNConfig{Epochs: epochs, Seed: h.Seed})
+		if err != nil {
+			return nil, err
+		}
+		row.FCN = classify.Accuracy(fcn.PredictAll(test), test.Labels())
+		rows = append(rows, row)
+	}
+
+	header := []string{"dataset", "RotF", "ST", "LTS", "FS", "SDTree", "FCN", "BASE", "BSPCOVER", "IPS"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Dataset, f1(r.RotF), f1(r.ST), f1(r.LTS), f1(r.FS), f1(r.SDTree), f1(r.FCN),
+			f1(r.Base), f1(r.BSP), f1(r.IPS),
+		})
+	}
+	fmt.Fprintln(h.out(), "Table VI (extended) — additionally measured methods")
+	table(h.out(), header, cells)
+	return rows, nil
+}
+
+// Fig11Measured re-runs the Fig. 11 statistics with the measured accuracies
+// of the methods this repository implements substituted into the published
+// matrix (quoted columns stay quoted, as in the paper itself).
+func (h *Harness) Fig11Measured(datasets []string) (*Fig11Result, error) {
+	rows, err := h.Table6Extended(datasets)
+	if err != nil {
+		return nil, err
+	}
+	measured := map[string]map[string]float64{}
+	for _, r := range rows {
+		measured[r.Dataset] = map[string]float64{
+			"RotF":       r.RotF,
+			"DTW_Rn_1NN": r.DTW,
+			"ST":         r.ST,
+			"LTS":        r.LTS,
+			"FS":         r.FS,
+			"SD":         r.SDTree,
+			"ResNet":     r.FCN,
+			"BSPCOVER":   r.BSP,
+			"COTE-IPS":   r.COTEIPS,
+			"BASE":       r.Base,
+			"IPS":        r.IPS,
+		}
+	}
+	return h.Fig11(measured)
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+
+	"ips/internal/lsh"
+)
+
+// Table7Row holds one dataset's LSH-family accuracy comparison.
+type Table7Row struct {
+	Dataset string
+	Acc     map[lsh.Kind]float64
+}
+
+// Table7Datasets are the ten datasets of Table VII.
+var Table7Datasets = Table3Datasets // the paper uses the same ten
+
+// Table7 reproduces Table VII: IPS accuracy with the Hamming, Cosine, and L2
+// LSH families.  Expectation: L2 best, Cosine close behind, Hamming worst.
+func (h *Harness) Table7(datasets []string) ([]Table7Row, error) {
+	if datasets == nil {
+		datasets = Table7Datasets
+		if h.Quick {
+			datasets = datasets[:5]
+		}
+	}
+	kinds := []lsh.Kind{lsh.Hamming, lsh.Cosine, lsh.L2}
+	var rows []Table7Row
+	for _, name := range datasets {
+		train, test, err := h.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		row := Table7Row{Dataset: name, Acc: map[lsh.Kind]float64{}}
+		for _, kind := range kinds {
+			opt := h.ipsOptions()
+			opt.DABF.LSH = kind
+			acc, _, err := evaluateWithOptions(train, test, opt)
+			if err != nil {
+				return nil, err
+			}
+			row.Acc[kind] = acc
+		}
+		rows = append(rows, row)
+	}
+
+	header := []string{"dataset", "Hamming", "Cosine", "L2",
+		"paper Hamming", "paper Cosine", "paper L2"}
+	var cells [][]string
+	for _, r := range rows {
+		p, ok := PublishedTable7[r.Dataset]
+		paper := []string{"", "", ""}
+		if ok {
+			paper = []string{f1(p[0]), f1(p[1]), f1(p[2])}
+		}
+		cells = append(cells, []string{
+			r.Dataset, f1(r.Acc[lsh.Hamming]), f1(r.Acc[lsh.Cosine]), f1(r.Acc[lsh.L2]),
+			paper[0], paper[1], paper[2],
+		})
+	}
+	fmt.Fprintln(h.out(), "Table VII — IPS accuracy (%) under three LSH families")
+	table(h.out(), header, cells)
+	return rows, nil
+}

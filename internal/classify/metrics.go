@@ -1,0 +1,142 @@
+package classify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ConfusionMatrix counts predictions per (truth, predicted) class pair.
+type ConfusionMatrix struct {
+	Classes []int
+	// Counts[i][j] is the number of instances of Classes[i] predicted as
+	// Classes[j].
+	Counts [][]int
+	index  map[int]int
+}
+
+// NewConfusionMatrix tallies predictions against the truth.  Classes are the
+// union of labels appearing in either slice, sorted.
+func NewConfusionMatrix(pred, truth []int) *ConfusionMatrix {
+	seen := map[int]bool{}
+	for _, v := range pred {
+		seen[v] = true
+	}
+	for _, v := range truth {
+		seen[v] = true
+	}
+	classes := make([]int, 0, len(seen))
+	for c := range seen {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	cm := &ConfusionMatrix{Classes: classes, index: map[int]int{}}
+	for i, c := range classes {
+		cm.index[c] = i
+	}
+	cm.Counts = make([][]int, len(classes))
+	for i := range cm.Counts {
+		cm.Counts[i] = make([]int, len(classes))
+	}
+	n := len(pred)
+	if len(truth) < n {
+		n = len(truth)
+	}
+	for i := 0; i < n; i++ {
+		cm.Counts[cm.index[truth[i]]][cm.index[pred[i]]]++
+	}
+	return cm
+}
+
+// Accuracy returns the overall accuracy in percent.
+func (cm *ConfusionMatrix) Accuracy() float64 {
+	var hits, total int
+	for i := range cm.Counts {
+		for j, n := range cm.Counts[i] {
+			total += n
+			if i == j {
+				hits += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(total)
+}
+
+// Precision returns the precision of a class in percent (100 when the class
+// was never predicted, the zero-division convention that keeps macro
+// averages conservative-free).
+func (cm *ConfusionMatrix) Precision(class int) float64 {
+	j, ok := cm.index[class]
+	if !ok {
+		return 0
+	}
+	var tp, predicted int
+	for i := range cm.Counts {
+		predicted += cm.Counts[i][j]
+	}
+	tp = cm.Counts[j][j]
+	if predicted == 0 {
+		return 100
+	}
+	return 100 * float64(tp) / float64(predicted)
+}
+
+// Recall returns the recall of a class in percent (100 when the class has no
+// instances).
+func (cm *ConfusionMatrix) Recall(class int) float64 {
+	i, ok := cm.index[class]
+	if !ok {
+		return 0
+	}
+	var actual int
+	for _, n := range cm.Counts[i] {
+		actual += n
+	}
+	if actual == 0 {
+		return 100
+	}
+	return 100 * float64(cm.Counts[i][i]) / float64(actual)
+}
+
+// F1 returns the harmonic mean of precision and recall, in percent.
+func (cm *ConfusionMatrix) F1(class int) float64 {
+	p := cm.Precision(class)
+	r := cm.Recall(class)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// MacroF1 averages F1 over classes, in percent.
+func (cm *ConfusionMatrix) MacroF1() float64 {
+	if len(cm.Classes) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range cm.Classes {
+		sum += cm.F1(c)
+	}
+	return sum / float64(len(cm.Classes))
+}
+
+// String renders the matrix with truth in rows and predictions in columns.
+func (cm *ConfusionMatrix) String() string {
+	var sb strings.Builder
+	sb.WriteString("truth\\pred")
+	for _, c := range cm.Classes {
+		fmt.Fprintf(&sb, "%8d", c)
+	}
+	sb.WriteByte('\n')
+	for i, c := range cm.Classes {
+		fmt.Fprintf(&sb, "%10d", c)
+		for j := range cm.Classes {
+			fmt.Fprintf(&sb, "%8d", cm.Counts[i][j])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,94 @@
+package classify
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfusionMatrixCounts(t *testing.T) {
+	truth := []int{0, 0, 1, 1, 1, 2}
+	pred := []int{0, 1, 1, 1, 0, 2}
+	cm := NewConfusionMatrix(pred, truth)
+	if len(cm.Classes) != 3 {
+		t.Fatalf("classes = %v", cm.Classes)
+	}
+	// truth 0: one correct, one as 1.
+	if cm.Counts[0][0] != 1 || cm.Counts[0][1] != 1 {
+		t.Fatalf("row 0 = %v", cm.Counts[0])
+	}
+	// truth 1: two correct, one as 0.
+	if cm.Counts[1][1] != 2 || cm.Counts[1][0] != 1 {
+		t.Fatalf("row 1 = %v", cm.Counts[1])
+	}
+	if cm.Counts[2][2] != 1 {
+		t.Fatalf("row 2 = %v", cm.Counts[2])
+	}
+	if got := cm.Accuracy(); math.Abs(got-100*4.0/6) > 1e-9 {
+		t.Fatalf("accuracy = %v", got)
+	}
+}
+
+func TestPrecisionRecallF1(t *testing.T) {
+	truth := []int{0, 0, 0, 1, 1}
+	pred := []int{0, 0, 1, 1, 1}
+	cm := NewConfusionMatrix(pred, truth)
+	// Class 0: precision 2/2, recall 2/3.
+	if p := cm.Precision(0); math.Abs(p-100) > 1e-9 {
+		t.Fatalf("precision(0) = %v", p)
+	}
+	if r := cm.Recall(0); math.Abs(r-100*2.0/3) > 1e-9 {
+		t.Fatalf("recall(0) = %v", r)
+	}
+	// Class 1: precision 2/3, recall 2/2.
+	if p := cm.Precision(1); math.Abs(p-100*2.0/3) > 1e-9 {
+		t.Fatalf("precision(1) = %v", p)
+	}
+	if r := cm.Recall(1); math.Abs(r-100) > 1e-9 {
+		t.Fatalf("recall(1) = %v", r)
+	}
+	f1 := cm.F1(0)
+	want := 2 * 100 * (100 * 2.0 / 3) / (100 + 100*2.0/3)
+	if math.Abs(f1-want) > 1e-9 {
+		t.Fatalf("F1(0) = %v, want %v", f1, want)
+	}
+	if m := cm.MacroF1(); m <= 0 || m > 100 {
+		t.Fatalf("macro F1 = %v", m)
+	}
+	// Unknown class.
+	if cm.Precision(9) != 0 || cm.Recall(9) != 0 {
+		t.Fatal("unknown class metrics should be 0")
+	}
+}
+
+func TestMetricsEdgeCases(t *testing.T) {
+	// Never-predicted class: precision convention 100.
+	cm := NewConfusionMatrix([]int{0, 0}, []int{0, 1})
+	if p := cm.Precision(1); p != 100 {
+		t.Fatalf("never-predicted precision = %v", p)
+	}
+	if r := cm.Recall(1); r != 0 {
+		t.Fatalf("recall of missed class = %v", r)
+	}
+	// Empty matrix.
+	empty := NewConfusionMatrix(nil, nil)
+	if empty.Accuracy() != 0 || empty.MacroF1() != 0 {
+		t.Fatal("empty matrix metrics should be 0")
+	}
+	// Mismatched lengths tally only the overlap.
+	cm = NewConfusionMatrix([]int{0}, []int{0, 1})
+	if cm.Counts[0][0] != 1 {
+		t.Fatal("overlap tally wrong")
+	}
+}
+
+func TestConfusionMatrixString(t *testing.T) {
+	cm := NewConfusionMatrix([]int{0, 1}, []int{0, 1})
+	s := cm.String()
+	if !strings.Contains(s, "truth\\pred") {
+		t.Fatalf("rendering = %q", s)
+	}
+	if !strings.Contains(s, "1") {
+		t.Fatal("rendering missing counts")
+	}
+}

@@ -1,0 +1,99 @@
+package classify
+
+import (
+	"math"
+
+	"ips/internal/ts"
+)
+
+// Metric selects the distance used by the nearest-neighbour classifier.
+type Metric int
+
+const (
+	// Euclidean is plain pointwise Euclidean distance (1NN-ED).
+	Euclidean Metric = iota
+	// DTWFull is unconstrained dynamic time warping (1NN-DTW).
+	DTWFull
+	// DTWWindowed is DTW constrained to a Sakoe-Chiba band whose half-width
+	// is WindowRatio of the series length (the UCR "Rn" convention).
+	DTWWindowed
+)
+
+// NNConfig parameterises the nearest-neighbour classifier.
+type NNConfig struct {
+	Metric Metric
+	// WindowRatio is the Sakoe-Chiba band half-width as a fraction of the
+	// series length; used only with DTWWindowed (default 0.1).
+	WindowRatio float64
+}
+
+// NN is a 1-nearest-neighbour classifier over raw series.
+type NN struct {
+	train []ts.Instance
+	cfg   NNConfig
+}
+
+// NewNN builds a 1NN classifier on the training instances.
+func NewNN(train []ts.Instance, cfg NNConfig) *NN {
+	if cfg.Metric == DTWWindowed && cfg.WindowRatio <= 0 {
+		cfg.WindowRatio = 0.1
+	}
+	return &NN{train: train, cfg: cfg}
+}
+
+func (n *NN) dist(a, b ts.Series, bestSoFar float64) float64 {
+	switch n.cfg.Metric {
+	case DTWFull:
+		return ts.DTW(a, b, -1)
+	case DTWWindowed:
+		w := int(n.cfg.WindowRatio * float64(len(a)))
+		return ts.DTW(a, b, w)
+	default:
+		// Early-abandoning Euclidean distance.
+		limit := bestSoFar * bestSoFar
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+			if s > limit {
+				return math.Inf(1)
+			}
+		}
+		return math.Sqrt(s)
+	}
+}
+
+// Predict returns the label of the nearest training instance.
+func (n *NN) Predict(x ts.Series) int {
+	best := math.Inf(1)
+	label := -1
+	for _, tr := range n.train {
+		d := n.dist(x, tr.Values, best)
+		if d < best {
+			best = d
+			label = tr.Label
+		}
+	}
+	return label
+}
+
+// PredictAll classifies every instance of the test set.
+func (n *NN) PredictAll(test []ts.Instance) []int {
+	out := make([]int, len(test))
+	for i, in := range test {
+		out[i] = n.Predict(in.Values)
+	}
+	return out
+}
+
+// EvaluateNN trains a 1NN classifier on train and returns its accuracy (%) on
+// test.
+func EvaluateNN(train, test []ts.Instance, cfg NNConfig) float64 {
+	nn := NewNN(train, cfg)
+	pred := nn.PredictAll(test)
+	truth := make([]int, len(test))
+	for i, in := range test {
+		truth[i] = in.Label
+	}
+	return Accuracy(pred, truth)
+}

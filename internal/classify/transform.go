@@ -1,0 +1,131 @@
+// Package classify provides the classification substrate: the shapelet
+// transform (Def. 7 of the IPS paper), a one-vs-rest linear SVM trained with
+// Pegasos SGD (the paper's final classifier), 1NN-ED and 1NN-DTW baselines
+// (Table II/VI), and evaluation helpers.
+package classify
+
+import (
+	"errors"
+	"math"
+	"sync"
+
+	"ips/internal/ts"
+)
+
+// Shapelet is a discovered shapelet: a subsequence representing a class.
+type Shapelet struct {
+	Class  int
+	Values ts.Series
+	// Score is the utility the discovery method assigned (higher = better);
+	// informational only.
+	Score float64
+}
+
+// Transform maps every instance to its shapelet-transform embedding
+// (d_{j,1}, …, d_{j,|S|}) where d_{j,i} = dist(T_j, S_i) under Def. 4.
+func Transform(d *ts.Dataset, shapelets []Shapelet) [][]float64 {
+	return TransformWorkers(d, shapelets, 1)
+}
+
+// TransformWorkers is Transform with the per-instance embedding computed by
+// the given number of goroutines (<=1 means sequential).  The output is
+// identical for any worker count.
+func TransformWorkers(d *ts.Dataset, shapelets []Shapelet, workers int) [][]float64 {
+	out := make([][]float64, len(d.Instances))
+	embed := func(j int) {
+		row := make([]float64, len(shapelets))
+		for i, s := range shapelets {
+			row[i] = ts.Dist(s.Values, d.Instances[j].Values)
+		}
+		out[j] = row
+	}
+	if workers <= 1 || len(d.Instances) < 2 {
+		for j := range d.Instances {
+			embed(j)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				embed(j)
+			}
+		}()
+	}
+	for j := range d.Instances {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	return out
+}
+
+// Scaler standardises features to zero mean and unit variance, fitted on
+// training data and applied to both splits.
+type Scaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitScaler computes per-feature mean and std over X.
+func FitScaler(X [][]float64) (*Scaler, error) {
+	if len(X) == 0 || len(X[0]) == 0 {
+		return nil, errors.New("classify: empty feature matrix")
+	}
+	k := len(X[0])
+	s := &Scaler{Mean: make([]float64, k), Std: make([]float64, k)}
+	for _, row := range X {
+		for i, v := range row {
+			s.Mean[i] += v
+		}
+	}
+	n := float64(len(X))
+	for i := range s.Mean {
+		s.Mean[i] /= n
+	}
+	for _, row := range X {
+		for i, v := range row {
+			d := v - s.Mean[i]
+			s.Std[i] += d * d
+		}
+	}
+	for i := range s.Std {
+		s.Std[i] = math.Sqrt(s.Std[i] / n)
+		if s.Std[i] < 1e-12 {
+			s.Std[i] = 1
+		}
+	}
+	return s, nil
+}
+
+// Apply returns a standardised copy of X.
+func (s *Scaler) Apply(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for j, row := range X {
+		r := make([]float64, len(row))
+		for i, v := range row {
+			r[i] = (v - s.Mean[i]) / s.Std[i]
+		}
+		out[j] = r
+	}
+	return out
+}
+
+// Accuracy returns the fraction of predictions matching the truth, in
+// percent (the unit used throughout the paper's tables).
+func Accuracy(pred, truth []int) float64 {
+	if len(pred) == 0 || len(pred) != len(truth) {
+		return 0
+	}
+	hits := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			hits++
+		}
+	}
+	return 100 * float64(hits) / float64(len(pred))
+}

@@ -1,0 +1,99 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTreeSeparable(t *testing.T) {
+	X, y := separableData(40, 1)
+	tree, err := TrainTree(X, y, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := Accuracy(tree.PredictAll(X), y); a != 100 {
+		t.Fatalf("separable tree accuracy = %v", a)
+	}
+	if tree.Depth() < 1 {
+		t.Fatal("tree should split at least once")
+	}
+}
+
+func TestTreeXOR(t *testing.T) {
+	// XOR needs depth >= 2; a linear model cannot solve it, a tree can.
+	rng := rand.New(rand.NewSource(2))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		a := rng.Float64()*2 - 1
+		b := rng.Float64()*2 - 1
+		label := 0
+		if (a > 0) != (b > 0) {
+			label = 1
+		}
+		X = append(X, []float64{a, b})
+		y = append(y, label)
+	}
+	tree, err := TrainTree(X, y, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := Accuracy(tree.PredictAll(X), y); a < 95 {
+		t.Fatalf("XOR tree accuracy = %v", a)
+	}
+}
+
+func TestTreeDepthLimit(t *testing.T) {
+	X, y := separableData(40, 3)
+	tree, err := TrainTree(X, y, TreeConfig{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tree.Depth(); d > 1 {
+		t.Fatalf("depth = %d, want <= 1", d)
+	}
+}
+
+func TestTreeMinLeaf(t *testing.T) {
+	// With MinLeaf equal to the class size, the single allowed split still
+	// respects the minimum.
+	X := [][]float64{{0}, {0.1}, {0.9}, {1}}
+	y := []int{0, 0, 1, 1}
+	tree, err := TrainTree(X, y, TreeConfig{MinLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := Accuracy(tree.PredictAll(X), y); a != 100 {
+		t.Fatalf("minleaf accuracy = %v", a)
+	}
+}
+
+func TestTreePureLeafAndErrors(t *testing.T) {
+	// Single-class data produces a leaf-only tree.
+	X := [][]float64{{1}, {2}}
+	y := []int{7, 7}
+	tree, err := TrainTree(X, y, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 0 || tree.Predict([]float64{99}) != 7 {
+		t.Fatal("pure data should give a single leaf")
+	}
+	if _, err := TrainTree(nil, nil, TreeConfig{}); err == nil {
+		t.Fatal("empty training should error")
+	}
+}
+
+func TestTreeConstantFeatures(t *testing.T) {
+	// Identical feature vectors with mixed labels: no valid split exists,
+	// so the tree must fall back to a majority leaf without looping.
+	X := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	y := []int{0, 1, 0}
+	tree, err := TrainTree(X, y, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Predict([]float64{1, 1}) != 0 {
+		t.Fatal("majority leaf should predict class 0")
+	}
+}

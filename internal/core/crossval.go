@@ -1,0 +1,74 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"ips/internal/ts"
+)
+
+// CVResult summarises a k-fold cross-validation run.
+type CVResult struct {
+	FoldAccuracies []float64
+	Mean           float64
+	Std            float64
+}
+
+// CrossValidate runs stratified k-fold cross-validation of the IPS pipeline
+// on a single dataset — the evaluation mode for users without a train/test
+// split.  Folds are stratified by class so every fold sees every class.
+func CrossValidate(d *ts.Dataset, opt Options, folds int, seed int64) (*CVResult, error) {
+	if folds < 2 {
+		return nil, errors.New("core: need at least 2 folds")
+	}
+	if err := d.Validate(true); err != nil {
+		return nil, err
+	}
+	// Stratified assignment: shuffle within each class, deal round-robin.
+	rng := rand.New(rand.NewSource(seed))
+	foldOf := make([]int, d.Len())
+	byClass := map[int][]int{}
+	for i, in := range d.Instances {
+		byClass[in.Label] = append(byClass[in.Label], i)
+	}
+	for _, idxs := range byClass {
+		rng.Shuffle(len(idxs), func(a, b int) { idxs[a], idxs[b] = idxs[b], idxs[a] })
+		for pos, i := range idxs {
+			foldOf[i] = pos % folds
+		}
+	}
+
+	res := &CVResult{}
+	for f := 0; f < folds; f++ {
+		train := &ts.Dataset{Name: d.Name}
+		test := &ts.Dataset{Name: d.Name}
+		for i, in := range d.Instances {
+			if foldOf[i] == f {
+				test.Instances = append(test.Instances, in)
+			} else {
+				train.Instances = append(train.Instances, in)
+			}
+		}
+		if len(test.Instances) == 0 || len(train.Classes()) < 2 {
+			return nil, errors.New("core: fold without test instances or with one training class; use fewer folds")
+		}
+		acc, _, err := Evaluate(train, test, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.FoldAccuracies = append(res.FoldAccuracies, acc)
+	}
+	var sum float64
+	for _, a := range res.FoldAccuracies {
+		sum += a
+	}
+	res.Mean = sum / float64(folds)
+	var ss float64
+	for _, a := range res.FoldAccuracies {
+		dlt := a - res.Mean
+		ss += dlt * dlt
+	}
+	res.Std = math.Sqrt(ss / float64(folds))
+	return res, nil
+}

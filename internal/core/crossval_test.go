@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"ips/internal/ts"
+)
+
+func TestCrossValidateStratified(t *testing.T) {
+	d := plantedDataset(12, 50, 2, 110)
+	res, err := CrossValidate(d, smallOptions(111), 4, 112)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldAccuracies) != 4 {
+		t.Fatalf("folds = %d", len(res.FoldAccuracies))
+	}
+	if res.Mean < 70 {
+		t.Fatalf("CV mean = %v%%", res.Mean)
+	}
+	if res.Std < 0 {
+		t.Fatalf("CV std = %v", res.Std)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	d := plantedDataset(6, 40, 2, 113)
+	if _, err := CrossValidate(d, smallOptions(114), 1, 115); err == nil {
+		t.Fatal("1 fold should error")
+	}
+	if _, err := CrossValidate(&ts.Dataset{}, smallOptions(116), 3, 117); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	d := plantedDataset(10, 40, 2, 118)
+	r1, err := CrossValidate(d, smallOptions(119), 3, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := CrossValidate(d, smallOptions(119), 3, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.FoldAccuracies {
+		if r1.FoldAccuracies[i] != r2.FoldAccuracies[i] {
+			t.Fatal("same seed should reproduce identical folds")
+		}
+	}
+}

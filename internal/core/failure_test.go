@@ -1,0 +1,135 @@
+package core
+
+// Failure-injection tests: malformed, degenerate, and adversarial inputs
+// must produce errors (or sensible results), never panics.
+
+import (
+	"math"
+	"testing"
+
+	"ips/internal/dabf"
+	"ips/internal/ip"
+	"ips/internal/ts"
+)
+
+func TestDiscoverRejectsNaN(t *testing.T) {
+	d := plantedDataset(6, 40, 2, 70)
+	d.Instances[3].Values[10] = math.NaN()
+	if _, err := Discover(d, smallOptions(71)); err == nil {
+		t.Fatal("NaN data should be rejected")
+	}
+}
+
+func TestDiscoverRejectsInf(t *testing.T) {
+	d := plantedDataset(6, 40, 2, 72)
+	d.Instances[0].Values[0] = math.Inf(1)
+	if _, err := Discover(d, smallOptions(73)); err == nil {
+		t.Fatal("Inf data should be rejected")
+	}
+}
+
+func TestDiscoverSingleInstancePerClass(t *testing.T) {
+	// One instance per class: Q_S sampling degenerates to single-instance
+	// concatenations; the pipeline must still run or error cleanly.
+	d := &ts.Dataset{}
+	for c := 0; c < 2; c++ {
+		vals := make(ts.Series, 40)
+		for j := range vals {
+			vals[j] = math.Sin(float64(j)/3 + float64(c)*2)
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: vals, Label: c})
+	}
+	res, err := Discover(d, smallOptions(74))
+	if err != nil {
+		t.Skipf("single-instance classes rejected (acceptable): %v", err)
+	}
+	if len(res.Shapelets) == 0 {
+		t.Fatal("single-instance classes produced no shapelets without error")
+	}
+}
+
+func TestDiscoverConstantSeries(t *testing.T) {
+	// Constant series: z-normalisation treats them as all-equal; the
+	// pipeline must not divide by zero or panic.
+	d := &ts.Dataset{}
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 4; i++ {
+			vals := make(ts.Series, 30)
+			for j := range vals {
+				vals[j] = float64(c * 10)
+			}
+			d.Instances = append(d.Instances, ts.Instance{Values: vals, Label: c})
+		}
+	}
+	res, err := Discover(d, smallOptions(75))
+	if err != nil {
+		t.Skipf("constant series rejected (acceptable): %v", err)
+	}
+	for _, s := range res.Shapelets {
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("constant input produced non-finite shapelet values")
+			}
+		}
+	}
+}
+
+func TestDiscoverVeryShortSeries(t *testing.T) {
+	// Series of length 5 with MinLength 4: exactly one usable length.
+	d := &ts.Dataset{}
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 6; i++ {
+			vals := ts.Series{float64(c), float64(c + i), float64(c * 2), float64(i), 1}
+			d.Instances = append(d.Instances, ts.Instance{Values: vals, Label: c})
+		}
+	}
+	if _, err := Discover(d, smallOptions(76)); err != nil {
+		t.Logf("very short series rejected: %v (acceptable)", err)
+	}
+}
+
+func TestFitScalerMismatchHandled(t *testing.T) {
+	// Model.Predict on a dataset with a different series length works: the
+	// shapelet transform slides the shapelet, so any length >= shapelet
+	// length is valid.
+	train := plantedDataset(8, 60, 2, 77)
+	model, err := Fit(train, smallOptions(78))
+	if err != nil {
+		t.Fatal(err)
+	}
+	longer := plantedDataset(4, 90, 2, 79)
+	pred := model.Predict(longer)
+	if len(pred) != longer.Len() {
+		t.Fatalf("pred len = %d", len(pred))
+	}
+}
+
+func TestSelectTopKEmptyPool(t *testing.T) {
+	d := plantedDataset(4, 40, 2, 80)
+	empty := &ip.Pool{ByClass: map[int][]ip.Candidate{}}
+	if sh := SelectTopK(empty, d, nil, SelectionConfig{K: 5}); len(sh) != 0 {
+		t.Fatalf("empty pool selected %d shapelets", len(sh))
+	}
+}
+
+func TestDiscoverManyClasses(t *testing.T) {
+	// 8 classes with 3 instances each: stresses per-class DABF construction
+	// with tiny pools.
+	d := plantedDataset(3, 48, 8, 81)
+	opt := Options{
+		IP:   ip.Config{QN: 3, QS: 2, LengthRatios: []float64{0.25}, Seed: 82},
+		DABF: dabf.Config{Seed: 82},
+		K:    2,
+	}
+	res, err := Discover(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classesWithShapelets := map[int]bool{}
+	for _, s := range res.Shapelets {
+		classesWithShapelets[s.Class] = true
+	}
+	if len(classesWithShapelets) < 8 {
+		t.Fatalf("only %d/8 classes have shapelets", len(classesWithShapelets))
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"ips/internal/classify"
+	"ips/internal/ts"
+)
+
+// modelFile is the on-disk JSON representation of a trained model.  Only
+// what prediction needs is persisted: shapelets, scaler, and SVM weights;
+// discovery diagnostics are not.
+type modelFile struct {
+	Format    int              `json:"format"`
+	Shapelets []shapeletFile   `json:"shapelets"`
+	Scaler    *classify.Scaler `json:"scaler"`
+	SVM       *svmFile         `json:"svm"`
+	Workers   int              `json:"workers,omitempty"`
+}
+
+type shapeletFile struct {
+	Class  int       `json:"class"`
+	Score  float64   `json:"score"`
+	Values []float64 `json:"values"`
+}
+
+type svmFile struct {
+	Classes []int       `json:"classes"`
+	W       [][]float64 `json:"w"`
+	B       []float64   `json:"b"`
+}
+
+// currentFormat is bumped on incompatible changes to the file layout.
+const currentFormat = 1
+
+// Save writes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	if m.SVM == nil || m.Scaler == nil {
+		return errors.New("core: model is not trained")
+	}
+	mf := modelFile{Format: currentFormat, Scaler: m.Scaler, Workers: m.workers}
+	for _, s := range m.Shapelets {
+		mf.Shapelets = append(mf.Shapelets, shapeletFile{Class: s.Class, Score: s.Score, Values: s.Values})
+	}
+	mf.SVM = &svmFile{Classes: m.SVM.Classes, W: m.SVM.W, B: m.SVM.B}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&mf)
+}
+
+// SaveFile writes the model to a file.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModel reads a model previously written by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var mf modelFile
+	if err := json.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if mf.Format != currentFormat {
+		return nil, fmt.Errorf("core: unsupported model format %d", mf.Format)
+	}
+	if mf.SVM == nil || mf.Scaler == nil || len(mf.Shapelets) == 0 {
+		return nil, errors.New("core: model file incomplete")
+	}
+	if len(mf.SVM.W) != len(mf.SVM.Classes) || len(mf.SVM.B) != len(mf.SVM.Classes) {
+		return nil, errors.New("core: model file SVM shape inconsistent")
+	}
+	m := &Model{
+		Scaler:  mf.Scaler,
+		SVM:     &classify.SVM{Classes: mf.SVM.Classes, W: mf.SVM.W, B: mf.SVM.B},
+		workers: mf.Workers,
+	}
+	for _, s := range mf.Shapelets {
+		m.Shapelets = append(m.Shapelets, classify.Shapelet{
+			Class:  s.Class,
+			Score:  s.Score,
+			Values: ts.Series(s.Values),
+		})
+	}
+	if len(m.Scaler.Mean) != len(m.Shapelets) {
+		return nil, errors.New("core: model file scaler/shapelet dimensions disagree")
+	}
+	return m, nil
+}
+
+// LoadModelFile reads a model from a file.
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadModel(f)
+}

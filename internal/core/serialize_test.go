@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	train := plantedDataset(10, 60, 2, 90)
+	test := plantedDataset(10, 60, 2, 91)
+	model, err := Fit(train, smallOptions(92))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPred := model.Predict(test)
+
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPred := loaded.Predict(test)
+	for i := range wantPred {
+		if gotPred[i] != wantPred[i] {
+			t.Fatalf("prediction %d differs after round trip", i)
+		}
+	}
+	if len(loaded.Shapelets) != len(model.Shapelets) {
+		t.Fatalf("shapelet count %d, want %d", len(loaded.Shapelets), len(model.Shapelets))
+	}
+}
+
+func TestModelSaveLoadFile(t *testing.T) {
+	train := plantedDataset(8, 50, 2, 93)
+	model, err := Fit(train, smallOptions(94))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Shapelets) == 0 {
+		t.Fatal("loaded model has no shapelets")
+	}
+	if _, err := LoadModelFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestModelSaveErrors(t *testing.T) {
+	var m Model
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err == nil {
+		t.Fatal("untrained model should not save")
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "not json",
+		"wrong format":  `{"format":99}`,
+		"incomplete":    `{"format":1}`,
+		"bad svm shape": `{"format":1,"shapelets":[{"class":0,"values":[1]}],"scaler":{"Mean":[0],"Std":[1]},"svm":{"classes":[0,1],"w":[[1]],"b":[0]}}`,
+		"scaler mismatch": `{"format":1,"shapelets":[{"class":0,"values":[1]},{"class":1,"values":[2]}],` +
+			`"scaler":{"Mean":[0],"Std":[1]},"svm":{"classes":[0,1],"w":[[1],[2]],"b":[0,0]}}`,
+	}
+	for name, payload := range cases {
+		if _, err := LoadModel(strings.NewReader(payload)); err == nil {
+			t.Fatalf("%s: should error", name)
+		}
+	}
+}

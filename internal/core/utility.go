@@ -1,0 +1,173 @@
+// Package core implements the IPS pipeline itself: the three utility
+// functions of Def. 11–13, the DT (distribution transformation) and CR
+// (computation reuse) optimisations of §III-E, the top-k shapelet selection
+// of Algorithm 4, and the end-to-end Discover/Fit/Evaluate entry points.
+package core
+
+import (
+	"math"
+
+	"ips/internal/dabf"
+	"ips/internal/ip"
+	"ips/internal/ts"
+)
+
+// sigmoid is the squashing function of Def. 11–13.
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// standardise z-scores xs in place; a constant vector becomes all zeros.
+// The paper feeds raw distance sums into the sigmoid; at realistic candidate
+// counts those sums saturate the sigmoid to 1.0 for every candidate, so we
+// standardise each utility's sums first.  The transformation is monotone per
+// utility, preserving the ordering Def. 11–13 induce.
+func standardise(xs []float64) {
+	var mean float64
+	for _, v := range xs {
+		mean += v
+	}
+	n := float64(len(xs))
+	if n == 0 {
+		return
+	}
+	mean /= n
+	var ss float64
+	for _, v := range xs {
+		d := v - mean
+		ss += d * d
+	}
+	std := math.Sqrt(ss / n)
+	if std < 1e-12 {
+		for i := range xs {
+			xs[i] = 0
+		}
+		return
+	}
+	for i := range xs {
+		xs[i] = (xs[i] - mean) / std
+	}
+}
+
+// utilities holds the three per-candidate utility sums for one class.
+type utilities struct {
+	intra []float64 // Def. 11: Σ dist to same-class motif candidates
+	inter []float64 // Def. 12: Σ dist to other classes' motifs/discords
+	dc    []float64 // Def. 13: Σ dist to same-class raw instances
+}
+
+// scores combines the utilities into Alg. 4 line 6's score
+// u = Ũ_intra − Ũ_inter + Ũ_DC; smaller is better.
+func (u *utilities) scores() []float64 {
+	standardise(u.intra)
+	standardise(u.inter)
+	standardise(u.dc)
+	out := make([]float64, len(u.intra))
+	for i := range out {
+		out[i] = sigmoid(u.intra[i]) - sigmoid(u.inter[i]) + sigmoid(u.dc[i])
+	}
+	return out
+}
+
+// rawUtilities computes the three utility sums for the motifs of class c
+// using raw Def. 4 distances.  useCR enables computation reuse: each
+// symmetric pairwise distance is computed once and credited to both
+// endpoints; without it the loops recompute every pair from both sides,
+// reproducing the cost the CR optimisation removes.
+func rawUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.Instance, useCR bool) *utilities {
+	n := len(motifs)
+	u := &utilities{
+		intra: make([]float64, n),
+		inter: make([]float64, n),
+		dc:    make([]float64, n),
+	}
+	if useCR {
+		// Intra: symmetric matrix, compute the upper triangle once.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d := ts.Dist(motifs[i].Values, motifs[j].Values)
+				u.intra[i] += d
+				u.intra[j] += d
+			}
+		}
+		// Inter: each (motif, other) pair computed once.
+		for i := 0; i < n; i++ {
+			for _, o := range others {
+				u.inter[i] += ts.Dist(motifs[i].Values, o.Values)
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				u.intra[i] += ts.Dist(motifs[i].Values, motifs[j].Values)
+			}
+		}
+		for i := 0; i < n; i++ {
+			for _, o := range others {
+				u.inter[i] += ts.Dist(motifs[i].Values, o.Values)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for _, in := range instances {
+			u.dc[i] += ts.Dist(motifs[i].Values, in.Values)
+		}
+	}
+	return u
+}
+
+// dtUtilities computes the utility sums through the DT optimisation
+// (Formula 15/16): raw Def. 4 distances are replaced by distances in the
+// class DABF's LSH projection space, the ‖LSH(Can_i) − LSH(Can_j)‖ lower
+// bound of Formula 15.  Each candidate is hashed once (O(Dim·NumHashes))
+// and every pairwise evaluation is then O(NumHashes) instead of O(L²).
+// useCR additionally reuses the symmetric intra sums.
+func dtUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.Instance,
+	cf *dabf.ClassFilter, dim int, useCR bool) *utilities {
+	n := len(motifs)
+	u := &utilities{
+		intra: make([]float64, n),
+		inter: make([]float64, n),
+		dc:    make([]float64, n),
+	}
+	// Hash everything once.
+	mb := make([][]float64, n)
+	for i, m := range motifs {
+		mb[i] = cf.ProjectValues(m.Values, dim)
+	}
+	ob := make([][]float64, len(others))
+	for i, o := range others {
+		ob[i] = cf.ProjectValues(o.Values, dim)
+	}
+	ib := make([][]float64, len(instances))
+	for i, in := range instances {
+		ib[i] = cf.ProjectValues(in.Values, dim)
+	}
+	if useCR {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d := ts.EuclideanDist(mb[i], mb[j])
+				u.intra[i] += d
+				u.intra[j] += d
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					u.intra[i] += ts.EuclideanDist(mb[i], mb[j])
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for _, b := range ob {
+			u.inter[i] += ts.EuclideanDist(mb[i], b)
+		}
+		for _, b := range ib {
+			u.dc[i] += ts.EuclideanDist(mb[i], b)
+		}
+	}
+	return u
+}

@@ -1,0 +1,6 @@
+package dabf
+
+import "time"
+
+// testingClock isolates the monotonic clock used by timing-sensitive tests.
+func testingClock() int64 { return time.Now().UnixNano() }

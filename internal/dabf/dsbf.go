@@ -1,0 +1,64 @@
+package dabf
+
+import (
+	"ips/internal/lsh"
+)
+
+// DSBF is a distance-sensitive Bloom filter in the spirit of Goswami et
+// al. [15]: it answers whether a query vector is *close to some element* of
+// the inserted set.  It keeps several independent LSH families; an element
+// inserts its signature under each family into a Bloom filter, and a query is
+// reported close when at least Threshold of its signatures are present.
+//
+// The IPS paper generalises this structure to "close to *most* elements"
+// (the DABF below); the DSBF is kept for ablation and tests.
+type DSBF struct {
+	families  []lsh.Family
+	filters   []*Bloom
+	dim       int
+	threshold int
+}
+
+// NewDSBF builds a distance-sensitive filter with the given number of
+// independent LSH repetitions; a query passes when at least threshold of
+// them collide.  cfg.Seed seeds the first family; repetitions use
+// consecutive seeds.
+func NewDSBF(cfg lsh.Config, repetitions, threshold, expected int) *DSBF {
+	if repetitions < 1 {
+		repetitions = 4
+	}
+	if threshold < 1 {
+		threshold = (repetitions + 1) / 2
+	}
+	d := &DSBF{dim: cfg.Dim, threshold: threshold}
+	for i := 0; i < repetitions; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		d.families = append(d.families, lsh.New(c))
+		d.filters = append(d.filters, NewBloom(expected, 0.01))
+	}
+	return d
+}
+
+// Add inserts a vector (resampled to the filter dimension internally).
+func (d *DSBF) Add(x []float64) {
+	v := lsh.Resample(x, d.families[0].Dim())
+	for i, f := range d.families {
+		d.filters[i].Add([]byte(f.Signature(v)))
+	}
+}
+
+// CloseToSome reports whether x is possibly close to some inserted element.
+func (d *DSBF) CloseToSome(x []float64) bool {
+	v := lsh.Resample(x, d.families[0].Dim())
+	hits := 0
+	for i, f := range d.families {
+		if d.filters[i].Contains([]byte(f.Signature(v))) {
+			hits++
+			if hits >= d.threshold {
+				return true
+			}
+		}
+	}
+	return false
+}

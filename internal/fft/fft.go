@@ -1,0 +1,125 @@
+// Package fft implements the radix-2 Cooley–Tukey fast Fourier transform
+// used by the MASS distance-profile algorithm in package mp.  Inputs whose
+// length is not a power of two are zero-padded by the convolution helpers.
+package fft
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+)
+
+// Forward computes the in-place FFT of x, whose length must be a power of
+// two (including 1).
+func Forward(x []complex128) error {
+	return transform(x, false)
+}
+
+// Inverse computes the in-place inverse FFT of x (scaled by 1/len(x)),
+// whose length must be a power of two.
+func Inverse(x []complex128) error {
+	if err := transform(x, true); err != nil {
+		return err
+	}
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+	return nil
+}
+
+func transform(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		return errors.New("fft: length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		angle := 2 * math.Pi / float64(size)
+		if !inverse {
+			angle = -angle
+		}
+		wStep := complex(math.Cos(angle), math.Sin(angle))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	return nil
+}
+
+// NextPow2 returns the smallest power of two >= n (and 1 for n <= 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Convolve returns the linear convolution of a and b (length
+// len(a)+len(b)-1) computed via FFT in O(N log N).
+func Convolve(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	outLen := len(a) + len(b) - 1
+	n := NextPow2(outLen)
+	fa := make([]complex128, n)
+	fb := make([]complex128, n)
+	for i, v := range a {
+		fa[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		fb[i] = complex(v, 0)
+	}
+	// Lengths are powers of two by construction; errors are impossible.
+	_ = Forward(fa)
+	_ = Forward(fb)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	_ = Inverse(fa)
+	out := make([]float64, outLen)
+	for i := range out {
+		out[i] = real(fa[i])
+	}
+	return out
+}
+
+// SlidingDots returns the dot product of q against every length-|q| window
+// of t, computed by FFT convolution in O(N log N): reverse q, convolve, and
+// read the aligned segment.  Equivalent to ts.SlidingDots but asymptotically
+// faster for long queries.
+func SlidingDots(q, t []float64) []float64 {
+	m := len(q)
+	n := len(t) - m + 1
+	if n <= 0 {
+		return nil
+	}
+	rq := make([]float64, m)
+	for i, v := range q {
+		rq[m-1-i] = v
+	}
+	conv := Convolve(rq, t)
+	out := make([]float64, n)
+	copy(out, conv[m-1:m-1+n])
+	return out
+}

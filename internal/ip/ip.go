@@ -1,0 +1,271 @@
+// Package ip implements the instance profile (Def. 8/9 of the IPS paper) and
+// the shapelet candidate generation of Algorithm 1: per class, Q_N bagging
+// samples of Q_S randomly chosen instances are concatenated, the instance
+// profile is computed with boundary-spanning subsequences masked out, and the
+// motif (profile minimum) and discord (profile maximum) of every candidate
+// length join the candidate pool.
+package ip
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"ips/internal/mp"
+	"ips/internal/ts"
+)
+
+// Kind distinguishes motif candidates from discord candidates.
+type Kind int
+
+const (
+	// Motif marks a candidate drawn from an instance-profile minimum; only
+	// motifs can become final shapelets (§III-A).
+	Motif Kind = iota
+	// Discord marks a candidate drawn from an instance-profile maximum;
+	// discords participate in the inter-class utility (Def. 12).
+	Discord
+)
+
+// String returns "motif" or "discord".
+func (k Kind) String() string {
+	if k == Motif {
+		return "motif"
+	}
+	return "discord"
+}
+
+// Candidate is one shapelet candidate: a subsequence extracted from a class
+// sample, tagged with its origin.
+type Candidate struct {
+	Class  int
+	Kind   Kind
+	Values ts.Series
+	// Sample records which of the Q_N bagging samples produced the
+	// candidate, Start its offset within that sample's concatenation.
+	Sample int
+	Start  int
+}
+
+// Pool is the per-class candidate pool Φ of Algorithm 1.
+type Pool struct {
+	ByClass map[int][]Candidate
+}
+
+// Classes returns the classes present in the pool, in map iteration order
+// callers should not rely on; use ts.Dataset.Classes for a stable order.
+func (p *Pool) Classes() []int {
+	out := make([]int, 0, len(p.ByClass))
+	for c := range p.ByClass {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Size returns the total number of candidates across all classes.
+func (p *Pool) Size() int {
+	n := 0
+	for _, cs := range p.ByClass {
+		n += len(cs)
+	}
+	return n
+}
+
+// Motifs returns the motif candidates of class c.
+func (p *Pool) Motifs(c int) []Candidate {
+	return p.filter(c, Motif)
+}
+
+// Discords returns the discord candidates of class c.
+func (p *Pool) Discords(c int) []Candidate {
+	return p.filter(c, Discord)
+}
+
+func (p *Pool) filter(c int, k Kind) []Candidate {
+	var out []Candidate
+	for _, cand := range p.ByClass[c] {
+		if cand.Kind == k {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// Config parameterises Generate (Algorithm 1).
+type Config struct {
+	// QN is the number of bagging samples per class (paper: {10,20,50,100}).
+	QN int
+	// QS is the number of instances per sample (paper: {2,3,4,5,10}).
+	QS int
+	// LengthRatios are candidate lengths as fractions of the instance
+	// length (paper: {0.1, 0.2, 0.3, 0.4, 0.5}).
+	LengthRatios []float64
+	// MinLength floors the absolute candidate length (default 4).
+	MinLength int
+	// Seed drives the sampling; runs are deterministic given a seed.
+	Seed int64
+	// Workers sets the number of goroutines computing instance profiles
+	// (<=1 means sequential).  The sampling itself stays sequential, so the
+	// candidate pool is identical for any worker count — this is the
+	// shared-memory form of the distributed discovery the paper lists as
+	// future work.
+	Workers int
+}
+
+// Defaults fills zero-valued fields with the paper's defaults.
+func (c Config) Defaults() Config {
+	if c.QN <= 0 {
+		c.QN = 10
+	}
+	if c.QS <= 0 {
+		c.QS = 3
+	}
+	if len(c.LengthRatios) == 0 {
+		c.LengthRatios = []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	}
+	if c.MinLength <= 0 {
+		c.MinLength = 4
+	}
+	return c
+}
+
+// InstanceProfile computes IP(D_C, L) of Def. 8 over the given instances:
+// the matrix profile of their concatenation with subsequences spanning
+// instance boundaries excluded.  It returns the profile and the
+// concatenated series it annotates.
+func InstanceProfile(ins []ts.Instance, L int) (*mp.Profile, ts.Series) {
+	cat, starts := ts.ConcatenateInstances(ins)
+	valid := ts.BoundaryMask(starts, len(cat), L)
+	return mp.SelfJoin(cat, L, valid), cat
+}
+
+// Lengths converts the configured ratios into absolute candidate lengths for
+// instances of length n, deduplicated and floored at MinLength.
+func (c Config) Lengths(n int) []int {
+	c = c.Defaults()
+	seen := map[int]bool{}
+	var out []int
+	for _, r := range c.LengthRatios {
+		l := int(r * float64(n))
+		if l < c.MinLength {
+			l = c.MinLength
+		}
+		if l > n {
+			l = n
+		}
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// job is one (class, sample, length) instance-profile computation.
+type job struct {
+	class  int
+	sample int
+	length int
+	cat    ts.Series
+	starts []int
+}
+
+// Generate runs Algorithm 1 and returns the candidate pool Φ.  The sampling
+// is sequential and seeded; the per-sample instance-profile computations fan
+// out over cfg.Workers goroutines, producing an identical pool for any
+// worker count.
+func Generate(d *ts.Dataset, cfg Config) (*Pool, error) {
+	cfg = cfg.Defaults()
+	if err := d.Validate(false); err != nil {
+		return nil, err
+	}
+	byClass := d.ByClass()
+	classes := d.Classes()
+
+	// Phase 1 (sequential): draw every sample so the rng stream — and with
+	// it the pool — is independent of scheduling.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var jobs []job
+	for _, class := range classes {
+		ins := byClass[class]
+		if len(ins) == 0 {
+			continue
+		}
+		lengths := cfg.Lengths(len(ins[0].Values))
+		for s := 0; s < cfg.QN; s++ {
+			sample := ts.Sample(ins, cfg.QS, rng)
+			cat, starts := ts.ConcatenateInstances(sample)
+			for _, L := range lengths {
+				jobs = append(jobs, job{class: class, sample: s, length: L, cat: cat, starts: starts})
+			}
+		}
+	}
+
+	// Phase 2 (parallel): compute the instance profile of each job and
+	// extract its motif and discord into a per-job slot.
+	results := make([][]Candidate, len(jobs))
+	run := func(ji int) {
+		j := jobs[ji]
+		valid := ts.BoundaryMask(j.starts, len(j.cat), j.length)
+		prof := mp.SelfJoin(j.cat, j.length, valid)
+		if prof.Len() == 0 {
+			return
+		}
+		if idx, _ := prof.MinIndex(); idx >= 0 {
+			results[ji] = append(results[ji], Candidate{
+				Class:  j.class,
+				Kind:   Motif,
+				Values: j.cat[idx : idx+j.length].Clone(),
+				Sample: j.sample,
+				Start:  idx,
+			})
+		}
+		if idx, _ := prof.MaxIndex(); idx >= 0 {
+			results[ji] = append(results[ji], Candidate{
+				Class:  j.class,
+				Kind:   Discord,
+				Values: j.cat[idx : idx+j.length].Clone(),
+				Sample: j.sample,
+				Start:  idx,
+			})
+		}
+	}
+	if cfg.Workers > 1 {
+		var wg sync.WaitGroup
+		ch := make(chan int)
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ji := range ch {
+					run(ji)
+				}
+			}()
+		}
+		for ji := range jobs {
+			ch <- ji
+		}
+		close(ch)
+		wg.Wait()
+	} else {
+		for ji := range jobs {
+			run(ji)
+		}
+	}
+
+	// Phase 3: assemble in job order (class, sample, length).
+	pool := &Pool{ByClass: map[int][]Candidate{}}
+	for ji, cands := range results {
+		pool.ByClass[jobs[ji].class] = append(pool.ByClass[jobs[ji].class], cands...)
+	}
+	for _, class := range classes {
+		if len(byClass[class]) > 0 && len(pool.ByClass[class]) == 0 {
+			return nil, fmt.Errorf("ip: class %d produced no candidates (series too short?)", class)
+		}
+	}
+	if len(pool.ByClass) == 0 {
+		return nil, errors.New("ip: empty candidate pool")
+	}
+	return pool, nil
+}

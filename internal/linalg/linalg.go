@@ -1,0 +1,216 @@
+// Package linalg provides the small dense linear-algebra kernel needed by
+// the Rotation Forest baseline: symmetric eigendecomposition via cyclic
+// Jacobi rotations, covariance matrices, and principal component analysis.
+package linalg
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Mul returns m × other.
+func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
+	if m.Cols != other.Rows {
+		return nil, errors.New("linalg: dimension mismatch")
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < other.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * other.At(k, j)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Covariance returns the (population) covariance matrix of the rows of X
+// (observations in rows, variables in columns) and the column means.
+func Covariance(X [][]float64) (*Matrix, []float64, error) {
+	if len(X) == 0 || len(X[0]) == 0 {
+		return nil, nil, errors.New("linalg: empty data")
+	}
+	n := len(X)
+	d := len(X[0])
+	means := make([]float64, d)
+	for _, row := range X {
+		if len(row) != d {
+			return nil, nil, errors.New("linalg: ragged data")
+		}
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(n)
+	}
+	cov := NewMatrix(d, d)
+	for _, row := range X {
+		for a := 0; a < d; a++ {
+			da := row[a] - means[a]
+			for bcol := a; bcol < d; bcol++ {
+				cov.Data[a*d+bcol] += da * (row[bcol] - means[bcol])
+			}
+		}
+	}
+	for a := 0; a < d; a++ {
+		for bcol := a; bcol < d; bcol++ {
+			v := cov.At(a, bcol) / float64(n)
+			cov.Set(a, bcol, v)
+			cov.Set(bcol, a, v)
+		}
+	}
+	return cov, means, nil
+}
+
+// JacobiEigen computes the eigenvalues and eigenvectors of a symmetric
+// matrix by the cyclic Jacobi method.  Eigenpairs are returned sorted by
+// descending eigenvalue; eigenvectors are the columns of the returned
+// matrix.
+func JacobiEigen(a *Matrix) (values []float64, vectors *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, errors.New("linalg: matrix not square")
+	}
+	n := a.Rows
+	// Work on a copy.
+	w := NewMatrix(n, n)
+	copy(w.Data, a.Data)
+	v := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	const maxSweeps = 100
+	const eps = 1e-12
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Off-diagonal Frobenius norm.
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < eps {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < eps {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply the rotation to w (rows and columns p, q).
+				for k := 0; k < n; k++ {
+					akp := w.At(k, p)
+					akq := w.At(k, q)
+					w.Set(k, p, c*akp-s*akq)
+					w.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk := w.At(p, k)
+					aqk := w.At(q, k)
+					w.Set(p, k, c*apk-s*aqk)
+					w.Set(q, k, s*apk+c*aqk)
+				}
+				// Accumulate the eigenvectors.
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = w.At(i, i)
+	}
+	// Sort descending by eigenvalue, permuting eigenvector columns.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] > values[idx[b]] })
+	sortedVals := make([]float64, n)
+	vectors = NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = values[oldCol]
+		for k := 0; k < n; k++ {
+			vectors.Set(k, newCol, v.At(k, oldCol))
+		}
+	}
+	return sortedVals, vectors, nil
+}
+
+// PCA holds a fitted principal component analysis.
+type PCA struct {
+	Means      []float64
+	Components *Matrix // columns are principal axes, descending variance
+	Variances  []float64
+}
+
+// FitPCA fits a PCA to the rows of X, keeping all components.
+func FitPCA(X [][]float64) (*PCA, error) {
+	cov, means, err := Covariance(X)
+	if err != nil {
+		return nil, err
+	}
+	vals, vecs, err := JacobiEigen(cov)
+	if err != nil {
+		return nil, err
+	}
+	return &PCA{Means: means, Components: vecs, Variances: vals}, nil
+}
+
+// Transform projects x (a single observation) onto the principal axes.
+func (p *PCA) Transform(x []float64) []float64 {
+	d := len(p.Means)
+	out := make([]float64, d)
+	for j := 0; j < d; j++ {
+		var s float64
+		for i := 0; i < d; i++ {
+			s += (x[i] - p.Means[i]) * p.Components.At(i, j)
+		}
+		out[j] = s
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 1, 5)
+	if m.At(0, 1) != 5 || m.At(1, 2) != 0 {
+		t.Fatal("At/Set broken")
+	}
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(1, 0) != 5 {
+		t.Fatal("transpose broken")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	b := NewMatrix(2, 2)
+	b.Set(0, 0, 5)
+	b.Set(0, 1, 6)
+	b.Set(1, 0, 7)
+	b.Set(1, 1, 8)
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if !approx(c.At(i, j), want[i][j], 1e-12) {
+				t.Fatalf("c[%d][%d] = %v", i, j, c.At(i, j))
+			}
+		}
+	}
+	if _, err := a.Mul(NewMatrix(3, 2)); err == nil {
+		t.Fatal("dimension mismatch should error")
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 6}, {5, 10}}
+	cov, means, err := Covariance(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(means[0], 3, 1e-12) || !approx(means[1], 6, 1e-12) {
+		t.Fatalf("means = %v", means)
+	}
+	// Var(x) = 8/3, Cov(x,y) = 16/3, Var(y) = 32/3.
+	if !approx(cov.At(0, 0), 8.0/3, 1e-9) || !approx(cov.At(0, 1), 16.0/3, 1e-9) ||
+		!approx(cov.At(1, 1), 32.0/3, 1e-9) {
+		t.Fatalf("cov = %v", cov.Data)
+	}
+	if !approx(cov.At(0, 1), cov.At(1, 0), 1e-12) {
+		t.Fatal("covariance not symmetric")
+	}
+	if _, _, err := Covariance(nil); err == nil {
+		t.Fatal("empty data should error")
+	}
+	if _, _, err := Covariance([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged data should error")
+	}
+}
+
+func TestJacobiEigenKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 (vector [1,1]/√2) and 1 ([1,-1]/√2).
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 2)
+	vals, vecs, err := JacobiEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(vals[0], 3, 1e-9) || !approx(vals[1], 1, 1e-9) {
+		t.Fatalf("eigenvalues = %v", vals)
+	}
+	// First eigenvector proportional to [1,1].
+	r := vecs.At(0, 0) / vecs.At(1, 0)
+	if !approx(r, 1, 1e-6) {
+		t.Fatalf("first eigenvector ratio = %v", r)
+	}
+	if _, _, err := JacobiEigen(NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square should error")
+	}
+}
+
+func TestJacobiEigenReconstructs(t *testing.T) {
+	// Property: A·v = λ·v for every pair, on random symmetric matrices.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs, err := JacobiEigen(a)
+		if err != nil {
+			return false
+		}
+		for col := 0; col < n; col++ {
+			for row := 0; row < n; row++ {
+				var av float64
+				for k := 0; k < n; k++ {
+					av += a.At(row, k) * vecs.At(k, col)
+				}
+				if math.Abs(av-vals[col]*vecs.At(row, col)) > 1e-6 {
+					return false
+				}
+			}
+		}
+		// Eigenvalues sorted descending.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Points spread along the direction (1, 2)/√5 with tiny orthogonal
+	// noise: the first principal axis must align with it.
+	rng := rand.New(rand.NewSource(1))
+	var X [][]float64
+	for i := 0; i < 500; i++ {
+		s := rng.NormFloat64() * 10
+		e := rng.NormFloat64() * 0.1
+		X = append(X, []float64{s*1/math.Sqrt(5) - e*2/math.Sqrt(5), s*2/math.Sqrt(5) + e*1/math.Sqrt(5)})
+	}
+	p, err := FitPCA(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Variances[0] < p.Variances[1] {
+		t.Fatal("variances not sorted")
+	}
+	// First axis parallel to (1,2): ratio of its components ≈ 2.
+	r := p.Components.At(1, 0) / p.Components.At(0, 0)
+	if !approx(math.Abs(r), 2, 0.05) {
+		t.Fatalf("first axis ratio = %v", r)
+	}
+	// Transformed data has near-diagonal covariance.
+	var proj [][]float64
+	for _, x := range X {
+		proj = append(proj, p.Transform(x))
+	}
+	cov, _, err := Covariance(proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cov.At(0, 1)) > 0.05*cov.At(0, 0) {
+		t.Fatalf("projected covariance not diagonal: %v", cov.Data)
+	}
+}

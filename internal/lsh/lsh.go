@@ -1,0 +1,306 @@
+// Package lsh implements the locality-sensitive hashing families used by the
+// distribution-aware bloom filter (§III-B, Def. 10, Table VII of the IPS
+// paper): the p-stable L2 scheme of Datar et al., the cosine (SimHash)
+// scheme, and Hamming bit sampling.  Each family provides both a bucket
+// signature (for clustering candidates) and a distance-preserving linear
+// projection in the sense of the Johnson–Lindenstrauss lemma.
+package lsh
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Kind selects an LSH family.
+type Kind int
+
+const (
+	// L2 is the p-stable scheme under the L2 norm (the paper's default).
+	L2 Kind = iota
+	// Cosine is random-hyperplane SimHash; compares angles only.
+	Cosine
+	// Hamming is bit sampling over a mean-threshold binarisation.
+	Hamming
+)
+
+// String returns the human-readable family name used in Table VII.
+func (k Kind) String() string {
+	switch k {
+	case L2:
+		return "L2"
+	case Cosine:
+		return "Cosine"
+	case Hamming:
+		return "Hamming"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Family hashes fixed-dimension vectors.  Subsequences of arbitrary length
+// are first brought to the family's dimension with Resample.
+type Family interface {
+	// Name reports the family kind.
+	Name() string
+	// Dim is the expected input dimension.
+	Dim() int
+	// Signature returns the bucket key of x (len(x) must equal Dim).
+	Signature(x []float64) string
+	// Project maps x to a lower-dimensional point such that Euclidean
+	// distances are approximately preserved (JL-style); the DABF measures
+	// ‖Project(x)‖ against its fitted distribution.
+	Project(x []float64) []float64
+}
+
+// Config parameterises New.
+type Config struct {
+	Kind      Kind
+	Dim       int     // input dimension (resampled subsequence length)
+	NumHashes int     // number of hash functions / projection components
+	Width     float64 // quantisation width r for the L2 scheme
+	Seed      int64
+}
+
+// New constructs a family from the config.  Zero-valued fields get sensible
+// defaults: Dim 32, NumHashes 8, Width 1.
+func New(cfg Config) Family {
+	if cfg.Dim <= 0 {
+		cfg.Dim = 32
+	}
+	if cfg.NumHashes <= 0 {
+		cfg.NumHashes = 8
+	}
+	if cfg.Width <= 0 {
+		cfg.Width = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	switch cfg.Kind {
+	case Cosine:
+		return newCosine(cfg, rng)
+	case Hamming:
+		return newHamming(cfg, rng)
+	default:
+		return newL2(cfg, rng)
+	}
+}
+
+// gaussianMatrix returns k rows of dim-dimensional standard normal vectors.
+func gaussianMatrix(k, dim int, rng *rand.Rand) [][]float64 {
+	m := make([][]float64, k)
+	for i := range m {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		m[i] = row
+	}
+	return m
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// l2Family is the p-stable LSH under L2: h_i(x) = ⌊(a_i·x + b_i)/r⌋.
+type l2Family struct {
+	a     [][]float64
+	b     []float64
+	r     float64
+	dim   int
+	scale float64 // 1/√k, making E‖Project(x)‖² = ‖x‖²
+}
+
+func newL2(cfg Config, rng *rand.Rand) *l2Family {
+	f := &l2Family{
+		a:     gaussianMatrix(cfg.NumHashes, cfg.Dim, rng),
+		b:     make([]float64, cfg.NumHashes),
+		r:     cfg.Width,
+		dim:   cfg.Dim,
+		scale: 1 / math.Sqrt(float64(cfg.NumHashes)),
+	}
+	for i := range f.b {
+		f.b[i] = rng.Float64() * cfg.Width
+	}
+	return f
+}
+
+func (f *l2Family) Name() string { return L2.String() }
+func (f *l2Family) Dim() int     { return f.dim }
+
+func (f *l2Family) Signature(x []float64) string {
+	var sb strings.Builder
+	for i, row := range f.a {
+		h := int(math.Floor((dot(row, x) + f.b[i]) / f.r))
+		fmt.Fprintf(&sb, "%d,", h)
+	}
+	return sb.String()
+}
+
+func (f *l2Family) Project(x []float64) []float64 {
+	out := make([]float64, len(f.a))
+	for i, row := range f.a {
+		out[i] = dot(row, x) * f.scale
+	}
+	return out
+}
+
+// cosineFamily is SimHash: signature bits are the signs of random
+// hyperplane projections; Project normalises the input to unit norm first,
+// so only angular information survives.
+type cosineFamily struct {
+	a     [][]float64
+	dim   int
+	scale float64
+}
+
+func newCosine(cfg Config, rng *rand.Rand) *cosineFamily {
+	return &cosineFamily{
+		a:     gaussianMatrix(cfg.NumHashes, cfg.Dim, rng),
+		dim:   cfg.Dim,
+		scale: 1 / math.Sqrt(float64(cfg.NumHashes)),
+	}
+}
+
+func (f *cosineFamily) Name() string { return Cosine.String() }
+func (f *cosineFamily) Dim() int     { return f.dim }
+
+func unitNorm(x []float64) []float64 {
+	var n float64
+	for _, v := range x {
+		n += v * v
+	}
+	n = math.Sqrt(n)
+	out := make([]float64, len(x))
+	if n == 0 {
+		return out
+	}
+	for i, v := range x {
+		out[i] = v / n
+	}
+	return out
+}
+
+func (f *cosineFamily) Signature(x []float64) string {
+	u := unitNorm(x)
+	var sb strings.Builder
+	for _, row := range f.a {
+		if dot(row, u) >= 0 {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+func (f *cosineFamily) Project(x []float64) []float64 {
+	u := unitNorm(x)
+	out := make([]float64, len(f.a))
+	for i, row := range f.a {
+		out[i] = dot(row, u) * f.scale
+	}
+	return out
+}
+
+// hammingFamily binarises the input by its mean and samples k bit positions.
+type hammingFamily struct {
+	positions []int
+	dim       int
+}
+
+func newHamming(cfg Config, rng *rand.Rand) *hammingFamily {
+	pos := make([]int, cfg.NumHashes)
+	for i := range pos {
+		pos[i] = rng.Intn(cfg.Dim)
+	}
+	return &hammingFamily{positions: pos, dim: cfg.Dim}
+}
+
+func (f *hammingFamily) Name() string { return Hamming.String() }
+func (f *hammingFamily) Dim() int     { return f.dim }
+
+func binarise(x []float64) []float64 {
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	out := make([]float64, len(x))
+	for i, v := range x {
+		if v >= mean {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func (f *hammingFamily) Signature(x []float64) string {
+	bits := binarise(x)
+	var sb strings.Builder
+	for _, p := range f.positions {
+		if bits[p] > 0 {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+func (f *hammingFamily) Project(x []float64) []float64 {
+	bits := binarise(x)
+	out := make([]float64, len(f.positions))
+	for i, p := range f.positions {
+		out[i] = bits[p]
+	}
+	return out
+}
+
+// Norm returns ‖Project(x)‖₂, the quantity the DABF's fitted distribution is
+// built over (dist(LSH(e), 0) in Alg. 3).
+func Norm(f Family, x []float64) float64 {
+	p := f.Project(x)
+	var s float64
+	for _, v := range p {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Resample maps a series of any length to exactly m points by linear
+// interpolation, so that subsequences of different candidate lengths can be
+// hashed by one fixed-dimension family.
+func Resample(x []float64, m int) []float64 {
+	out := make([]float64, m)
+	if len(x) == 0 || m == 0 {
+		return out
+	}
+	if len(x) == 1 {
+		for i := range out {
+			out[i] = x[0]
+		}
+		return out
+	}
+	step := float64(len(x)-1) / float64(m-1)
+	if m == 1 {
+		out[0] = x[0]
+		return out
+	}
+	for i := range out {
+		pos := float64(i) * step
+		j := int(pos)
+		if j >= len(x)-1 {
+			out[i] = x[len(x)-1]
+			continue
+		}
+		frac := pos - float64(j)
+		out[i] = x[j]*(1-frac) + x[j+1]*frac
+	}
+	return out
+}

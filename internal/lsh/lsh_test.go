@@ -1,0 +1,239 @@
+package lsh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(dim int, rng *rand.Rand) []float64 {
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestKindString(t *testing.T) {
+	if L2.String() != "L2" || Cosine.String() != "Cosine" || Hamming.String() != "Hamming" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatal("unknown kind name wrong")
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	f := New(Config{})
+	if f.Name() != "L2" || f.Dim() != 32 {
+		t.Fatalf("defaults: name=%s dim=%d", f.Name(), f.Dim())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, kind := range []Kind{L2, Cosine, Hamming} {
+		cfg := Config{Kind: kind, Dim: 16, NumHashes: 8, Width: 2, Seed: 7}
+		f1 := New(cfg)
+		f2 := New(cfg)
+		rng := rand.New(rand.NewSource(1))
+		x := randVec(16, rng)
+		if f1.Signature(x) != f2.Signature(x) {
+			t.Fatalf("%v: same seed gives different signatures", kind)
+		}
+		p1, p2 := f1.Project(x), f2.Project(x)
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatalf("%v: same seed gives different projections", kind)
+			}
+		}
+	}
+}
+
+func TestL2CollisionProbabilityOrdering(t *testing.T) {
+	// Close points collide far more often than distant points (Def. 10).
+	rng := rand.New(rand.NewSource(2))
+	dim := 16
+	closeHits, farHits := 0, 0
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		f := New(Config{Kind: L2, Dim: dim, NumHashes: 4, Width: 4, Seed: int64(trial)})
+		x := randVec(dim, rng)
+		near := make([]float64, dim)
+		far := make([]float64, dim)
+		for i := range x {
+			near[i] = x[i] + 0.05*rng.NormFloat64()
+			far[i] = x[i] + 5*rng.NormFloat64()
+		}
+		sx := f.Signature(x)
+		if f.Signature(near) == sx {
+			closeHits++
+		}
+		if f.Signature(far) == sx {
+			farHits++
+		}
+	}
+	if closeHits <= farHits {
+		t.Fatalf("close collisions (%d) should exceed far collisions (%d)", closeHits, farHits)
+	}
+	if closeHits < trials/2 {
+		t.Fatalf("close pairs should usually collide, got %d/%d", closeHits, trials)
+	}
+}
+
+func TestL2ProjectionPreservesNorm(t *testing.T) {
+	// JL property: E‖Project(x)‖² = ‖x‖².  Average over many families.
+	rng := rand.New(rand.NewSource(3))
+	dim := 32
+	x := randVec(dim, rng)
+	var xn float64
+	for _, v := range x {
+		xn += v * v
+	}
+	var acc float64
+	const reps = 400
+	for i := 0; i < reps; i++ {
+		f := New(Config{Kind: L2, Dim: dim, NumHashes: 8, Seed: int64(i)})
+		n := Norm(f, x)
+		acc += n * n
+	}
+	acc /= reps
+	if math.Abs(acc-xn)/xn > 0.15 {
+		t.Fatalf("mean projected norm² = %v, want ~%v", acc, xn)
+	}
+}
+
+func TestCosineIgnoresScale(t *testing.T) {
+	f := New(Config{Kind: Cosine, Dim: 8, NumHashes: 16, Seed: 4})
+	rng := rand.New(rand.NewSource(5))
+	x := randVec(8, rng)
+	scaled := make([]float64, len(x))
+	for i, v := range x {
+		scaled[i] = 1000 * v
+	}
+	if f.Signature(x) != f.Signature(scaled) {
+		t.Fatal("cosine signature should be scale invariant")
+	}
+	p1, p2 := f.Project(x), f.Project(scaled)
+	for i := range p1 {
+		if math.Abs(p1[i]-p2[i]) > 1e-9 {
+			t.Fatal("cosine projection should be scale invariant")
+		}
+	}
+	// Zero vector projects to zeros without NaN.
+	z := f.Project(make([]float64, 8))
+	for _, v := range z {
+		if v != 0 || math.IsNaN(v) {
+			t.Fatalf("zero vector projection = %v", z)
+		}
+	}
+}
+
+func TestCosineSeparatesAngles(t *testing.T) {
+	f := New(Config{Kind: Cosine, Dim: 4, NumHashes: 32, Seed: 6})
+	x := []float64{1, 0, 0, 0}
+	y := []float64{-1, 0, 0, 0}
+	sx, sy := f.Signature(x), f.Signature(y)
+	// Antipodal points have complementary signatures (differ in every bit
+	// except hyperplanes passing exactly through them, measure zero).
+	same := 0
+	for i := range sx {
+		if sx[i] == sy[i] {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("antipodal signatures agree on %d/32 bits", same)
+	}
+}
+
+func TestHammingBinarisation(t *testing.T) {
+	f := New(Config{Kind: Hamming, Dim: 6, NumHashes: 6, Seed: 7})
+	// A shape pattern above/below its mean.
+	x := []float64{10, 10, 10, 0, 0, 0}
+	y := []float64{7, 7, 7, -1, -1, -1} // same shape relative to mean
+	if f.Signature(x) != f.Signature(y) {
+		t.Fatal("same binarised shape should collide")
+	}
+	z := []float64{0, 0, 0, 10, 10, 10} // inverted shape
+	if f.Signature(x) == f.Signature(z) {
+		t.Fatal("inverted shape should differ")
+	}
+	p := f.Project(x)
+	for _, v := range p {
+		if v != 0 && v != 1 {
+			t.Fatalf("hamming projection must be bits, got %v", p)
+		}
+	}
+}
+
+func TestResample(t *testing.T) {
+	// Identity when lengths match.
+	x := []float64{1, 2, 3, 4}
+	got := Resample(x, 4)
+	for i := range x {
+		if math.Abs(got[i]-x[i]) > 1e-12 {
+			t.Fatalf("identity resample = %v", got)
+		}
+	}
+	// Endpoints preserved when upsampling a line, midpoints interpolated.
+	got = Resample([]float64{0, 2}, 5)
+	want := []float64{0, 0.5, 1, 1.5, 2}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("upsample = %v, want %v", got, want)
+		}
+	}
+	// Downsampling preserves endpoints.
+	got = Resample([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8}, 3)
+	if got[0] != 0 || got[2] != 8 || math.Abs(got[1]-4) > 1e-12 {
+		t.Fatalf("downsample = %v", got)
+	}
+	// Degenerate inputs.
+	if out := Resample(nil, 3); len(out) != 3 {
+		t.Fatal("nil input should still produce m zeros")
+	}
+	if out := Resample([]float64{5}, 3); out[0] != 5 || out[1] != 5 || out[2] != 5 {
+		t.Fatalf("single point resample = %v", out)
+	}
+	if out := Resample([]float64{1, 2}, 0); len(out) != 0 {
+		t.Fatal("m=0 should produce empty")
+	}
+}
+
+// Property: Resample preserves min/max bounds (linear interpolation cannot
+// overshoot).
+func TestResampleBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		m := 1 + rng.Intn(50)
+		x := randVec(n, rng)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range x {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		for _, v := range Resample(x, m) {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, kind := range []Kind{L2, Cosine, Hamming} {
+		f := New(Config{Kind: kind, Dim: 12, NumHashes: 8, Seed: 9})
+		for i := 0; i < 20; i++ {
+			if n := Norm(f, randVec(12, rng)); n < 0 || math.IsNaN(n) {
+				t.Fatalf("%v: norm = %v", kind, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package mp implements the matrix profile (Def. 5 of the IPS paper): the
+// STOMP self-join and AB-join over z-normalised Euclidean distance, masked
+// variants that exclude subsequences spanning instance boundaries, motif and
+// discord extraction, and the profile difference used by the MP baseline.
+package mp
+
+import (
+	"math"
+
+	"ips/internal/ts"
+)
+
+// Profile annotates a time series: P[i] is the nearest-neighbour distance of
+// the length-W subsequence starting at i, and I[i] the index of that
+// neighbour (-1 when no valid neighbour exists).
+type Profile struct {
+	P []float64
+	I []int
+	W int
+}
+
+// Len returns the number of annotated subsequences.
+func (p *Profile) Len() int { return len(p.P) }
+
+// MinIndex returns the index of the smallest finite profile value (the top
+// motif location) and that value.  It returns (-1, +Inf) when the profile has
+// no finite entry.
+func (p *Profile) MinIndex() (int, float64) {
+	best, bestV := -1, math.Inf(1)
+	for i, v := range p.P {
+		if v < bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, bestV
+}
+
+// MaxIndex returns the index of the largest finite profile value (the top
+// discord location) and that value.  It returns (-1, -Inf) when the profile
+// has no finite entry.
+func (p *Profile) MaxIndex() (int, float64) {
+	best, bestV := -1, math.Inf(-1)
+	for i, v := range p.P {
+		if !math.IsInf(v, 1) && v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, bestV
+}
+
+// TopK returns the indices of the k smallest (largest=false) or largest
+// (largest=true) finite profile values, enforcing an exclusion zone of
+// excl positions between any two reported indices so that trivially
+// overlapping subsequences are not reported twice.
+func (p *Profile) TopK(k int, largest bool, excl int) []int {
+	type iv struct {
+		i int
+		v float64
+	}
+	order := make([]iv, 0, len(p.P))
+	for i, v := range p.P {
+		if math.IsInf(v, 0) {
+			continue
+		}
+		order = append(order, iv{i, v})
+	}
+	// Simple selection: repeatedly pick the extreme value not excluded.
+	picked := make([]int, 0, k)
+	used := make([]bool, len(p.P))
+	for len(picked) < k {
+		best := -1
+		for j, e := range order {
+			if used[e.i] {
+				continue
+			}
+			if best == -1 {
+				best = j
+				continue
+			}
+			if largest && e.v > order[best].v || !largest && e.v < order[best].v {
+				best = j
+			}
+		}
+		if best == -1 {
+			break
+		}
+		bi := order[best].i
+		picked = append(picked, bi)
+		for d := -excl; d <= excl; d++ {
+			if j := bi + d; j >= 0 && j < len(used) {
+				used[j] = true
+			}
+		}
+	}
+	return picked
+}
+
+// Diff returns |a.P[i] − b.P[i]| for the overlapping prefix of two profiles
+// (the paper's diff(P_AB, P_AA), Fig. 4).  Entries where either profile is
+// infinite are set to -Inf so they are never selected as maxima.
+func Diff(a, b *Profile) []float64 {
+	n := len(a.P)
+	if len(b.P) < n {
+		n = len(b.P)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if math.IsInf(a.P[i], 0) || math.IsInf(b.P[i], 0) {
+			out[i] = math.Inf(-1)
+			continue
+		}
+		out[i] = math.Abs(a.P[i] - b.P[i])
+	}
+	return out
+}
+
+// SelfJoin computes the matrix profile of t with window w under z-normalised
+// Euclidean distance, using the STOMP recurrence (O(1) dot-product update per
+// cell, O(N²) total).  Subsequences within w/2 of the query (the standard
+// exclusion zone¹) are excluded, as are subsequences for which valid is false
+// when a mask is supplied (nil means all valid).
+//
+// ¹ Footnote 1 of the paper: trivially overlapping neighbours are excluded.
+func SelfJoin(t []float64, w int, valid []bool) *Profile {
+	n := len(t) - w + 1
+	if n <= 0 || w <= 0 {
+		return &Profile{W: w}
+	}
+	means, stds := ts.MovingMeanStd(t, w)
+	p := &Profile{P: make([]float64, n), I: make([]int, n), W: w}
+	for i := range p.P {
+		p.P[i] = math.Inf(1)
+		p.I[i] = -1
+	}
+	excl := w / 2
+	if excl < 1 {
+		excl = 1
+	}
+	ok := func(i int) bool { return valid == nil || valid[i] }
+
+	// First column of dot products: q = t[0:w] against every window.
+	qt := ts.SlidingDots(t[:w], t)
+	firstRow := make([]float64, n)
+	copy(firstRow, qt)
+	update := func(i, j int, dot float64) {
+		if !ok(i) || !ok(j) {
+			return
+		}
+		if d := i - j; d < 0 {
+			d = -d
+			if d <= excl {
+				return
+			}
+		} else if d <= excl {
+			return
+		}
+		dist := ts.ZNormSqDistFromStats(dot, w, means[i], stds[i], means[j], stds[j])
+		if dist < p.P[i] {
+			p.P[i] = dist
+			p.I[i] = j
+		}
+		if dist < p.P[j] {
+			p.P[j] = dist
+			p.I[j] = i
+		}
+	}
+	for j := 0; j < n; j++ {
+		update(0, j, qt[j])
+	}
+	// STOMP: row i is derived from row i−1.
+	for i := 1; i < n; i++ {
+		for j := n - 1; j >= 1; j-- {
+			qt[j] = qt[j-1] - t[i-1]*t[j-1] + t[i+w-1]*t[j+w-1]
+		}
+		qt[0] = firstRow[i]
+		for j := i + 1; j < n; j++ { // upper triangle only; update is symmetric
+			update(i, j, qt[j])
+		}
+	}
+	// Report distances, not squared distances.
+	for i := range p.P {
+		if !math.IsInf(p.P[i], 1) {
+			p.P[i] = math.Sqrt(p.P[i])
+		}
+	}
+	return p
+}
+
+// ABJoin computes, for every length-w subsequence of a, its nearest-neighbour
+// z-normalised distance among the subsequences of b (the paper's P_AB).  No
+// exclusion zone applies because the two series are distinct.  validA/validB
+// optionally mask boundary-spanning subsequences (nil means all valid).
+func ABJoin(a, b []float64, w int, validA, validB []bool) *Profile {
+	na := len(a) - w + 1
+	nb := len(b) - w + 1
+	if na <= 0 || nb <= 0 || w <= 0 {
+		return &Profile{W: w}
+	}
+	meansA, stdsA := ts.MovingMeanStd(a, w)
+	meansB, stdsB := ts.MovingMeanStd(b, w)
+	p := &Profile{P: make([]float64, na), I: make([]int, na), W: w}
+	for i := range p.P {
+		p.P[i] = math.Inf(1)
+		p.I[i] = -1
+	}
+	okA := func(i int) bool { return validA == nil || validA[i] }
+	okB := func(i int) bool { return validB == nil || validB[i] }
+
+	// qt[j] = dot(a[i:i+w], b[j:j+w]) for the current row i.
+	qt := ts.SlidingDots(a[:w], b)
+	firstCol := ts.SlidingDots(b[:w], a) // dot(a[i:i+w], b[0:w])
+	row := func(i int) {
+		if !okA(i) {
+			return
+		}
+		for j := 0; j < nb; j++ {
+			if !okB(j) {
+				continue
+			}
+			dist := ts.ZNormSqDistFromStats(qt[j], w, meansA[i], stdsA[i], meansB[j], stdsB[j])
+			if dist < p.P[i] {
+				p.P[i] = dist
+				p.I[i] = j
+			}
+		}
+	}
+	row(0)
+	for i := 1; i < na; i++ {
+		for j := nb - 1; j >= 1; j-- {
+			qt[j] = qt[j-1] - a[i-1]*b[j-1] + a[i+w-1]*b[j+w-1]
+		}
+		qt[0] = firstCol[i]
+		row(i)
+	}
+	for i := range p.P {
+		if !math.IsInf(p.P[i], 1) {
+			p.P[i] = math.Sqrt(p.P[i])
+		}
+	}
+	return p
+}

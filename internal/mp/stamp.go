@@ -1,0 +1,141 @@
+package mp
+
+import (
+	"math"
+	"math/rand"
+
+	"ips/internal/ts"
+)
+
+// STAMP computes the self-join matrix profile with the anytime STAMP
+// algorithm: query rows are processed in random order, each via a MASS
+// distance-profile pass, so stopping after a fraction of the rows yields an
+// unbiased approximation.  fraction in (0,1] selects how many rows to
+// process; fraction 1 reproduces the exact profile of SelfJoin.
+func STAMP(t []float64, w int, fraction float64, seed int64) *Profile {
+	n := len(t) - w + 1
+	if n <= 0 || w <= 0 {
+		return &Profile{W: w}
+	}
+	if fraction <= 0 || fraction > 1 {
+		fraction = 1
+	}
+	p := &Profile{P: make([]float64, n), I: make([]int, n), W: w}
+	for i := range p.P {
+		p.P[i] = math.Inf(1)
+		p.I[i] = -1
+	}
+	excl := w / 2
+	if excl < 1 {
+		excl = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(n)
+	rows := int(math.Ceil(fraction * float64(n)))
+	for _, i := range order[:rows] {
+		prof := MASS(t[i:i+w], t)
+		for j, d := range prof {
+			diff := i - j
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff <= excl {
+				continue
+			}
+			if d < p.P[i] {
+				p.P[i] = d
+				p.I[i] = j
+			}
+			if d < p.P[j] {
+				p.P[j] = d
+				p.I[j] = i
+			}
+		}
+	}
+	return p
+}
+
+// Incremental maintains a self-join matrix profile under appends (STOMPI):
+// each Append extends the series and updates the profile in O(N) rather
+// than recomputing the O(N²) join.
+type Incremental struct {
+	t    ts.Series
+	w    int
+	excl int
+	p    []float64 // squared z-norm distances (sqrt applied on Profile())
+	i    []int
+}
+
+// NewIncremental starts an incremental profile over the initial series.
+func NewIncremental(initial []float64, w int) *Incremental {
+	excl := w / 2
+	if excl < 1 {
+		excl = 1
+	}
+	inc := &Incremental{t: append(ts.Series(nil), initial...), w: w, excl: excl}
+	n := len(initial) - w + 1
+	if n > 0 {
+		base := SelfJoin(initial, w, nil)
+		inc.p = make([]float64, n)
+		inc.i = append([]int(nil), base.I...)
+		for j, v := range base.P {
+			if math.IsInf(v, 1) {
+				inc.p[j] = math.Inf(1)
+			} else {
+				inc.p[j] = v * v
+			}
+		}
+	}
+	return inc
+}
+
+// Append adds one value to the series and updates the profile.
+func (inc *Incremental) Append(v float64) {
+	inc.t = append(inc.t, v)
+	n := len(inc.t) - inc.w + 1
+	if n <= 0 {
+		return
+	}
+	// The new subsequence is the last one; compute its dot products against
+	// all others directly (O(N·w) — the simple STOMPI variant; the rolling
+	// optimisation would reuse the previous row).
+	newIdx := n - 1
+	q := inc.t[newIdx:]
+	means, stds := ts.MovingMeanStd(inc.t, inc.w)
+	dots := ts.SlidingDots(q, inc.t)
+	best := math.Inf(1)
+	bestJ := -1
+	for j := 0; j < n-1; j++ {
+		diff := newIdx - j
+		if diff <= inc.excl {
+			continue
+		}
+		d := ts.ZNormSqDistFromStats(dots[j], inc.w, means[newIdx], stds[newIdx], means[j], stds[j])
+		if d < best {
+			best = d
+			bestJ = j
+		}
+		if j < len(inc.p) && d < inc.p[j] {
+			inc.p[j] = d
+			inc.i[j] = newIdx
+		}
+	}
+	inc.p = append(inc.p, best)
+	inc.i = append(inc.i, bestJ)
+}
+
+// Profile returns the current matrix profile (distances, not squared).
+func (inc *Incremental) Profile() *Profile {
+	out := &Profile{P: make([]float64, len(inc.p)), I: append([]int(nil), inc.i...), W: inc.w}
+	for j, v := range inc.p {
+		if math.IsInf(v, 1) {
+			out.P[j] = v
+		} else {
+			out.P[j] = math.Sqrt(v)
+		}
+	}
+	return out
+}
+
+// Len returns the current series length.
+func (inc *Incremental) Len() int { return len(inc.t) }

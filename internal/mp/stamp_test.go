@@ -1,0 +1,99 @@
+package mp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSTAMPFullMatchesSelfJoin(t *testing.T) {
+	series := randomSeries(150, 7)
+	w := 10
+	exact := SelfJoin(series, w, nil)
+	stamp := STAMP(series, w, 1, 1)
+	profilesClose(t, stamp, exact, 1e-6)
+}
+
+func TestSTAMPPartialUpperBounds(t *testing.T) {
+	// An anytime partial run can only overestimate nearest-neighbour
+	// distances (it has seen fewer rows), never underestimate.
+	series := randomSeries(200, 8)
+	w := 12
+	exact := SelfJoin(series, w, nil)
+	partial := STAMP(series, w, 0.3, 2)
+	for j := range exact.P {
+		if math.IsInf(partial.P[j], 1) {
+			continue
+		}
+		if partial.P[j] < exact.P[j]-1e-6 {
+			t.Fatalf("partial profile underestimates at %d: %v < %v", j, partial.P[j], exact.P[j])
+		}
+	}
+	// A fair share of entries should already be finite after 30% of rows.
+	finite := 0
+	for _, v := range partial.P {
+		if !math.IsInf(v, 1) {
+			finite++
+		}
+	}
+	if finite < len(partial.P)/2 {
+		t.Fatalf("only %d/%d entries touched", finite, len(partial.P))
+	}
+}
+
+func TestSTAMPDegenerate(t *testing.T) {
+	p := STAMP([]float64{1, 2}, 5, 1, 1)
+	if p.Len() != 0 {
+		t.Fatal("window > series should give empty profile")
+	}
+	// Out-of-range fraction falls back to full.
+	series := randomSeries(60, 9)
+	full := STAMP(series, 8, -1, 3)
+	exact := SelfJoin(series, 8, nil)
+	profilesClose(t, full, exact, 1e-6)
+}
+
+func TestIncrementalMatchesBatch(t *testing.T) {
+	series := randomSeries(120, 10)
+	w := 9
+	// Start from a prefix and append the rest one by one.
+	inc := NewIncremental(series[:40], w)
+	for _, v := range series[40:] {
+		inc.Append(v)
+	}
+	if inc.Len() != len(series) {
+		t.Fatalf("len = %d", inc.Len())
+	}
+	got := inc.Profile()
+	want := SelfJoin(series, w, nil)
+	profilesClose(t, got, want, 1e-6)
+}
+
+func TestIncrementalFromEmpty(t *testing.T) {
+	series := randomSeries(50, 11)
+	w := 6
+	inc := NewIncremental(nil, w)
+	for _, v := range series {
+		inc.Append(v)
+	}
+	got := inc.Profile()
+	want := SelfJoin(series, w, nil)
+	profilesClose(t, got, want, 1e-6)
+}
+
+func TestIncrementalShortSeries(t *testing.T) {
+	inc := NewIncremental([]float64{1, 2}, 8)
+	inc.Append(3)
+	if inc.Profile().Len() != 0 {
+		t.Fatal("series shorter than window should have empty profile")
+	}
+}
+
+func BenchmarkIncrementalAppend(b *testing.B) {
+	series := randomSeries(2000, 12)
+	inc := NewIncremental(series, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc.Append(float64(i % 7))
+	}
+}

@@ -1,0 +1,168 @@
+// Package mts extends IPS to multivariate time series classification — the
+// second future-work direction of the paper's conclusion.  Each channel of a
+// multivariate instance is treated as a univariate series: shapelets are
+// discovered per channel with the full IPS pipeline, instances are embedded
+// by concatenating the per-channel shapelet transforms, and a single linear
+// SVM classifies the joint embedding (the channel-independent scheme used by
+// ShapeNet-style baselines).
+package mts
+
+import (
+	"errors"
+	"fmt"
+
+	"ips/internal/classify"
+	"ips/internal/core"
+	"ips/internal/ts"
+)
+
+// Instance is a labelled multivariate time series: one Series per channel,
+// all channels the same length.
+type Instance struct {
+	Channels []ts.Series
+	Label    int
+}
+
+// Dataset is a set of labelled multivariate instances.
+type Dataset struct {
+	Name      string
+	Instances []Instance
+}
+
+// Len returns the number of instances.
+func (d *Dataset) Len() int { return len(d.Instances) }
+
+// NumChannels returns the channel count of the first instance (0 when
+// empty).
+func (d *Dataset) NumChannels() int {
+	if len(d.Instances) == 0 {
+		return 0
+	}
+	return len(d.Instances[0].Channels)
+}
+
+// Labels returns every instance label in order.
+func (d *Dataset) Labels() []int {
+	out := make([]int, len(d.Instances))
+	for i, in := range d.Instances {
+		out[i] = in.Label
+	}
+	return out
+}
+
+// Validate checks structural invariants: consistent channel counts and
+// non-empty channels.
+func (d *Dataset) Validate() error {
+	if len(d.Instances) == 0 {
+		return errors.New("mts: dataset has no instances")
+	}
+	channels := len(d.Instances[0].Channels)
+	if channels == 0 {
+		return errors.New("mts: instances have no channels")
+	}
+	for i, in := range d.Instances {
+		if len(in.Channels) != channels {
+			return fmt.Errorf("mts: instance %d has %d channels, want %d", i, len(in.Channels), channels)
+		}
+		for c, ch := range in.Channels {
+			if len(ch) == 0 {
+				return fmt.Errorf("mts: instance %d channel %d is empty", i, c)
+			}
+		}
+	}
+	return nil
+}
+
+// Channel projects the dataset onto one channel as a univariate dataset.
+// The returned instances alias the multivariate storage.
+func (d *Dataset) Channel(c int) *ts.Dataset {
+	out := &ts.Dataset{Name: fmt.Sprintf("%s[ch%d]", d.Name, c)}
+	for _, in := range d.Instances {
+		out.Instances = append(out.Instances, ts.Instance{Values: in.Channels[c], Label: in.Label})
+	}
+	return out
+}
+
+// Model is a trained multivariate IPS classifier.
+type Model struct {
+	// ShapeletsPerChannel[c] holds the shapelets discovered on channel c.
+	ShapeletsPerChannel [][]classify.Shapelet
+	Scaler              *classify.Scaler
+	SVM                 *classify.SVM
+	// Discoveries records each channel's discovery result.
+	Discoveries []*core.Result
+}
+
+// Fit discovers shapelets on every channel and trains one SVM on the
+// concatenated per-channel shapelet transforms.  Channels on which discovery
+// fails (e.g. a constant channel) contribute no features but do not abort
+// the fit, as long as at least one channel succeeds.
+func Fit(train *Dataset, opt core.Options) (*Model, error) {
+	if err := train.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{}
+	channels := train.NumChannels()
+	for c := 0; c < channels; c++ {
+		res, err := core.Discover(train.Channel(c), opt)
+		if err != nil {
+			m.ShapeletsPerChannel = append(m.ShapeletsPerChannel, nil)
+			m.Discoveries = append(m.Discoveries, nil)
+			continue
+		}
+		m.ShapeletsPerChannel = append(m.ShapeletsPerChannel, res.Shapelets)
+		m.Discoveries = append(m.Discoveries, res)
+	}
+	X := m.embed(train)
+	if len(X) == 0 || len(X[0]) == 0 {
+		return nil, errors.New("mts: no channel produced shapelets")
+	}
+	scaler, err := classify.FitScaler(X)
+	if err != nil {
+		return nil, err
+	}
+	svm, err := classify.TrainSVM(scaler.Apply(X), train.Labels(), opt.SVM)
+	if err != nil {
+		return nil, err
+	}
+	m.Scaler = scaler
+	m.SVM = svm
+	return m, nil
+}
+
+// embed concatenates the per-channel shapelet transforms.
+func (m *Model) embed(d *Dataset) [][]float64 {
+	total := 0
+	for _, sh := range m.ShapeletsPerChannel {
+		total += len(sh)
+	}
+	out := make([][]float64, d.Len())
+	for i := range out {
+		out[i] = make([]float64, 0, total)
+	}
+	for c, sh := range m.ShapeletsPerChannel {
+		if len(sh) == 0 {
+			continue
+		}
+		X := classify.Transform(d.Channel(c), sh)
+		for i := range out {
+			out[i] = append(out[i], X[i]...)
+		}
+	}
+	return out
+}
+
+// Predict classifies every instance.
+func (m *Model) Predict(d *Dataset) []int {
+	X := m.Scaler.Apply(m.embed(d))
+	return m.SVM.PredictAll(X)
+}
+
+// Evaluate fits on train and returns accuracy (%) on test with the model.
+func Evaluate(train, test *Dataset, opt core.Options) (float64, *Model, error) {
+	m, err := Fit(train, opt)
+	if err != nil {
+		return 0, nil, err
+	}
+	return classify.Accuracy(m.Predict(test), test.Labels()), m, nil
+}

@@ -1,0 +1,142 @@
+package mts
+
+import (
+	"testing"
+
+	"ips/internal/core"
+	"ips/internal/dabf"
+	"ips/internal/ip"
+	"ips/internal/ts"
+)
+
+func smallOptions(seed int64) core.Options {
+	return core.Options{
+		IP:   ip.Config{QN: 5, QS: 3, LengthRatios: []float64{0.2, 0.3}, Seed: seed},
+		DABF: dabf.Config{Seed: seed},
+		K:    3,
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	train, test := Generate(GenConfig{Seed: 1})
+	if train.Len() != 40 || test.Len() != 40 {
+		t.Fatalf("sizes = %d/%d", train.Len(), test.Len())
+	}
+	if train.NumChannels() != 3 {
+		t.Fatalf("channels = %d", train.NumChannels())
+	}
+	if err := train.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Class balance.
+	counts := map[int]int{}
+	for _, l := range train.Labels() {
+		counts[l]++
+	}
+	if counts[0] != 20 || counts[1] != 20 {
+		t.Fatalf("class balance = %v", counts)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(GenConfig{Seed: 5})
+	b, _ := Generate(GenConfig{Seed: 5})
+	for i := range a.Instances {
+		for c := range a.Instances[i].Channels {
+			for j := range a.Instances[i].Channels[c] {
+				if a.Instances[i].Channels[c][j] != b.Instances[i].Channels[c][j] {
+					t.Fatal("same seed should reproduce identical data")
+				}
+			}
+		}
+	}
+}
+
+func TestDatasetValidate(t *testing.T) {
+	empty := &Dataset{}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty dataset should not validate")
+	}
+	ragged := &Dataset{Instances: []Instance{
+		{Channels: []ts.Series{{1, 2}}, Label: 0},
+		{Channels: []ts.Series{{1, 2}, {3, 4}}, Label: 1},
+	}}
+	if err := ragged.Validate(); err == nil {
+		t.Fatal("ragged channels should not validate")
+	}
+	emptyChan := &Dataset{Instances: []Instance{
+		{Channels: []ts.Series{{}}, Label: 0},
+	}}
+	if err := emptyChan.Validate(); err == nil {
+		t.Fatal("empty channel should not validate")
+	}
+	if (&Dataset{}).NumChannels() != 0 {
+		t.Fatal("empty dataset has channels")
+	}
+}
+
+func TestChannelProjection(t *testing.T) {
+	train, _ := Generate(GenConfig{Channels: 2, Seed: 2})
+	ch := train.Channel(1)
+	if ch.Len() != train.Len() {
+		t.Fatalf("channel len = %d", ch.Len())
+	}
+	for i, in := range ch.Instances {
+		if in.Label != train.Instances[i].Label {
+			t.Fatal("channel labels differ")
+		}
+		if &in.Values[0] != &train.Instances[i].Channels[1][0] {
+			t.Fatal("channel should alias the multivariate storage")
+		}
+	}
+}
+
+func TestFitEvaluateMultivariate(t *testing.T) {
+	train, test := Generate(GenConfig{Channels: 3, Seed: 3})
+	acc, m, err := Evaluate(train, test, smallOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 80 {
+		t.Fatalf("multivariate accuracy = %v%%", acc)
+	}
+	if len(m.ShapeletsPerChannel) != 3 {
+		t.Fatalf("channels with shapelets = %d", len(m.ShapeletsPerChannel))
+	}
+	// The two informative channels produce shapelets; predictions cover the
+	// test set.
+	pred := m.Predict(test)
+	if len(pred) != test.Len() {
+		t.Fatalf("pred len = %d", len(pred))
+	}
+}
+
+func TestFitSurvivesDistractorChannels(t *testing.T) {
+	// Only 1 of 4 channels is informative; the fit must still work and the
+	// classifier must still beat chance clearly.
+	train, test := Generate(GenConfig{Channels: 4, Informative: 1, Seed: 6})
+	acc, _, err := Evaluate(train, test, smallOptions(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 70 {
+		t.Fatalf("accuracy with distractors = %v%%", acc)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(&Dataset{}, smallOptions(8)); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+}
+
+func TestMultiClassMultivariate(t *testing.T) {
+	train, test := Generate(GenConfig{Channels: 2, Classes: 3, Train: 60, Test: 60, Seed: 9})
+	acc, _, err := Evaluate(train, test, smallOptions(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 60 { // chance is 33%
+		t.Fatalf("3-class multivariate accuracy = %v%%", acc)
+	}
+}

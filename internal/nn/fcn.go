@@ -1,0 +1,423 @@
+// Package nn implements a small 1-D fully convolutional network (FCN,
+// Wang et al. IJCNN'17) trained from scratch with manual backpropagation and
+// Adam — the architecture family behind the ResNet column of the IPS paper's
+// Table VI (ResNet stacks residual FCN blocks; we implement the plain FCN,
+// which the same study reports as the second-best deep model).
+package nn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ips/internal/ts"
+)
+
+// FCNConfig parameterises TrainFCN.
+type FCNConfig struct {
+	// Filters per conv layer (default {16, 32, 16}).
+	Filters []int
+	// Kernels per conv layer (default {8, 5, 3}).
+	Kernels []int
+	// Epochs of Adam over the training set (default 120).
+	Epochs int
+	// BatchSize for gradient accumulation (default 8).
+	BatchSize int
+	// LR is the Adam learning rate (default 1e-2).
+	LR   float64
+	Seed int64
+}
+
+func (c FCNConfig) defaults() FCNConfig {
+	if len(c.Filters) == 0 {
+		c.Filters = []int{16, 32, 16}
+	}
+	if len(c.Kernels) == 0 {
+		c.Kernels = []int{8, 5, 3}
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 120
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 8
+	}
+	if c.LR <= 0 {
+		c.LR = 1e-2
+	}
+	return c
+}
+
+// convLayer is a same-padded 1-D convolution with per-filter bias.
+type convLayer struct {
+	inC, outC, k int
+	w            []float64 // [outC][inC][k] flattened
+	b            []float64
+}
+
+func (l *convLayer) wAt(f, c, j int) int { return (f*l.inC+c)*l.k + j }
+
+// forward applies the convolution to x[channel][time] with same padding and
+// returns the pre-activation output.
+func (l *convLayer) forward(x [][]float64) [][]float64 {
+	T := len(x[0])
+	out := make([][]float64, l.outC)
+	half := l.k / 2
+	for f := 0; f < l.outC; f++ {
+		row := make([]float64, T)
+		for t := 0; t < T; t++ {
+			s := l.b[f]
+			for c := 0; c < l.inC; c++ {
+				xc := x[c]
+				for j := 0; j < l.k; j++ {
+					tt := t + j - half
+					if tt < 0 || tt >= T {
+						continue
+					}
+					s += l.w[l.wAt(f, c, j)] * xc[tt]
+				}
+			}
+			row[t] = s
+		}
+		out[f] = row
+	}
+	return out
+}
+
+// backward propagates dout (gradient w.r.t. this layer's pre-activation
+// output) given the layer input x, accumulating parameter gradients into
+// gw/gb and returning the gradient w.r.t. x.
+func (l *convLayer) backward(x, dout [][]float64, gw, gb []float64) [][]float64 {
+	T := len(x[0])
+	half := l.k / 2
+	dx := make([][]float64, l.inC)
+	for c := range dx {
+		dx[c] = make([]float64, T)
+	}
+	for f := 0; f < l.outC; f++ {
+		df := dout[f]
+		for t := 0; t < T; t++ {
+			g := df[t]
+			if g == 0 {
+				continue
+			}
+			gb[f] += g
+			for c := 0; c < l.inC; c++ {
+				xc := x[c]
+				dxc := dx[c]
+				for j := 0; j < l.k; j++ {
+					tt := t + j - half
+					if tt < 0 || tt >= T {
+						continue
+					}
+					gw[l.wAt(f, c, j)] += g * xc[tt]
+					dxc[tt] += g * l.w[l.wAt(f, c, j)]
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// FCN is a trained fully convolutional network classifier.
+type FCN struct {
+	convs   []*convLayer
+	denseW  []float64 // [classes][lastFilters]
+	denseB  []float64
+	classes []int
+}
+
+// adamState holds Adam moments for one parameter vector.
+type adamState struct {
+	m, v []float64
+	t    int
+}
+
+func newAdam(n int) *adamState { return &adamState{m: make([]float64, n), v: make([]float64, n)} }
+
+func (a *adamState) step(params, grads []float64, lr float64) {
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	a.t++
+	bc1 := 1 - math.Pow(beta1, float64(a.t))
+	bc2 := 1 - math.Pow(beta2, float64(a.t))
+	for i := range params {
+		g := grads[i]
+		a.m[i] = beta1*a.m[i] + (1-beta1)*g
+		a.v[i] = beta2*a.v[i] + (1-beta2)*g*g
+		params[i] -= lr * (a.m[i] / bc1) / (math.Sqrt(a.v[i]/bc2) + eps)
+	}
+}
+
+// TrainFCN trains the network with softmax cross-entropy.  Inputs are
+// z-normalised per instance, the standard preprocessing of the deep TSC
+// literature.
+func TrainFCN(train *ts.Dataset, cfg FCNConfig) (*FCN, error) {
+	cfg = cfg.defaults()
+	if err := train.Validate(true); err != nil {
+		return nil, err
+	}
+	if len(cfg.Filters) != len(cfg.Kernels) {
+		return nil, errors.New("nn: filters and kernels length mismatch")
+	}
+	classes := train.Classes()
+	classIdx := map[int]int{}
+	for i, c := range classes {
+		classIdx[c] = i
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	m := &FCN{classes: classes}
+	inC := 1
+	for li := range cfg.Filters {
+		l := &convLayer{inC: inC, outC: cfg.Filters[li], k: cfg.Kernels[li]}
+		l.w = make([]float64, l.outC*l.inC*l.k)
+		l.b = make([]float64, l.outC)
+		scale := math.Sqrt(2 / float64(l.inC*l.k)) // He initialisation
+		for i := range l.w {
+			l.w[i] = scale * rng.NormFloat64()
+		}
+		m.convs = append(m.convs, l)
+		inC = l.outC
+	}
+	last := cfg.Filters[len(cfg.Filters)-1]
+	m.denseW = make([]float64, len(classes)*last)
+	m.denseB = make([]float64, len(classes))
+	dscale := math.Sqrt(1 / float64(last))
+	for i := range m.denseW {
+		m.denseW[i] = dscale * rng.NormFloat64()
+	}
+
+	// Adam state per parameter block.
+	var adamW []*adamState
+	var adamB []*adamState
+	for _, l := range m.convs {
+		adamW = append(adamW, newAdam(len(l.w)))
+		adamB = append(adamB, newAdam(len(l.b)))
+	}
+	adamDW := newAdam(len(m.denseW))
+	adamDB := newAdam(len(m.denseB))
+
+	// Pre-normalise the inputs once.
+	inputs := make([][][]float64, train.Len())
+	for i, in := range train.Instances {
+		inputs[i] = [][]float64{ts.ZNorm(in.Values)}
+	}
+
+	n := train.Len()
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		order := rng.Perm(n)
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			// Zeroed gradient accumulators.
+			gw := make([][]float64, len(m.convs))
+			gb := make([][]float64, len(m.convs))
+			for li, l := range m.convs {
+				gw[li] = make([]float64, len(l.w))
+				gb[li] = make([]float64, len(l.b))
+			}
+			gdw := make([]float64, len(m.denseW))
+			gdb := make([]float64, len(m.denseB))
+
+			for _, oi := range order[start:end] {
+				x := inputs[oi]
+				label := classIdx[train.Instances[oi].Label]
+				m.backprop(x, label, gw, gb, gdw, gdb)
+			}
+			inv := 1 / float64(end-start)
+			for _, g := range gw {
+				scaleSlice(g, inv)
+			}
+			for _, g := range gb {
+				scaleSlice(g, inv)
+			}
+			scaleSlice(gdw, inv)
+			scaleSlice(gdb, inv)
+			for li, l := range m.convs {
+				adamW[li].step(l.w, gw[li], cfg.LR)
+				adamB[li].step(l.b, gb[li], cfg.LR)
+			}
+			adamDW.step(m.denseW, gdw, cfg.LR)
+			adamDB.step(m.denseB, gdb, cfg.LR)
+		}
+	}
+	return m, nil
+}
+
+func scaleSlice(xs []float64, s float64) {
+	for i := range xs {
+		xs[i] *= s
+	}
+}
+
+// forward runs the network, returning the activations after each conv+ReLU
+// (acts[0] is the input) and the final logits.
+func (m *FCN) forward(x [][]float64) (acts [][][]float64, pooled []float64, logits []float64) {
+	acts = [][][]float64{x}
+	cur := x
+	for _, l := range m.convs {
+		pre := l.forward(cur)
+		for _, row := range pre {
+			for t, v := range row {
+				if v < 0 {
+					row[t] = 0
+				}
+			}
+		}
+		acts = append(acts, pre)
+		cur = pre
+	}
+	// Global average pooling.
+	last := cur
+	pooled = make([]float64, len(last))
+	T := float64(len(last[0]))
+	for f, row := range last {
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		pooled[f] = s / T
+	}
+	logits = make([]float64, len(m.classes))
+	for ci := range m.classes {
+		s := m.denseB[ci]
+		for f, v := range pooled {
+			s += m.denseW[ci*len(pooled)+f] * v
+		}
+		logits[ci] = s
+	}
+	return acts, pooled, logits
+}
+
+// backprop accumulates gradients of the cross-entropy loss for one example.
+func (m *FCN) backprop(x [][]float64, label int, gw, gb [][]float64, gdw, gdb []float64) {
+	acts, pooled, logits := m.forward(x)
+	probs := softmax(logits)
+	// dLoss/dlogits.
+	dlog := make([]float64, len(probs))
+	copy(dlog, probs)
+	dlog[label] -= 1
+	// Dense gradients.
+	for ci := range m.classes {
+		gdb[ci] += dlog[ci]
+		for f, v := range pooled {
+			gdw[ci*len(pooled)+f] += dlog[ci] * v
+		}
+	}
+	// dLoss/dpooled.
+	dpooled := make([]float64, len(pooled))
+	for f := range pooled {
+		var s float64
+		for ci := range m.classes {
+			s += dlog[ci] * m.denseW[ci*len(pooled)+f]
+		}
+		dpooled[f] = s
+	}
+	// dLoss/d(last activation): GAP spreads the gradient evenly.
+	lastAct := acts[len(acts)-1]
+	T := len(lastAct[0])
+	dcur := make([][]float64, len(lastAct))
+	for f := range dcur {
+		row := make([]float64, T)
+		g := dpooled[f] / float64(T)
+		for t := 0; t < T; t++ {
+			row[t] = g
+		}
+		dcur[f] = row
+	}
+	// Back through the conv stack (ReLU gradient gates on the stored
+	// post-activation: zero where the activation is zero).
+	for li := len(m.convs) - 1; li >= 0; li-- {
+		act := acts[li+1]
+		for f := range dcur {
+			for t := range dcur[f] {
+				if act[f][t] <= 0 {
+					dcur[f][t] = 0
+				}
+			}
+		}
+		dcur = m.convs[li].backward(acts[li], dcur, gw[li], gb[li])
+	}
+}
+
+func softmax(logits []float64) []float64 {
+	maxV := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		out[i] = math.Exp(v - maxV)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Loss returns the cross-entropy loss of one instance (used by the gradient
+// check in tests).
+func (m *FCN) Loss(values ts.Series, label int) float64 {
+	idx := sort.SearchInts(m.classes, label)
+	_, _, logits := m.forward([][]float64{ts.ZNorm(values)})
+	p := softmax(logits)
+	return -math.Log(p[idx] + 1e-300)
+}
+
+// Predict returns the predicted class of one series.
+func (m *FCN) Predict(values ts.Series) int {
+	_, _, logits := m.forward([][]float64{ts.ZNorm(values)})
+	best := 0
+	for i := 1; i < len(logits); i++ {
+		if logits[i] > logits[best] {
+			best = i
+		}
+	}
+	return m.classes[best]
+}
+
+// PredictAll classifies every instance of the dataset.
+func (m *FCN) PredictAll(d *ts.Dataset) []int {
+	out := make([]int, d.Len())
+	for i, in := range d.Instances {
+		out[i] = m.Predict(in.Values)
+	}
+	return out
+}
+
+// params exposes the flat parameter blocks for the test-only gradient check.
+func (m *FCN) params() [][]float64 {
+	var out [][]float64
+	for _, l := range m.convs {
+		out = append(out, l.w, l.b)
+	}
+	out = append(out, m.denseW, m.denseB)
+	return out
+}
+
+// gradients runs one-example backprop and returns gradient blocks aligned
+// with params() — test-only support for the numerical gradient check.
+func (m *FCN) gradients(values ts.Series, label int) [][]float64 {
+	gw := make([][]float64, len(m.convs))
+	gb := make([][]float64, len(m.convs))
+	for li, l := range m.convs {
+		gw[li] = make([]float64, len(l.w))
+		gb[li] = make([]float64, len(l.b))
+	}
+	gdw := make([]float64, len(m.denseW))
+	gdb := make([]float64, len(m.denseB))
+	idx := sort.SearchInts(m.classes, label)
+	m.backprop([][]float64{ts.ZNorm(values)}, idx, gw, gb, gdw, gdb)
+	var out [][]float64
+	for li := range m.convs {
+		out = append(out, gw[li], gb[li])
+	}
+	out = append(out, gdw, gdb)
+	return out
+}

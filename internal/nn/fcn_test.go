@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ips/internal/ts"
+)
+
+func plantedDataset(nPerClass, length, classes int, seed int64) *ts.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	patterns := make([][]float64, classes)
+	pl := length / 4
+	for c := range patterns {
+		p := make([]float64, pl)
+		for i := range p {
+			p[i] = 4 * math.Sin(float64(i)*math.Pi/float64(pl)+float64(c)*2.1)
+		}
+		patterns[c] = p
+	}
+	d := &ts.Dataset{Name: "planted"}
+	for c := 0; c < classes; c++ {
+		for i := 0; i < nPerClass; i++ {
+			vals := make(ts.Series, length)
+			for j := range vals {
+				vals[j] = 0.3 * rng.NormFloat64()
+			}
+			at := rng.Intn(length - pl)
+			for j, pv := range patterns[c] {
+				vals[at+j] += pv
+			}
+			d.Instances = append(d.Instances, ts.Instance{Values: vals, Label: c})
+		}
+	}
+	return d
+}
+
+// TestFCNGradientCheck verifies the manual backprop against numerical
+// differentiation on a tiny network — the critical correctness test.
+func TestFCNGradientCheck(t *testing.T) {
+	d := plantedDataset(2, 16, 2, 1)
+	cfg := FCNConfig{Filters: []int{3, 2}, Kernels: []int{3, 3}, Epochs: 1, Seed: 2}
+	m, err := TrainFCN(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := d.Instances[1].Values
+	label := d.Instances[1].Label
+	analytic := m.gradients(values, label)
+	params := m.params()
+	const eps = 1e-6
+	for bi, block := range params {
+		// Check a few positions per block to keep the test fast.
+		step := len(block)/5 + 1
+		for pi := 0; pi < len(block); pi += step {
+			orig := block[pi]
+			block[pi] = orig + eps
+			lp := m.Loss(values, label)
+			block[pi] = orig - eps
+			lm := m.Loss(values, label)
+			block[pi] = orig
+			numeric := (lp - lm) / (2 * eps)
+			if diff := math.Abs(numeric - analytic[bi][pi]); diff > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("block %d param %d: analytic %v vs numeric %v", bi, pi, analytic[bi][pi], numeric)
+			}
+		}
+	}
+}
+
+func TestFCNLearnsPlantedPatterns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("FCN training is slow in -short mode")
+	}
+	train := plantedDataset(10, 40, 2, 3)
+	test := plantedDataset(10, 40, 2, 4)
+	m, err := TrainFCN(train, FCNConfig{Filters: []int{8, 8}, Kernels: []int{7, 5}, Epochs: 80, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.PredictAll(test)
+	hits := 0
+	for i, in := range test.Instances {
+		if pred[i] == in.Label {
+			hits++
+		}
+	}
+	acc := 100 * float64(hits) / float64(test.Len())
+	if acc < 75 {
+		t.Fatalf("FCN accuracy = %v%%", acc)
+	}
+}
+
+func TestFCNErrors(t *testing.T) {
+	if _, err := TrainFCN(&ts.Dataset{}, FCNConfig{}); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+	d := plantedDataset(2, 16, 2, 6)
+	if _, err := TrainFCN(d, FCNConfig{Filters: []int{4}, Kernels: []int{3, 3}}); err == nil {
+		t.Fatal("mismatched filters/kernels should error")
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	p := softmax([]float64{1, 2, 3})
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("softmax sum = %v", sum)
+	}
+	if !(p[2] > p[1] && p[1] > p[0]) {
+		t.Fatalf("softmax ordering = %v", p)
+	}
+	// Stability with huge logits.
+	p = softmax([]float64{1e9, 1e9 + 1})
+	if math.IsNaN(p[0]) || math.IsNaN(p[1]) {
+		t.Fatal("softmax overflow")
+	}
+}
+
+func TestFCNDeterministic(t *testing.T) {
+	train := plantedDataset(4, 24, 2, 7)
+	m1, err := TrainFCN(train, FCNConfig{Filters: []int{4}, Kernels: []int{3}, Epochs: 5, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := TrainFCN(train, FCNConfig{Filters: []int{4}, Kernels: []int{3}, Epochs: 5, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.denseW {
+		if m1.denseW[i] != m2.denseW[i] {
+			t.Fatal("same seed should give identical weights")
+		}
+	}
+}

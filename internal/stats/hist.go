@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Histogram is a density-normalised histogram over equal-width bins, the
+// structure Formula 10 fits a distribution against.
+type Histogram struct {
+	Min, Max float64   // range covered
+	Width    float64   // bin width
+	Counts   []int     // raw counts per bin
+	Density  []float64 // counts normalised so that Σ density·width = 1
+	N        int       // total number of samples
+}
+
+// NewHistogram builds a histogram of the samples with the given number of
+// bins.  Samples outside [min,max] are clamped into the boundary bins.
+func NewHistogram(samples []float64, bins int) (*Histogram, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("stats: no samples")
+	}
+	if bins < 1 {
+		return nil, errors.New("stats: bins must be >= 1")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range samples {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1 // all-equal samples: one unit-wide bin range
+	}
+	h := &Histogram{
+		Min:    lo,
+		Max:    hi,
+		Width:  (hi - lo) / float64(bins),
+		Counts: make([]int, bins),
+		N:      len(samples),
+	}
+	for _, v := range samples {
+		b := int((v - lo) / h.Width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		h.Counts[b]++
+	}
+	h.Density = make([]float64, bins)
+	norm := float64(h.N) * h.Width
+	for i, c := range h.Counts {
+		h.Density[i] = float64(c) / norm
+	}
+	return h, nil
+}
+
+// BinCenter returns the centre of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Min + (float64(i)+0.5)*h.Width
+}
+
+// NMSE returns the normalised mean squared error between the histogram
+// density and the distribution's density evaluated at the bin centres:
+//
+//	NMSE = Σ_i (pdf(c_i) − density_i)² / Σ_i density_i²
+//
+// This is the goodness-of-fit criterion of Formula 10 / Table III.
+func (h *Histogram) NMSE(d Distribution) float64 {
+	var num, den float64
+	for i, dens := range h.Density {
+		p := d.PDF(h.BinCenter(i))
+		diff := p - dens
+		num += diff * diff
+		den += dens * dens
+	}
+	if den == 0 {
+		return math.Inf(1)
+	}
+	return num / den
+}

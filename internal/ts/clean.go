@@ -1,0 +1,78 @@
+package ts
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Interpolate returns a copy of s with NaN runs filled by linear
+// interpolation between the nearest finite neighbours; leading and trailing
+// NaN runs are filled with the nearest finite value.  It returns an error
+// when the series contains no finite value at all, or any infinity (an
+// infinity is a data error interpolation would silently spread).
+func Interpolate(s Series) (Series, error) {
+	out := s.Clone()
+	firstFinite := -1
+	for i, v := range out {
+		if math.IsInf(v, 0) {
+			return nil, errors.New("ts: cannot interpolate across infinities")
+		}
+		if !math.IsNaN(v) && firstFinite < 0 {
+			firstFinite = i
+		}
+	}
+	if firstFinite < 0 {
+		return nil, errors.New("ts: series has no finite values")
+	}
+	// Leading run.
+	for i := 0; i < firstFinite; i++ {
+		out[i] = out[firstFinite]
+	}
+	// Interior and trailing runs.
+	lastFinite := firstFinite
+	for i := firstFinite + 1; i < len(out); i++ {
+		if math.IsNaN(out[i]) {
+			continue
+		}
+		if gap := i - lastFinite; gap > 1 {
+			lo, hi := out[lastFinite], out[i]
+			for j := 1; j < gap; j++ {
+				frac := float64(j) / float64(gap)
+				out[lastFinite+j] = lo*(1-frac) + hi*frac
+			}
+		}
+		lastFinite = i
+	}
+	for i := lastFinite + 1; i < len(out); i++ {
+		out[i] = out[lastFinite]
+	}
+	return out, nil
+}
+
+// CleanDataset interpolates NaN gaps in every instance of the dataset in
+// place and reports how many instances were repaired.  Instances that cannot
+// be repaired (all-NaN or containing infinities) cause an error naming the
+// offending instance.
+func CleanDataset(d *Dataset) (repaired int, err error) {
+	for i := range d.Instances {
+		vals := d.Instances[i].Values
+		dirty := false
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				dirty = true
+				break
+			}
+		}
+		if !dirty {
+			continue
+		}
+		fixed, err := Interpolate(vals)
+		if err != nil {
+			return repaired, fmt.Errorf("ts: instance %d: %w", i, err)
+		}
+		d.Instances[i].Values = fixed
+		repaired++
+	}
+	return repaired, nil
+}

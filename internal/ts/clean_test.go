@@ -1,0 +1,90 @@
+package ts
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInterpolateInteriorGap(t *testing.T) {
+	s := Series{1, math.NaN(), math.NaN(), 4}
+	got, err := Interpolate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Series{1, 2, 3, 4}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("interp = %v, want %v", got, want)
+		}
+	}
+	// Original untouched.
+	if !math.IsNaN(s[1]) {
+		t.Fatal("Interpolate mutated its input")
+	}
+}
+
+func TestInterpolateEdges(t *testing.T) {
+	s := Series{math.NaN(), math.NaN(), 5, 7, math.NaN()}
+	got, err := Interpolate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Series{5, 5, 5, 7, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("interp = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInterpolateErrors(t *testing.T) {
+	if _, err := Interpolate(Series{math.NaN(), math.NaN()}); err == nil {
+		t.Fatal("all-NaN should error")
+	}
+	if _, err := Interpolate(Series{1, math.Inf(1), 2}); err == nil {
+		t.Fatal("infinity should error")
+	}
+}
+
+func TestInterpolateNoGaps(t *testing.T) {
+	s := Series{1, 2, 3}
+	got, err := Interpolate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s {
+		if got[i] != s[i] {
+			t.Fatal("gap-free series should be unchanged")
+		}
+	}
+}
+
+func TestCleanDataset(t *testing.T) {
+	d := &Dataset{Instances: []Instance{
+		{Values: Series{1, 2, 3}, Label: 0},
+		{Values: Series{1, math.NaN(), 3}, Label: 1},
+		{Values: Series{math.NaN(), 4, math.NaN()}, Label: 0},
+	}}
+	repaired, err := CleanDataset(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired != 2 {
+		t.Fatalf("repaired = %d", repaired)
+	}
+	if err := d.Validate(false); err != nil {
+		t.Fatalf("cleaned dataset invalid: %v", err)
+	}
+	if d.Instances[1].Values[1] != 2 {
+		t.Fatalf("gap filled with %v", d.Instances[1].Values[1])
+	}
+
+	// Unrepairable instance is reported by index.
+	bad := &Dataset{Instances: []Instance{
+		{Values: Series{1, 2}, Label: 0},
+		{Values: Series{math.NaN(), math.NaN()}, Label: 1},
+	}}
+	if _, err := CleanDataset(bad); err == nil {
+		t.Fatal("all-NaN instance should error")
+	}
+}

@@ -1,0 +1,182 @@
+package ts
+
+import "math"
+
+// SqDist returns the squared Euclidean distance between equal-length a and b.
+func SqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// EuclideanDist returns the Euclidean distance between equal-length a and b.
+func EuclideanDist(a, b []float64) float64 {
+	return math.Sqrt(SqDist(a, b))
+}
+
+// Dist implements Def. 4 of the paper: the minimum, over all alignments of
+// the shorter series inside the longer one, of the length-normalised squared
+// Euclidean distance
+//
+//	dist(Tp, Tq) = min_j (1/|Tp|) Σ_l (tq_{j+l-1} − tp_l)²   (|Tq| ≥ |Tp|).
+//
+// The arguments may be passed in either order; the shorter one slides.
+func Dist(p, q []float64) float64 {
+	if len(p) > len(q) {
+		p, q = q, p
+	}
+	if len(p) == 0 {
+		return 0
+	}
+	best := math.Inf(1)
+	for j := 0; j+len(p) <= len(q); j++ {
+		var s float64
+		win := q[j : j+len(p)]
+		for l := range p {
+			d := win[l] - p[l]
+			s += d * d
+			if s >= best*float64(len(p)) {
+				break // early abandon: cannot beat the best alignment
+			}
+		}
+		if v := s / float64(len(p)); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// DistProfile returns the Def. 4 distance of q against every alignment inside
+// t, i.e. out[j] = (1/|q|) Σ (t[j+l]−q[l])².  It is computed with cumulative
+// sums and a single sliding dot product pass in O(|t|·|q|) worst case but with
+// the quadratic term vectorised; callers that need only the minimum should
+// use Dist, which early-abandons.
+func DistProfile(q, t []float64) []float64 {
+	m := len(q)
+	n := len(t) - m + 1
+	if n <= 0 {
+		return nil
+	}
+	// Σ (t−q)² = Σt² − 2Σtq + Σq².
+	var qq float64
+	for _, v := range q {
+		qq += v * v
+	}
+	// Rolling Σt² over windows.
+	out := make([]float64, n)
+	var tt float64
+	for i := 0; i < m; i++ {
+		tt += t[i] * t[i]
+	}
+	dots := SlidingDots(q, t)
+	fm := float64(m)
+	for j := 0; ; j++ {
+		d := tt - 2*dots[j] + qq
+		if d < 0 {
+			d = 0
+		}
+		out[j] = d / fm
+		if j+1 >= n {
+			break
+		}
+		tt += t[j+m]*t[j+m] - t[j]*t[j]
+	}
+	return out
+}
+
+// ZNormSqDistFromStats returns the z-normalised squared Euclidean distance of
+// two length-w subsequences given their sliding dot product qt, their means
+// and standard deviations.  This is the standard matrix-profile identity
+//
+//	d² = 2w (1 − (qt − w μa μb) / (w σa σb)).
+//
+// Near-constant subsequences are handled conventionally: two constants are at
+// distance 0, a constant against a non-constant at distance √(2w)² = 2w.
+func ZNormSqDistFromStats(qt float64, w int, meanA, stdA, meanB, stdB float64) float64 {
+	const eps = 1e-12
+	fw := float64(w)
+	if stdA < eps && stdB < eps {
+		return 0
+	}
+	if stdA < eps || stdB < eps {
+		return 2 * fw
+	}
+	corr := (qt - fw*meanA*meanB) / (fw * stdA * stdB)
+	if corr > 1 {
+		corr = 1
+	}
+	if corr < -1 {
+		corr = -1
+	}
+	return 2 * fw * (1 - corr)
+}
+
+// DTW returns the dynamic time warping distance between a and b under the
+// squared point cost, constrained to a Sakoe-Chiba band of half-width window
+// (window < 0 means unconstrained).  The returned value is the square root of
+// the accumulated cost, matching the usual 1NN-DTW convention.
+func DTW(a, b []float64, window int) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	if window < 0 {
+		window = max(n, m)
+	}
+	// The band must be at least |n−m| wide for a path to exist.
+	if w := abs(n - m); window < w {
+		window = w
+	}
+	inf := math.Inf(1)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		lo := max(1, i-window)
+		hi := min(m, i+window)
+		for j := lo; j <= hi; j++ {
+			d := a[i-1] - b[j-1]
+			cost := d * d
+			best := prev[j]
+			if prev[j-1] < best {
+				best = prev[j-1]
+			}
+			if cur[j-1] < best {
+				best = cur[j-1]
+			}
+			cur[j] = cost + best
+		}
+		prev, cur = cur, prev
+	}
+	return math.Sqrt(prev[m])
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

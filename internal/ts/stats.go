@@ -1,0 +1,102 @@
+package ts
+
+import "math"
+
+// MeanStd returns the mean and (population) standard deviation of s.
+func MeanStd(s []float64) (mean, std float64) {
+	if len(s) == 0 {
+		return 0, 0
+	}
+	for _, v := range s {
+		mean += v
+	}
+	mean /= float64(len(s))
+	var ss float64
+	for _, v := range s {
+		d := v - mean
+		ss += d * d
+	}
+	std = math.Sqrt(ss / float64(len(s)))
+	return mean, std
+}
+
+// ZNorm returns a z-normalised copy of s.  A near-constant series (std below
+// eps) is returned as all zeros, the conventional choice in matrix-profile
+// implementations.
+func ZNorm(s []float64) []float64 {
+	out := make([]float64, len(s))
+	ZNormInto(out, s)
+	return out
+}
+
+// ZNormInto z-normalises src into dst, which must have the same length.
+func ZNormInto(dst, src []float64) {
+	const eps = 1e-12
+	mean, std := MeanStd(src)
+	if std < eps {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	for i, v := range src {
+		dst[i] = (v - mean) / std
+	}
+}
+
+// MovingMeanStd returns the mean and standard deviation of every length-w
+// window of t, computed with cumulative sums in O(len(t)).
+func MovingMeanStd(t []float64, w int) (means, stds []float64) {
+	n := len(t) - w + 1
+	if n <= 0 {
+		return nil, nil
+	}
+	means = make([]float64, n)
+	stds = make([]float64, n)
+	var sum, sumSq float64
+	for i := 0; i < w; i++ {
+		sum += t[i]
+		sumSq += t[i] * t[i]
+	}
+	fw := float64(w)
+	for i := 0; ; i++ {
+		m := sum / fw
+		v := sumSq/fw - m*m
+		if v < 0 {
+			v = 0 // guard against round-off
+		}
+		means[i] = m
+		stds[i] = math.Sqrt(v)
+		if i+1 >= n {
+			break
+		}
+		sum += t[i+w] - t[i]
+		sumSq += t[i+w]*t[i+w] - t[i]*t[i]
+	}
+	return means, stds
+}
+
+// Dot returns the inner product of a and b (which must have equal length).
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// SlidingDots returns the dot product of q with every length-|q| window of t.
+// It is the O(N·L) building block used by the matrix-profile joins; STOMP
+// then updates neighbouring rows in O(1) per shift.
+func SlidingDots(q, t []float64) []float64 {
+	m := len(q)
+	n := len(t) - m + 1
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = Dot(q, t[i:i+m])
+	}
+	return out
+}

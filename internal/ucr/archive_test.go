@@ -1,0 +1,81 @@
+package ucr
+
+import (
+	"testing"
+
+	"ips/internal/ts"
+)
+
+// TestAllDatasetsGenerate sweeps every archive entry (and the extras) at a
+// small cap: each must produce a valid two-class-or-more dataset with every
+// class represented and the configured shapes.
+func TestAllDatasetsGenerate(t *testing.T) {
+	cfg := GenConfig{MaxTrain: 12, MaxTest: 12, MaxLength: 64, Seed: 9}
+	all := append(append([]Meta(nil), Archive...), Extra...)
+	for _, m := range all {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			train, test := Generate(m, cfg)
+			if err := train.Validate(true); err != nil {
+				t.Fatalf("train invalid: %v", err)
+			}
+			if err := test.Validate(true); err != nil {
+				t.Fatalf("test invalid: %v", err)
+			}
+			if got := len(train.Classes()); got != m.Classes {
+				t.Fatalf("train classes = %d, want %d", got, m.Classes)
+			}
+			wantLen := m.Length
+			if wantLen > 64 {
+				wantLen = 64
+			}
+			if train.SeriesLen() != wantLen {
+				t.Fatalf("series len = %d, want %d", train.SeriesLen(), wantLen)
+			}
+		})
+	}
+}
+
+// TestGeneratedSeparability spot-checks that a sample of generated datasets
+// is learnable by 1NN well above chance — the property the whole evaluation
+// rests on.
+func TestGeneratedSeparability(t *testing.T) {
+	names := []string{"GunPoint", "Coffee", "Wafer", "SyntheticControl", "FaceFour"}
+	for _, name := range names {
+		m := MustLookup(name)
+		train, test := Generate(m, GenConfig{MaxTrain: 30, MaxTest: 50, MaxLength: 128, Seed: 10})
+		chance := 100.0 / float64(m.Classes)
+		acc := nn1Accuracy(train, test)
+		if acc < chance+25 {
+			t.Fatalf("%s: 1NN accuracy %.1f%% too close to chance %.1f%%", name, acc, chance)
+		}
+	}
+}
+
+// nn1Accuracy is a small local 1NN-ED so this package's tests do not pull
+// in the classify package.
+func nn1Accuracy(train, test *ts.Dataset) float64 {
+	hits := 0
+	for _, te := range test.Instances {
+		best := -1
+		bestD := 1e308
+		for j, tr := range train.Instances {
+			var d float64
+			for l := range te.Values {
+				diff := te.Values[l] - tr.Values[l]
+				d += diff * diff
+				if d >= bestD {
+					break
+				}
+			}
+			if d < bestD {
+				bestD = d
+				best = j
+			}
+		}
+		if train.Instances[best].Label == te.Label {
+			hits++
+		}
+	}
+	return 100 * float64(hits) / float64(len(test.Instances))
+}

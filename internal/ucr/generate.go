@@ -1,0 +1,332 @@
+package ucr
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"ips/internal/ts"
+)
+
+// GenConfig controls synthetic generation.  Zero values mean "use the real
+// archive size"; the caps exist so that CI-sized runs can shrink the largest
+// datasets while keeping their relative scale ordering.
+type GenConfig struct {
+	MaxTrain  int     // cap on training instances (0 = archive size)
+	MaxTest   int     // cap on test instances (0 = archive size)
+	MaxLength int     // cap on series length (0 = archive length)
+	Noise     float64 // noise std relative to pattern amplitude (0 = per-dataset default)
+	Seed      int64   // mixed into the per-dataset seed
+}
+
+// datasetSeed derives a stable seed from the dataset name and config seed.
+func datasetSeed(name string, seed int64) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64()) ^ seed
+}
+
+// generator holds the per-dataset ingredients shared by every instance:
+// per-class discriminative patterns and anchors, and the background process
+// parameters.
+type generator struct {
+	meta     Meta
+	length   int
+	patterns [][]float64 // one per class
+	anchors  []int       // preferred insertion position per class
+	bgFreqs  []float64
+	bgAmps   []float64
+	bgPhases []float64
+	noise    float64
+	warp     float64 // anchor jitter as a fraction of length
+	// anomalyProb is the chance an instance of ANY class carries a rare
+	// high-amplitude burst with a unique shape.  These bursts are the
+	// discords-as-"shapelets" trap of §II-B: they produce the largest
+	// matrix-profile differences (discord in every class) and mislead the
+	// MP baseline, while motif-based discovery is immune to them.
+	anomalyProb float64
+	anomalyLen  int
+}
+
+// smoothWalk produces a z-normalised smooth random curve of length n: a
+// Gaussian random walk passed through a moving-average filter.  This is the
+// shape family used for class-discriminative patterns.
+func smoothWalk(n int, rng *rand.Rand) []float64 {
+	raw := make([]float64, n)
+	v := 0.0
+	for i := range raw {
+		v += rng.NormFloat64()
+		raw[i] = v
+	}
+	// Moving average with window ~n/6 keeps the pattern smooth but shaped.
+	w := n / 6
+	if w < 2 {
+		w = 2
+	}
+	out := make([]float64, n)
+	for i := range out {
+		lo := i - w/2
+		hi := lo + w
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n {
+			hi = n
+		}
+		var s float64
+		for j := lo; j < hi; j++ {
+			s += raw[j]
+		}
+		out[i] = s / float64(hi-lo)
+	}
+	// Taper the ends so insertion does not create step discontinuities.
+	z := ts.ZNorm(out)
+	for i := range z {
+		t := float64(i) / float64(n-1)
+		taper := math.Sin(math.Pi * t)
+		z[i] *= taper
+	}
+	return z
+}
+
+// maxAbsCorrelation returns the largest |Pearson correlation| between p and
+// any of the existing patterns (all patterns share a length).
+func maxAbsCorrelation(p []float64, existing [][]float64) float64 {
+	worst := 0.0
+	zp := ts.ZNorm(p)
+	for _, q := range existing {
+		zq := ts.ZNorm(q)
+		var corr float64
+		for i := range zp {
+			corr += zp[i] * zq[i]
+		}
+		corr = math.Abs(corr / float64(len(zp)))
+		if corr > worst {
+			worst = corr
+		}
+	}
+	return worst
+}
+
+func newGenerator(m Meta, cfg GenConfig) *generator {
+	length := m.Length
+	if cfg.MaxLength > 0 && length > cfg.MaxLength {
+		length = cfg.MaxLength
+	}
+	rng := rand.New(rand.NewSource(datasetSeed(m.Name, cfg.Seed)))
+	g := &generator{meta: m, length: length}
+	// Per-dataset difficulty: noise in [0.15, 0.45], warp in [0.05, 0.15].
+	g.noise = 0.15 + 0.3*rng.Float64()
+	if cfg.Noise > 0 {
+		g.noise = cfg.Noise
+	}
+	g.warp = 0.05 + 0.1*rng.Float64()
+	g.anomalyProb = 0.1 + 0.15*rng.Float64()
+	g.anomalyLen = int(0.15 * float64(length))
+	if g.anomalyLen < 4 {
+		g.anomalyLen = 4
+	}
+	// Shared background: three slow sinusoids with dataset-level phases;
+	// instances jitter the phase slightly so the background is structured
+	// but not a constant offset.
+	for h := 0; h < 3; h++ {
+		g.bgFreqs = append(g.bgFreqs, 0.5+2.5*rng.Float64())
+		g.bgAmps = append(g.bgAmps, 0.2+0.4*rng.Float64())
+		g.bgPhases = append(g.bgPhases, rng.Float64()*2*math.Pi)
+	}
+	// One discriminative pattern per class, length ~22% of the series,
+	// anchored at a class-specific position.
+	pl := int(0.22 * float64(length))
+	if pl < 6 {
+		pl = 6
+	}
+	if pl > length {
+		pl = length
+	}
+	for c := 0; c < m.Classes; c++ {
+		// Redraw until the new pattern is decorrelated from every earlier
+		// class's pattern; otherwise two classes can be inseparable by
+		// construction, which no archive dataset is.
+		var p []float64
+		for attempt := 0; attempt < 50; attempt++ {
+			p = smoothWalk(pl, rng)
+			if maxAbsCorrelation(p, g.patterns) < 0.6 {
+				break
+			}
+		}
+		amp := 1.6 + 0.8*rng.Float64()
+		for i := range p {
+			p[i] *= amp
+		}
+		g.patterns = append(g.patterns, p)
+		maxAnchor := length - pl
+		anchor := 0
+		if maxAnchor > 0 {
+			anchor = rng.Intn(maxAnchor)
+		}
+		g.anchors = append(g.anchors, anchor)
+	}
+	return g
+}
+
+// addBackground writes the dataset-type-specific background process into
+// vals.  Each UCR data type has a characteristic texture; reproducing it
+// keeps the per-type difficulty ordering of the archive:
+//
+//   - ECG: a periodic sharp beat (QRS-like spike train) over a slow wander;
+//   - Device: duty-cycle square waves (appliances switching on and off);
+//   - Spectro: a single smooth broad curve (absorption spectra);
+//   - Motion: heavy low-frequency drift (limb trajectories);
+//   - everything else: the generic sum of slow sinusoids.
+func (g *generator) addBackground(vals ts.Series, rng *rand.Rand) {
+	n := len(vals)
+	switch g.meta.Type {
+	case "ECG":
+		period := n / 4
+		if period < 8 {
+			period = 8
+		}
+		offset := rng.Intn(period)
+		for i := range vals {
+			// Slow baseline wander.
+			vals[i] += 0.3 * math.Sin(2*math.Pi*float64(i)/float64(n)+g.bgPhases[0])
+			// Sharp beat: a two-sample spike at each period.
+			if (i+offset)%period == 0 {
+				vals[i] += 1.2
+				if i+1 < n {
+					vals[i+1] -= 0.6
+				}
+			}
+		}
+	case "Device":
+		period := n/3 + rng.Intn(n/3+1)
+		duty := 0.3 + 0.4*rng.Float64()
+		level := 0.8 + 0.4*rng.Float64()
+		offset := rng.Intn(period)
+		for i := range vals {
+			if float64((i+offset)%period) < duty*float64(period) {
+				vals[i] += level
+			}
+		}
+	case "Spectro":
+		// The absorption-curve centre is a dataset-level property (bgPhases
+		// reused as the stable random source); instances jitter it slightly.
+		centre := float64(n) * (0.3 + 0.4*(g.bgPhases[0]/(2*math.Pi)))
+		centre += 0.02 * float64(n) * rng.NormFloat64()
+		width := float64(n) * 0.3
+		for i := range vals {
+			d := (float64(i) - centre) / width
+			vals[i] += 1.5 * math.Exp(-d*d)
+		}
+	case "Motion":
+		// Damped random-walk drift, normalised afterwards so it textures
+		// the series without drowning the class patterns.
+		drift := make([]float64, n)
+		v := 0.0
+		x := 0.0
+		for i := range drift {
+			v += 0.05 * rng.NormFloat64()
+			v *= 0.95
+			x += v
+			x *= 0.995
+			drift[i] = x
+		}
+		_, std := ts.MeanStd(drift)
+		if std < 1e-9 {
+			std = 1
+		}
+		for i := range vals {
+			vals[i] += 0.3 * drift[i] / std
+		}
+	default:
+		for h := range g.bgFreqs {
+			phase := g.bgPhases[h] + 0.3*rng.NormFloat64()
+			f := g.bgFreqs[h]
+			a := g.bgAmps[h]
+			for i := range vals {
+				vals[i] += a * math.Sin(2*math.Pi*f*float64(i)/float64(n)+phase)
+			}
+		}
+	}
+}
+
+// instance synthesises one labelled instance.
+func (g *generator) instance(class int, rng *rand.Rand) ts.Instance {
+	n := g.length
+	vals := make(ts.Series, n)
+	g.addBackground(vals, rng)
+	// Noise.
+	for i := range vals {
+		vals[i] += g.noise * rng.NormFloat64()
+	}
+	// Class pattern at a jittered anchor.
+	p := g.patterns[class]
+	jitter := int(g.warp * float64(n))
+	at := g.anchors[class]
+	if jitter > 0 {
+		at += rng.Intn(2*jitter+1) - jitter
+	}
+	if at < 0 {
+		at = 0
+	}
+	if at+len(p) > n {
+		at = n - len(p)
+	}
+	for i, pv := range p {
+		vals[at+i] += pv
+	}
+	// Rare cross-class anomaly burst with a unique shape (see anomalyProb).
+	if rng.Float64() < g.anomalyProb && g.anomalyLen < n {
+		burst := smoothWalk(g.anomalyLen, rng)
+		amp := 3 + 2*rng.Float64()
+		ba := rng.Intn(n - g.anomalyLen)
+		for i, bv := range burst {
+			vals[ba+i] += amp * bv
+		}
+	}
+	return ts.Instance{Values: vals, Label: class}
+}
+
+// split generates count instances with classes cycling round-robin so every
+// class is represented even under aggressive caps.
+func (g *generator) split(name string, count int, rng *rand.Rand) *ts.Dataset {
+	d := &ts.Dataset{Name: name}
+	for i := 0; i < count; i++ {
+		d.Instances = append(d.Instances, g.instance(i%g.meta.Classes, rng))
+	}
+	return d
+}
+
+// Generate synthesises the train and test splits of the dataset.  Output is
+// deterministic in (m.Name, cfg.Seed).
+func Generate(m Meta, cfg GenConfig) (train, test *ts.Dataset) {
+	g := newGenerator(m, cfg)
+	nTrain, nTest := m.Train, m.Test
+	if cfg.MaxTrain > 0 && nTrain > cfg.MaxTrain {
+		nTrain = cfg.MaxTrain
+	}
+	if cfg.MaxTest > 0 && nTest > cfg.MaxTest {
+		nTest = cfg.MaxTest
+	}
+	if nTrain < m.Classes {
+		nTrain = m.Classes // at least one instance per class
+	}
+	if nTest < m.Classes {
+		nTest = m.Classes
+	}
+	rng := rand.New(rand.NewSource(datasetSeed(m.Name, cfg.Seed) + 1))
+	train = g.split(m.Name+"_TRAIN", nTrain, rng)
+	test = g.split(m.Name+"_TEST", nTest, rng)
+	return train, test
+}
+
+// GenerateByName is Generate for a dataset identified by name.
+func GenerateByName(name string, cfg GenConfig) (train, test *ts.Dataset, err error) {
+	m, ok := Lookup(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("ucr: unknown dataset %q", name)
+	}
+	tr, te := Generate(m, cfg)
+	return tr, te, nil
+}

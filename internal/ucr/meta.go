@@ -1,0 +1,102 @@
+// Package ucr is the UCR Time Series Archive substitute (see DESIGN.md §3).
+// It carries the genuine archive metadata (train/test sizes, series length,
+// class count, data type) for the 46 datasets the IPS paper evaluates, a
+// deterministic synthetic generator that produces class-structured workloads
+// with the same shape — discriminative subsequences that occur widely within
+// a class and rarely outside it — and a loader/writer for the real UCR TSV
+// format so genuine archive files can be used when available.
+package ucr
+
+import "fmt"
+
+// Meta describes one UCR dataset.
+type Meta struct {
+	Name    string
+	Train   int // training instances
+	Test    int // test instances
+	Classes int
+	Length  int // series length
+	Type    string
+}
+
+// Archive lists the 46 UCR datasets of the paper's evaluation (Table IV/VI),
+// with the real metadata of the 2018 archive release.
+var Archive = []Meta{
+	{"ArrowHead", 36, 175, 3, 251, "Image"},
+	{"Beef", 30, 30, 5, 470, "Spectro"},
+	{"BeetleFly", 20, 20, 2, 512, "Image"},
+	{"CBF", 30, 900, 3, 128, "Simulated"},
+	{"ChlorineConcentration", 467, 3840, 3, 166, "Sensor"},
+	{"Coffee", 28, 28, 2, 286, "Spectro"},
+	{"Computers", 250, 250, 2, 720, "Device"},
+	{"CricketZ", 390, 390, 12, 300, "Motion"},
+	{"DiatomSizeReduction", 16, 306, 4, 345, "Image"},
+	{"DistalPhalanxOutlineCorrect", 600, 276, 2, 80, "Image"},
+	{"Earthquakes", 322, 139, 2, 512, "Sensor"},
+	{"ECG200", 100, 100, 2, 96, "ECG"},
+	{"ECG5000", 500, 4500, 5, 140, "ECG"},
+	{"ECGFiveDays", 23, 861, 2, 136, "ECG"},
+	{"ElectricDevices", 8926, 7711, 7, 96, "Device"},
+	{"FaceAll", 560, 1690, 14, 131, "Image"},
+	{"FaceFour", 24, 88, 4, 350, "Image"},
+	{"FacesUCR", 200, 2050, 14, 131, "Image"},
+	{"FordA", 3601, 1320, 2, 500, "Sensor"},
+	{"GunPoint", 50, 150, 2, 150, "Motion"},
+	{"Ham", 109, 105, 2, 431, "Spectro"},
+	{"HandOutlines", 1000, 370, 2, 2709, "Image"},
+	{"Haptics", 155, 308, 5, 1092, "Motion"},
+	{"InlineSkate", 100, 550, 7, 1882, "Motion"},
+	{"InsectWingbeatSound", 220, 1980, 11, 256, "Sensor"},
+	{"ItalyPowerDemand", 67, 1029, 2, 24, "Sensor"},
+	{"LargeKitchenAppliances", 375, 375, 3, 720, "Device"},
+	{"Mallat", 55, 2345, 8, 1024, "Simulated"},
+	{"Meat", 60, 60, 3, 448, "Spectro"},
+	{"NonInvasiveFatalECGThorax1", 1800, 1965, 42, 750, "ECG"},
+	{"OSULeaf", 200, 242, 6, 427, "Image"},
+	{"Phoneme", 214, 1896, 39, 1024, "Sensor"},
+	{"RefrigerationDevices", 375, 375, 3, 720, "Device"},
+	{"ShapeletSim", 20, 180, 2, 500, "Simulated"},
+	{"SonyAIBORobotSurface1", 20, 601, 2, 70, "Sensor"},
+	{"SonyAIBORobotSurface2", 27, 953, 2, 65, "Sensor"},
+	{"Strawberry", 613, 370, 2, 235, "Spectro"},
+	{"Symbols", 25, 995, 6, 398, "Image"},
+	{"SyntheticControl", 300, 300, 6, 60, "Simulated"},
+	{"ToeSegmentation1", 40, 228, 2, 277, "Motion"},
+	{"TwoLeadECG", 23, 1139, 2, 82, "ECG"},
+	{"TwoPatterns", 1000, 4000, 4, 128, "Simulated"},
+	{"UWaveGestureLibraryY", 896, 3582, 8, 315, "Motion"},
+	{"Wafer", 1000, 6164, 2, 152, "Sensor"},
+	{"WormsTwoClass", 181, 77, 2, 900, "Motion"},
+	{"Yoga", 300, 3000, 2, 426, "Image"},
+}
+
+// Extra lists datasets outside the 46-dataset evaluation set that individual
+// experiments use (MoteStrain appears in Table II and Fig. 12).
+var Extra = []Meta{
+	{"MoteStrain", 20, 1252, 2, 84, "Sensor"},
+}
+
+// Lookup finds a dataset by name in the evaluation set or the extras.
+func Lookup(name string) (Meta, bool) {
+	for _, m := range Archive {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	for _, m := range Extra {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Meta{}, false
+}
+
+// MustLookup is Lookup that panics on unknown names; for tests and harness
+// tables whose dataset lists are compile-time constants.
+func MustLookup(name string) Meta {
+	m, ok := Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("ucr: unknown dataset %q", name))
+	}
+	return m
+}

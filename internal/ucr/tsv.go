@@ -1,0 +1,130 @@
+package ucr
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ips/internal/ts"
+)
+
+// LoadTSV reads a dataset in the UCR 2018 archive TSV format: one instance
+// per line, the class label first, then the values, whitespace-separated.
+// Labels are remapped to dense 0-based integers: numerically sorted when all
+// labels parse as numbers, lexically otherwise.
+func LoadTSV(path string) (*ts.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	type row struct {
+		label string
+		vals  ts.Series
+	}
+	var rows []row
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("ucr: %s:%d: need a label and at least one value", path, lineNo)
+		}
+		vals := make(ts.Series, len(fields)-1)
+		for i, fstr := range fields[1:] {
+			v, err := strconv.ParseFloat(fstr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("ucr: %s:%d: bad value %q: %w", path, lineNo, fstr, err)
+			}
+			vals[i] = v
+		}
+		rows = append(rows, row{label: fields[0], vals: vals})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("ucr: %s: empty dataset", path)
+	}
+
+	// Dense label assignment.
+	distinct := map[string]bool{}
+	for _, r := range rows {
+		distinct[r.label] = true
+	}
+	labels := make([]string, 0, len(distinct))
+	for l := range distinct {
+		labels = append(labels, l)
+	}
+	allNumeric := true
+	for _, l := range labels {
+		if _, err := strconv.ParseFloat(l, 64); err != nil {
+			allNumeric = false
+			break
+		}
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		if allNumeric {
+			a, _ := strconv.ParseFloat(labels[i], 64)
+			b, _ := strconv.ParseFloat(labels[j], 64)
+			return a < b
+		}
+		return labels[i] < labels[j]
+	})
+	dense := map[string]int{}
+	for i, l := range labels {
+		dense[l] = i
+	}
+
+	d := &ts.Dataset{Name: strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))}
+	for _, r := range rows {
+		d.Instances = append(d.Instances, ts.Instance{Values: r.vals, Label: dense[r.label]})
+	}
+	return d, nil
+}
+
+// WriteTSV writes a dataset in the UCR TSV format.
+func WriteTSV(path string, d *ts.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, in := range d.Instances {
+		fmt.Fprintf(w, "%d", in.Label)
+		for _, v := range in.Values {
+			fmt.Fprintf(w, "\t%g", v)
+		}
+		fmt.Fprintln(w)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadSplit loads <dir>/<name>_TRAIN.tsv and <dir>/<name>_TEST.tsv, the UCR
+// archive directory layout.
+func LoadSplit(dir, name string) (train, test *ts.Dataset, err error) {
+	train, err = LoadTSV(filepath.Join(dir, name+"_TRAIN.tsv"))
+	if err != nil {
+		return nil, nil, err
+	}
+	test, err = LoadTSV(filepath.Join(dir, name+"_TEST.tsv"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}

@@ -1,0 +1,240 @@
+package ucr
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ips/internal/classify"
+)
+
+func TestArchiveMetadata(t *testing.T) {
+	if len(Archive) != 46 {
+		t.Fatalf("archive size = %d, want 46 (the paper's evaluation set)", len(Archive))
+	}
+	seen := map[string]bool{}
+	for _, m := range Archive {
+		if seen[m.Name] {
+			t.Fatalf("duplicate dataset %s", m.Name)
+		}
+		seen[m.Name] = true
+		if m.Train <= 0 || m.Test <= 0 || m.Classes < 2 || m.Length <= 0 {
+			t.Fatalf("bad metadata: %+v", m)
+		}
+	}
+	// Spot-check a few well-known entries.
+	ah := MustLookup("ArrowHead")
+	if ah.Train != 36 || ah.Classes != 3 || ah.Length != 251 {
+		t.Fatalf("ArrowHead meta = %+v", ah)
+	}
+	ipd := MustLookup("ItalyPowerDemand")
+	if ipd.Length != 24 || ipd.Classes != 2 {
+		t.Fatalf("ItalyPowerDemand meta = %+v", ipd)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("NoSuchDataset"); ok {
+		t.Fatal("unknown dataset should not be found")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup should panic on unknown dataset")
+		}
+	}()
+	MustLookup("NoSuchDataset")
+}
+
+func TestGenerateShapes(t *testing.T) {
+	m := MustLookup("GunPoint")
+	train, test := Generate(m, GenConfig{Seed: 1})
+	if train.Len() != m.Train || test.Len() != m.Test {
+		t.Fatalf("sizes = %d/%d, want %d/%d", train.Len(), test.Len(), m.Train, m.Test)
+	}
+	if train.SeriesLen() != m.Length {
+		t.Fatalf("length = %d, want %d", train.SeriesLen(), m.Length)
+	}
+	if got := len(train.Classes()); got != m.Classes {
+		t.Fatalf("classes = %d, want %d", got, m.Classes)
+	}
+	if err := train.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := test.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateCaps(t *testing.T) {
+	m := MustLookup("ElectricDevices") // 8926 train in the real archive
+	train, test := Generate(m, GenConfig{MaxTrain: 50, MaxTest: 60, MaxLength: 64, Seed: 2})
+	if train.Len() != 50 || test.Len() != 60 {
+		t.Fatalf("capped sizes = %d/%d", train.Len(), test.Len())
+	}
+	if train.SeriesLen() != 64 {
+		t.Fatalf("capped length = %d", train.SeriesLen())
+	}
+	// All 7 classes still present under the cap.
+	if got := len(train.Classes()); got != m.Classes {
+		t.Fatalf("capped classes = %d, want %d", got, m.Classes)
+	}
+	// Caps below the class count are raised to it.
+	tiny, _ := Generate(m, GenConfig{MaxTrain: 2, MaxTest: 2, MaxLength: 32, Seed: 2})
+	if tiny.Len() < m.Classes {
+		t.Fatalf("tiny cap gave %d instances, need >= %d", tiny.Len(), m.Classes)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	m := MustLookup("Coffee")
+	a, _ := Generate(m, GenConfig{Seed: 7})
+	b, _ := Generate(m, GenConfig{Seed: 7})
+	for i := range a.Instances {
+		for j := range a.Instances[i].Values {
+			if a.Instances[i].Values[j] != b.Instances[i].Values[j] {
+				t.Fatal("same seed should reproduce identical data")
+			}
+		}
+	}
+	c, _ := Generate(m, GenConfig{Seed: 8})
+	same := true
+	for i := range a.Instances {
+		for j := range a.Instances[i].Values {
+			if a.Instances[i].Values[j] != c.Instances[i].Values[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGeneratedDataIsLearnable(t *testing.T) {
+	// The whole point of the substitute: classes must be separable by their
+	// discriminative subsequences, so 1NN-ED should beat chance clearly.
+	m := MustLookup("ItalyPowerDemand")
+	train, test := Generate(m, GenConfig{MaxTest: 200, Seed: 3})
+	acc := classify.EvaluateNN(train.Instances, test.Instances, classify.NNConfig{Metric: classify.Euclidean})
+	if acc < 75 {
+		t.Fatalf("1NN-ED accuracy on generated data = %v%%, want >= 75%%", acc)
+	}
+}
+
+func TestGeneratedMultiClassLearnable(t *testing.T) {
+	m := MustLookup("CBF") // 3 classes
+	train, test := Generate(m, GenConfig{MaxTest: 150, Seed: 4})
+	acc := classify.EvaluateNN(train.Instances, test.Instances, classify.NNConfig{Metric: classify.Euclidean})
+	if acc < 60 { // chance is 33%
+		t.Fatalf("3-class accuracy = %v%%", acc)
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := MustLookup("SonyAIBORobotSurface1")
+	train, test := Generate(m, GenConfig{MaxTrain: 10, MaxTest: 10, MaxLength: 30, Seed: 5})
+	if err := WriteTSV(filepath.Join(dir, "Sony_TRAIN.tsv"), train); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTSV(filepath.Join(dir, "Sony_TEST.tsv"), test); err != nil {
+		t.Fatal(err)
+	}
+	ltrain, ltest, err := LoadSplit(dir, "Sony")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ltrain.Len() != train.Len() || ltest.Len() != test.Len() {
+		t.Fatalf("round trip sizes = %d/%d", ltrain.Len(), ltest.Len())
+	}
+	for i := range train.Instances {
+		if ltrain.Instances[i].Label != train.Instances[i].Label {
+			t.Fatalf("label mismatch at %d", i)
+		}
+		for j := range train.Instances[i].Values {
+			if math.Abs(ltrain.Instances[i].Values[j]-train.Instances[i].Values[j]) > 1e-9 {
+				t.Fatalf("value mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadTSVLabelMapping(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "labels.tsv")
+	// Labels -1 and 1 (a common UCR convention) must map to 0 and 1.
+	content := "1\t0.5\t0.6\n-1\t0.1\t0.2\n1\t0.7\t0.8\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadTSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Instances[0].Label != 1 || d.Instances[1].Label != 0 || d.Instances[2].Label != 1 {
+		t.Fatalf("labels = %v", d.Labels())
+	}
+	// Non-numeric labels sort lexically.
+	content = "b\t1\na\t2\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err = LoadTSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Instances[0].Label != 1 || d.Instances[1].Label != 0 {
+		t.Fatalf("lexical labels = %v", d.Labels())
+	}
+}
+
+func TestLoadTSVErrors(t *testing.T) {
+	if _, err := LoadTSV("/nonexistent/path.tsv"); err == nil {
+		t.Fatal("missing file should error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.tsv")
+	os.WriteFile(bad, []byte("1\tnot-a-number\n"), 0o644)
+	if _, err := LoadTSV(bad); err == nil {
+		t.Fatal("bad value should error")
+	}
+	os.WriteFile(bad, []byte("justalabel\n"), 0o644)
+	if _, err := LoadTSV(bad); err == nil {
+		t.Fatal("label-only line should error")
+	}
+	os.WriteFile(bad, []byte("\n\n"), 0o644)
+	if _, err := LoadTSV(bad); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+}
+
+func TestGenerateByName(t *testing.T) {
+	tr, te, err := GenerateByName("Coffee", GenConfig{MaxTrain: 8, MaxTest: 8, MaxLength: 40, Seed: 6})
+	if err != nil || tr.Len() == 0 || te.Len() == 0 {
+		t.Fatalf("GenerateByName: %v", err)
+	}
+	if _, _, err := GenerateByName("Bogus", GenConfig{}); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}
+
+func TestSmoothWalkProperties(t *testing.T) {
+	// Patterns are tapered to zero at both ends (no step discontinuity).
+	m := MustLookup("BeetleFly")
+	g := newGenerator(m, GenConfig{Seed: 9})
+	for _, p := range g.patterns {
+		if math.Abs(p[0]) > 1e-9 || math.Abs(p[len(p)-1]) > 1e-9 {
+			t.Fatalf("pattern ends not tapered: %v %v", p[0], p[len(p)-1])
+		}
+		var nonZero bool
+		for _, v := range p {
+			if math.Abs(v) > 0.1 {
+				nonZero = true
+			}
+		}
+		if !nonZero {
+			t.Fatal("pattern is degenerate (all near zero)")
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package ips is the public API of the IPS reproduction: instance-profile
+// shapelet discovery for time series classification (Li et al., ICDE 2022).
+//
+// The pipeline has three stages.  Algorithm 1 generates shapelet candidates
+// from instance profiles computed over bagging samples of each class;
+// Algorithms 2 and 3 build a distribution-aware bloom filter (DABF) per
+// class and prune candidates that are "possibly close to most elements" of
+// another class; Algorithm 4 scores the survivors with three utility
+// functions (intra-class, inter-class, intra-instance) — accelerated by the
+// DT and CR optimisations — and keeps the top-k per class.  Classification
+// is a shapelet transform followed by a linear SVM.
+//
+// Quick start:
+//
+//	train, test, _ := ips.GenerateDataset("ItalyPowerDemand", ips.GenConfig{})
+//	model, _ := ips.Fit(train, ips.DefaultOptions())
+//	pred := model.Predict(test)
+//
+// The internal packages implement every substrate from scratch: matrix
+// profiles (STOMP), instance profiles, LSH families, the DABF, distribution
+// fitting, SVM/1NN classifiers, and the BASE and BSPCOVER baselines of the
+// paper's evaluation.  See DESIGN.md for the full inventory and
+// EXPERIMENTS.md for paper-versus-measured results.
+package ips
+
+import (
+	"ips/internal/classify"
+	"ips/internal/core"
+	"ips/internal/dabf"
+	"ips/internal/ip"
+	"ips/internal/ts"
+	"ips/internal/ucr"
+)
+
+// Re-exported core types.  The aliases give external callers legal names for
+// the internal implementation types.
+type (
+	// Series is an ordered sequence of real values.
+	Series = ts.Series
+	// Instance is a labelled time series.
+	Instance = ts.Instance
+	// Dataset is a set of labelled time series.
+	Dataset = ts.Dataset
+	// Shapelet is a discovered discriminative subsequence.
+	Shapelet = classify.Shapelet
+	// Options parameterises the IPS pipeline; see DefaultOptions.
+	Options = core.Options
+	// Model is a trained IPS classifier.
+	Model = core.Model
+	// Result reports a discovery run: shapelets, pool sizes, timings.
+	Result = core.Result
+	// IPConfig parameterises candidate generation (Algorithm 1).
+	IPConfig = ip.Config
+	// DABFConfig parameterises the distribution-aware bloom filter.
+	DABFConfig = dabf.Config
+	// SVMConfig parameterises the final linear SVM.
+	SVMConfig = classify.SVMConfig
+	// GenConfig controls the synthetic UCR-style dataset generator.
+	GenConfig = ucr.GenConfig
+	// DatasetMeta describes a UCR dataset (sizes, length, classes).
+	DatasetMeta = ucr.Meta
+)
+
+// DefaultOptions returns the paper's default parameters: k = 5 shapelets per
+// class, candidate length ratios {0.1 … 0.5}, Q_N = 10 samples of Q_S = 3
+// instances, L2 LSH with the 3σ pruning rule.
+func DefaultOptions() Options {
+	return Options{K: 5}.WithDefaults()
+}
+
+// Discover runs shapelet discovery (Algorithms 1–4) on the training set.
+func Discover(train *Dataset, opt Options) (*Result, error) {
+	return core.Discover(train, opt)
+}
+
+// Fit discovers shapelets and trains the shapelet-transform + SVM classifier.
+func Fit(train *Dataset, opt Options) (*Model, error) {
+	return core.Fit(train, opt)
+}
+
+// Evaluate fits on train and returns accuracy (%) on test with the model.
+func Evaluate(train, test *Dataset, opt Options) (float64, *Model, error) {
+	return core.Evaluate(train, test, opt)
+}
+
+// Transform embeds every instance into shapelet-distance space (Def. 7).
+func Transform(d *Dataset, shapelets []Shapelet) [][]float64 {
+	return classify.Transform(d, shapelets)
+}
+
+// LoadTSV reads a dataset in the UCR archive TSV format.
+func LoadTSV(path string) (*Dataset, error) { return ucr.LoadTSV(path) }
+
+// WriteTSV writes a dataset in the UCR archive TSV format.
+func WriteTSV(path string, d *Dataset) error { return ucr.WriteTSV(path, d) }
+
+// LoadSplit loads <dir>/<name>_TRAIN.tsv and <dir>/<name>_TEST.tsv.
+func LoadSplit(dir, name string) (train, test *Dataset, err error) {
+	return ucr.LoadSplit(dir, name)
+}
+
+// GenerateDataset synthesises the named UCR dataset's train/test splits with
+// the archive's real sizes (see DESIGN.md §3 for the substitution rationale).
+func GenerateDataset(name string, cfg GenConfig) (train, test *Dataset, err error) {
+	return ucr.GenerateByName(name, cfg)
+}
+
+// Datasets lists the 46 UCR datasets of the paper's evaluation.
+func Datasets() []DatasetMeta { return ucr.Archive }
+
+// LoadModel reads a trained model previously written with Model.Save or
+// Model.SaveFile.
+func LoadModel(path string) (*Model, error) { return core.LoadModelFile(path) }
+
+// CVResult summarises a cross-validation run.
+type CVResult = core.CVResult
+
+// CrossValidate runs stratified k-fold cross-validation of the IPS pipeline
+// on a single dataset — the evaluation mode when there is no train/test
+// split.
+func CrossValidate(d *Dataset, opt Options, folds int, seed int64) (*CVResult, error) {
+	return core.CrossValidate(d, opt, folds, seed)
+}

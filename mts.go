@@ -1,0 +1,35 @@
+package ips
+
+import (
+	"ips/internal/mts"
+)
+
+// Multivariate TSC support — the paper's second future-work direction,
+// implemented channel-independently: shapelets are discovered per channel
+// and one linear SVM classifies the concatenated per-channel transforms.
+type (
+	// MTSInstance is a labelled multivariate time series.
+	MTSInstance = mts.Instance
+	// MTSDataset is a set of labelled multivariate time series.
+	MTSDataset = mts.Dataset
+	// MTSModel is a trained multivariate IPS classifier.
+	MTSModel = mts.Model
+	// MTSGenConfig controls the synthetic multivariate generator.
+	MTSGenConfig = mts.GenConfig
+)
+
+// FitMTS discovers shapelets on every channel of the multivariate training
+// set and trains the joint classifier.
+func FitMTS(train *MTSDataset, opt Options) (*MTSModel, error) {
+	return mts.Fit(train, opt)
+}
+
+// EvaluateMTS fits on train and returns accuracy (%) on test with the model.
+func EvaluateMTS(train, test *MTSDataset, opt Options) (float64, *MTSModel, error) {
+	return mts.Evaluate(train, test, opt)
+}
+
+// GenerateMTS synthesises a multivariate train/test pair for experimentation.
+func GenerateMTS(cfg MTSGenConfig) (train, test *MTSDataset) {
+	return mts.Generate(cfg)
+}

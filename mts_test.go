@@ -1,0 +1,56 @@
+package ips
+
+import "testing"
+
+func TestPublicMTSAPI(t *testing.T) {
+	train, test := GenerateMTS(MTSGenConfig{Channels: 3, Seed: 1})
+	if train.NumChannels() != 3 {
+		t.Fatalf("channels = %d", train.NumChannels())
+	}
+	opt := DefaultOptions()
+	opt.K = 3
+	opt.IP.QN = 5
+	opt.IP.Seed, opt.DABF.Seed, opt.SVM.Seed = 2, 2, 2
+
+	acc, model, err := EvaluateMTS(train, test, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 75 {
+		t.Fatalf("multivariate accuracy = %v%%", acc)
+	}
+	if len(model.ShapeletsPerChannel) != 3 {
+		t.Fatalf("per-channel shapelets = %d", len(model.ShapeletsPerChannel))
+	}
+	// FitMTS path.
+	m2, err := FitMTS(train, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.Predict(test); len(got) != test.Len() {
+		t.Fatalf("pred len = %d", len(got))
+	}
+}
+
+func TestPublicWorkersDeterminism(t *testing.T) {
+	train, test, err := GenerateDataset("GunPoint", GenConfig{MaxTest: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.IP.QN = 5
+	opt.IP.Seed, opt.DABF.Seed, opt.SVM.Seed = 4, 4, 4
+
+	accSeq, _, err := Evaluate(train, test, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 4
+	accPar, _, err := Evaluate(train, test, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accSeq != accPar {
+		t.Fatalf("workers changed the result: %v vs %v", accSeq, accPar)
+	}
+}
