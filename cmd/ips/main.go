@@ -10,11 +10,22 @@
 //
 // Flags:
 //
-//	-k N        shapelets per class (default 5)
-//	-qn N       bagging samples per class (default 10)
-//	-qs N       instances per sample (default 3)
-//	-seed N     random seed (default 1)
-//	-show N     print the first N shapelets as sparklines (default 3)
+//	-k N         shapelets per class (default 5)
+//	-qn N        bagging samples per class (default 10)
+//	-qs N        instances per sample (default 3)
+//	-seed N      random seed (default 1)
+//	-show N      print the first N shapelets as sparklines (default 3)
+//	-save FILE   write the trained model to FILE as JSON
+//	-load FILE   classify with a previously saved model instead of training
+//
+// Observability (see internal/obs):
+//
+//	-trace FILE       write the run's span tree as Chrome trace_event JSON
+//	                  (open in chrome://tracing or Perfetto)
+//	-spans            print the span tree after the run
+//	-progress         stream stage progress to stderr
+//	-debug-addr ADDR  serve net/http/pprof, expvar, and /metrics on ADDR
+//	                  (e.g. :6060) for live profiling during the run
 package main
 
 import (
@@ -40,6 +51,10 @@ func main() {
 	show := flag.Int("show", 3, "print the first N shapelets as sparklines")
 	savePath := flag.String("save", "", "write the trained model to this JSON file")
 	loadPath := flag.String("load", "", "classify with a previously saved model instead of training")
+	tracePath := flag.String("trace", "", "write Chrome trace_event JSON of the run to this file")
+	spans := flag.Bool("spans", false, "print the span tree after the run")
+	progress := flag.Bool("progress", false, "stream stage progress to stderr")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof, expvar, and /metrics on this address (e.g. :6060)")
 	flag.Parse()
 
 	train, test, err := loadData(*dataset, *data, *trainPath, *testPath, *seed)
@@ -53,6 +68,29 @@ func main() {
 		return
 	}
 
+	// Observability: a full observer (spans + metrics) when any hook is
+	// requested; nil otherwise, which keeps the hot loops no-op.
+	var o *ips.Observer
+	if *tracePath != "" || *spans || *progress || *debugAddr != "" {
+		o = ips.NewObserver("ips")
+	}
+	if *progress {
+		o.OnProgress(func(stage string, done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%-16s %d/%d", stage, done, total)
+			if done >= total {
+				fmt.Fprintln(os.Stderr)
+			}
+		})
+	}
+	if *debugAddr != "" {
+		_, addr, err := ips.ServeDebug(*debugAddr, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ips: debug server:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (pprof /debug/pprof/, metrics /metrics)\n", addr)
+	}
+
 	opt := ips.DefaultOptions()
 	opt.K = *k
 	opt.IP.QN = *qn
@@ -60,21 +98,25 @@ func main() {
 	opt.IP.Seed = *seed
 	opt.DABF.Seed = *seed
 	opt.SVM.Seed = *seed
+	opt.Obs = o
 
 	acc, model, err := ips.Evaluate(train, test, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ips:", err)
 		os.Exit(1)
 	}
+	o.Finish()
 	d := model.Discovery
 	fmt.Printf("dataset            %s (%d train / %d test, length %d, %d classes)\n",
 		train.Name, train.Len(), test.Len(), train.SeriesLen(), len(train.Classes()))
 	fmt.Printf("accuracy           %.2f%%\n", acc)
 	fmt.Printf("candidates         %d generated, %d after DABF pruning\n", d.PoolSize, d.PrunedSize)
 	fmt.Printf("shapelets          %d (k=%d per class)\n", len(model.Shapelets), *k)
-	fmt.Printf("timings            generate %.3fs  prune %.3fs  select %.3fs  total %.3fs\n",
+	fmt.Printf("timings            generate %.3fs  prune %.3fs  select %.3fs  discovery %.3fs\n",
 		d.Timings.CandidateGen.Seconds(), d.Timings.Pruning.Seconds(),
 		d.Timings.Selection.Seconds(), d.Timings.Total().Seconds())
+	fmt.Printf("                   transform %.3fs  train %.3fs  fit total %.3fs\n",
+		d.Timings.Transform.Seconds(), d.Timings.Train.Seconds(), d.Timings.FitTotal().Seconds())
 	var fits []string
 	for c, f := range d.FitsByClass {
 		fits = append(fits, fmt.Sprintf("class %d: %s", c, f))
@@ -88,6 +130,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("model saved to     %s\n", *savePath)
+	}
+
+	if *spans {
+		fmt.Println("\nspan tree:")
+		o.RenderTree(os.Stdout)
+	}
+	if *tracePath != "" {
+		if err := o.WriteTraceFile(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "ips: writing trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to   %s\n", *tracePath)
 	}
 
 	if *show > 0 {

@@ -21,6 +21,13 @@
 //	-seed N      random seed (default 1)
 //	-k N         shapelets per class (default 5)
 //	-runs N      repetitions averaged for randomised methods (default 1)
+//
+// Observability (see internal/obs):
+//
+//	-trace FILE       write every IPS run's span tree as Chrome trace_event
+//	                  JSON to FILE when the suite finishes
+//	-debug-addr ADDR  serve net/http/pprof, expvar, and /metrics on ADDR
+//	                  (e.g. :6060) for live profiling while the suite runs
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"os"
 
 	"ips/internal/bench"
+	"ips/internal/obs"
 )
 
 func main() {
@@ -38,12 +46,27 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	k := flag.Int("k", 5, "shapelets per class")
 	runs := flag.Int("runs", 1, "repetitions averaged for randomised methods")
+	tracePath := flag.String("trace", "", "write Chrome trace_event JSON of all IPS runs to this file")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof, expvar, and /metrics on this address (e.g. :6060)")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: ipsbench [flags] <table2|table3|table4|table5|table6|table7|fig9|fig10a|fig10bc|fig11|fig12|fig13|all>...")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+
+	var o *obs.Observer
+	if *tracePath != "" || *debugAddr != "" {
+		o = obs.New("ipsbench")
+	}
+	if *debugAddr != "" {
+		_, addr, err := obs.ServeDebug(*debugAddr, o.Metrics())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipsbench: debug server:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (pprof /debug/pprof/, metrics /metrics)\n", addr)
 	}
 
 	h := &bench.Harness{
@@ -53,6 +76,7 @@ func main() {
 		K:       *k,
 		Runs:    *runs,
 		Out:     os.Stdout,
+		Obs:     o,
 	}
 
 	experiments := map[string]func() error{
@@ -98,5 +122,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println()
+	}
+
+	if *tracePath != "" {
+		o.Finish()
+		if err := o.WriteTraceFile(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "ipsbench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *tracePath)
 	}
 }

@@ -96,7 +96,11 @@ func (h *Harness) Ablation(datasets []string) ([]AblationResult, error) {
 // the inter-class utility.
 func (h *Harness) evaluateWithoutDiscords(train, test *ts.Dataset, opt core.Options) (float64, error) {
 	opt = opt.WithDefaults()
-	pool, err := ip.Generate(train, opt.IP)
+	sp := h.Obs.Root().Child("ablation.no-discords." + train.Name)
+	defer sp.End()
+	gsp := sp.Child("candidate-gen")
+	pool, err := ip.GenerateSpan(train, opt.IP, gsp)
+	gsp.End()
 	if err != nil {
 		return 0, err
 	}
@@ -109,12 +113,18 @@ func (h *Harness) evaluateWithoutDiscords(train, test *ts.Dataset, opt core.Opti
 		}
 		pool.ByClass[class] = motifsOnly
 	}
-	d, err := dabf.Build(pool, opt.DABF)
+	bsp := sp.Child("dabf-build")
+	d, err := dabf.BuildSpan(pool, opt.DABF, bsp)
+	bsp.End()
 	if err != nil {
 		return 0, err
 	}
-	pruned, _ := dabf.Prune(pool, d)
-	shapelets := core.SelectTopK(pruned, train, d, core.SelectionConfig{K: opt.K, UseDT: true, UseCR: true})
+	qsp := sp.Child("dabf-query")
+	pruned, _ := dabf.PruneSpan(pool, d, qsp)
+	qsp.End()
+	ssp := sp.Child("selection")
+	shapelets := core.SelectTopK(pruned, train, d, core.SelectionConfig{K: opt.K, UseDT: true, UseCR: true, Span: ssp})
+	ssp.End()
 	if len(shapelets) == 0 {
 		return 0, fmt.Errorf("bench: no shapelets without discords")
 	}

@@ -58,21 +58,36 @@ func (h *Harness) Fig10a(datasets []string) ([]Fig10aRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		pool, err := ip.Generate(train, cfg.IP)
+		dsp := h.Obs.Root().Child("fig10a." + name)
+		gsp := dsp.Child("candidate-gen")
+		pool, err := ip.GenerateSpan(train, cfg.IP, gsp)
+		gsp.End()
 		if err != nil {
+			dsp.End()
 			return nil, err
 		}
 		t0 := time.Now()
-		d, err := dabf.Build(pool, cfg.DABF)
+		psp := dsp.Child("prune-dabf")
+		bsp := psp.Child("dabf-build")
+		d, err := dabf.BuildSpan(pool, cfg.DABF, bsp)
+		bsp.End()
 		if err != nil {
+			psp.End()
+			dsp.End()
 			return nil, err
 		}
-		dabf.Prune(pool, d)
+		qsp := psp.Child("dabf-query")
+		dabf.PruneSpan(pool, d, qsp)
+		qsp.End()
+		psp.End()
 		withDABF := time.Since(t0)
 
 		t0 = time.Now()
+		nsp := dsp.Child("prune-naive")
 		dabf.NaivePrune(pool, cfg.DABF.Dim, cfg.DABF.Sigma)
+		nsp.End()
 		without := time.Since(t0)
+		dsp.End()
 
 		rows = append(rows, Fig10aRow{Dataset: name, WithDABF: withDABF, WithoutDAB: without})
 	}
@@ -153,11 +168,15 @@ func (h *Harness) selectionTime(train *ts.Dataset, opt core.Options) time.Durati
 		return 0
 	}
 	pruned, _ := dabf.Prune(pool, d)
+	sp := h.Obs.Root().Child("fig10bc.selection." + train.Name)
+	sp.SetString("dt_cr", fmt.Sprint(!opt.DisableDT))
 	t0 := time.Now()
 	core.SelectTopK(pruned, train, d, core.SelectionConfig{
 		K:     opt.K,
 		UseDT: !opt.DisableDT,
 		UseCR: !opt.DisableCR,
+		Span:  sp,
 	})
+	sp.End()
 	return time.Since(t0)
 }

@@ -11,6 +11,7 @@ import (
 	"ips/internal/core"
 	"ips/internal/dabf"
 	"ips/internal/ip"
+	"ips/internal/obs"
 	"ips/internal/ts"
 	"ips/internal/ucr"
 )
@@ -34,6 +35,10 @@ type Harness struct {
 	Runs int
 	// Out receives the formatted tables; defaults to io.Discard when nil.
 	Out io.Writer
+	// Obs, when non-nil, threads spans and metrics through every IPS
+	// pipeline run the harness performs (see internal/obs); each Discover
+	// appears as one subtree under the observer's root.
+	Obs *obs.Observer
 }
 
 func (h *Harness) runs() int {
@@ -89,6 +94,7 @@ func (h *Harness) ipsOptions() core.Options {
 		DABF: dabf.Config{Seed: h.Seed},
 		K:    h.k(),
 		SVM:  classify.SVMConfig{Seed: h.Seed},
+		Obs:  h.Obs,
 	}
 	if h.Quick {
 		opt.IP.QN = 5

@@ -35,11 +35,18 @@ func (h *Harness) Table3() ([]Table3Row, error) {
 			return nil, err
 		}
 		cfg := h.ipsOptions()
-		pool, err := ip.Generate(train, cfg.IP)
+		dsp := h.Obs.Root().Child("table3." + name)
+		gsp := dsp.Child("candidate-gen")
+		pool, err := ip.GenerateSpan(train, cfg.IP, gsp)
+		gsp.End()
 		if err != nil {
+			dsp.End()
 			return nil, err
 		}
-		d, err := dabf.Build(pool, cfg.DABF)
+		bsp := dsp.Child("dabf-build")
+		d, err := dabf.BuildSpan(pool, cfg.DABF, bsp)
+		bsp.End()
+		dsp.End()
 		if err != nil {
 			return nil, err
 		}

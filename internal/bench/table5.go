@@ -45,33 +45,52 @@ func (h *Harness) Table5(datasets []string) ([]Table5Row, error) {
 			return nil, err
 		}
 		row := Table5Row{Dataset: name}
+		dsp := h.Obs.Root().Child("table5." + name)
 
 		t0 := time.Now()
-		pool, err := ip.Generate(train, cfg.IP)
+		gsp := dsp.Child("candidate-gen")
+		pool, err := ip.GenerateSpan(train, cfg.IP, gsp)
+		gsp.End()
 		if err != nil {
+			dsp.End()
 			return nil, err
 		}
 		row.CandidateGen = time.Since(t0)
 
 		t0 = time.Now()
-		d, err := dabf.Build(pool, cfg.DABF)
+		psp := dsp.Child("prune-dabf")
+		bsp := psp.Child("dabf-build")
+		d, err := dabf.BuildSpan(pool, cfg.DABF, bsp)
+		bsp.End()
 		if err != nil {
+			psp.End()
+			dsp.End()
 			return nil, err
 		}
-		pruned, _ := dabf.Prune(pool, d)
+		qsp := psp.Child("dabf-query")
+		pruned, _ := dabf.PruneSpan(pool, d, qsp)
+		qsp.End()
+		psp.End()
 		row.PruneDABF = time.Since(t0)
 
 		t0 = time.Now()
+		nsp := dsp.Child("prune-naive")
 		dabf.NaivePrune(pool, cfg.DABF.Dim, cfg.DABF.Sigma)
+		nsp.End()
 		row.PruneNaive = time.Since(t0)
 
 		t0 = time.Now()
-		core.SelectTopK(pruned, train, d, core.SelectionConfig{K: cfg.K, UseDT: true, UseCR: true})
+		ssp := dsp.Child("select-dtcr")
+		core.SelectTopK(pruned, train, d, core.SelectionConfig{K: cfg.K, UseDT: true, UseCR: true, Span: ssp})
+		ssp.End()
 		row.SelectOptimised = time.Since(t0)
 
 		t0 = time.Now()
-		core.SelectTopK(pruned, train, d, core.SelectionConfig{K: cfg.K, UseDT: false, UseCR: false})
+		rsp := dsp.Child("select-raw")
+		core.SelectTopK(pruned, train, d, core.SelectionConfig{K: cfg.K, UseDT: false, UseCR: false, Span: rsp})
+		rsp.End()
 		row.SelectRaw = time.Since(t0)
+		dsp.End()
 
 		rows = append(rows, row)
 	}

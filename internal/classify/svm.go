@@ -5,6 +5,9 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
+
+	"ips/internal/obs"
 )
 
 // SVMConfig parameterises TrainSVM.
@@ -43,6 +46,14 @@ type SVM struct {
 // TrainSVM fits one binary hinge-loss SVM per class on features X with
 // labels y.
 func TrainSVM(X [][]float64, y []int, cfg SVMConfig) (*SVM, error) {
+	return TrainSVMSpan(X, y, cfg, nil)
+}
+
+// TrainSVMSpan is TrainSVM with observability: a sub-span per one-vs-rest
+// problem annotated with the coordinate-descent passes it took to converge,
+// and a classify.svm.passes counter totalling them.  A nil span disables
+// all of it; the trained weights are identical either way.
+func TrainSVMSpan(X [][]float64, y []int, cfg SVMConfig, sp *obs.Span) (*SVM, error) {
 	if len(X) == 0 || len(X) != len(y) {
 		return nil, errors.New("classify: bad training shape")
 	}
@@ -60,19 +71,24 @@ func TrainSVM(X [][]float64, y []int, cfg SVMConfig) (*SVM, error) {
 	if len(classes) < 2 {
 		return nil, errors.New("classify: need at least two classes")
 	}
+	passesCtr := sp.Metrics().Counter("classify.svm.passes")
 	m := &SVM{Classes: classes, W: make([][]float64, len(classes)), B: make([]float64, len(classes))}
 	for ci, class := range classes {
-		w, b := dualCD(X, y, class, dim, cfg)
+		csp := sp.Child("svm.class-" + strconv.Itoa(class))
+		w, b, passes := dualCD(X, y, class, dim, cfg)
 		m.W[ci] = w
 		m.B[ci] = b
+		passesCtr.Add(int64(passes))
+		csp.SetInt("passes", int64(passes))
+		csp.End()
 	}
 	return m, nil
 }
 
 // dualCD solves the binary "class vs rest" L1-loss SVM dual by coordinate
-// descent.  The bias is handled by augmenting each example with a constant
-// feature.
-func dualCD(X [][]float64, y []int, class, dim int, cfg SVMConfig) ([]float64, float64) {
+// descent and reports how many passes it took.  The bias is handled by
+// augmenting each example with a constant feature.
+func dualCD(X [][]float64, y []int, class, dim int, cfg SVMConfig) ([]float64, float64, int) {
 	n := len(X)
 	C := 1 / (cfg.Lambda * float64(n))
 	const biasFeature = 1.0
@@ -96,7 +112,9 @@ func dualCD(X [][]float64, y []int, class, dim int, cfg SVMConfig) ([]float64, f
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(class)))
 	order := rng.Perm(n)
 	const tol = 1e-8
+	passes := 0
 	for pass := 0; pass < cfg.Epochs; pass++ {
+		passes++
 		maxDelta := 0.0
 		for _, i := range order {
 			if qii[i] == 0 {
@@ -128,7 +146,7 @@ func dualCD(X [][]float64, y []int, class, dim int, cfg SVMConfig) ([]float64, f
 			break
 		}
 	}
-	return w, b
+	return w, b, passes
 }
 
 // Decision returns the decision value of each class for x, aligned with

@@ -9,6 +9,7 @@ import (
 	"math"
 	"sync"
 
+	"ips/internal/obs"
 	"ips/internal/ts"
 )
 
@@ -31,6 +32,19 @@ func Transform(d *ts.Dataset, shapelets []Shapelet) [][]float64 {
 // the given number of goroutines (<=1 means sequential).  The output is
 // identical for any worker count.
 func TransformWorkers(d *ts.Dataset, shapelets []Shapelet, workers int) [][]float64 {
+	return TransformSpan(d, shapelets, workers, nil)
+}
+
+// TransformSpan is TransformWorkers with observability: span attributes for
+// the embedding shape and a classify.transform.dists counter of sliding
+// Def. 4 distance evaluations.  The count is derived arithmetically
+// (instances × shapelets), so the embedding loop itself carries no
+// instrumentation cost.
+func TransformSpan(d *ts.Dataset, shapelets []Shapelet, workers int, sp *obs.Span) [][]float64 {
+	sp.SetInt("instances", int64(len(d.Instances)))
+	sp.SetInt("shapelets", int64(len(shapelets)))
+	sp.SetInt("workers", int64(max(workers, 1)))
+	sp.Metrics().Counter("classify.transform.dists").Add(int64(len(d.Instances)) * int64(len(shapelets)))
 	out := make([][]float64, len(d.Instances))
 	embed := func(j int) {
 		row := make([]float64, len(shapelets))

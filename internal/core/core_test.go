@@ -88,8 +88,8 @@ func TestRawUtilitiesCRMatchesNoCR(t *testing.T) {
 	motifs := pool.Motifs(0)
 	others := pool.ByClass[1]
 	instances := d.ByClass()[0]
-	withCR := rawUtilities(motifs, others, instances, true)
-	without := rawUtilities(motifs, others, instances, false)
+	withCR := rawUtilities(motifs, others, instances, true, nil)
+	without := rawUtilities(motifs, others, instances, false, nil)
 	for i := range withCR.intra {
 		if math.Abs(withCR.intra[i]-without.intra[i]) > 1e-9 {
 			t.Fatalf("intra[%d]: CR %v vs no-CR %v", i, withCR.intra[i], without.intra[i])
@@ -117,8 +117,8 @@ func TestDTUtilitiesCRMatchesNoCR(t *testing.T) {
 	others := pool.ByClass[1]
 	instances := d.ByClass()[0]
 	cf := filt.PerClass[0]
-	withCR := dtUtilities(motifs, others, instances, cf, filt.Cfg.Dim, true)
-	without := dtUtilities(motifs, others, instances, cf, filt.Cfg.Dim, false)
+	withCR := dtUtilities(motifs, others, instances, cf, filt.Cfg.Dim, true, nil)
+	without := dtUtilities(motifs, others, instances, cf, filt.Cfg.Dim, false, nil)
 	for i := range withCR.intra {
 		if withCR.intra[i] != without.intra[i] || withCR.inter[i] != without.inter[i] || withCR.dc[i] != without.dc[i] {
 			t.Fatalf("DT utilities differ at %d", i)
@@ -149,7 +149,7 @@ func TestUtilityScoresOrdering(t *testing.T) {
 		others = append(others, ip.Candidate{Class: 1, Kind: ip.Motif, Values: v})
 	}
 	instances := []ts.Instance{{Values: base.Clone(), Label: 0}}
-	u := rawUtilities(motifs, others, instances, true)
+	u := rawUtilities(motifs, others, instances, true, nil)
 	scores := u.scores()
 	if scores[0] >= scores[2] {
 		t.Fatalf("good candidate score %v should beat outlier score %v", scores[0], scores[2])

@@ -3,10 +3,12 @@ package core
 import (
 	"container/heap"
 	"sort"
+	"strconv"
 
 	"ips/internal/classify"
 	"ips/internal/dabf"
 	"ips/internal/ip"
+	"ips/internal/obs"
 	"ips/internal/ts"
 )
 
@@ -43,6 +45,9 @@ type SelectionConfig struct {
 	// negative disables the guard.  Addresses the paper's 2nd issue (§II-B):
 	// similar subsequences as shapelets.
 	DiversityTau float64
+	// Span, when non-nil, receives per-class sub-spans with per-utility
+	// timing and distance-evaluation counters.
+	Span *obs.Span
 }
 
 // SelectTopK runs Algorithm 4: scores every motif candidate of every class
@@ -65,6 +70,7 @@ func SelectTopK(pool *ip.Pool, train *ts.Dataset, d *dabf.DABF, cfg SelectionCon
 		if len(motifs) == 0 {
 			continue
 		}
+		csp := cfg.Span.Child("class-" + strconv.Itoa(class))
 		var others []ip.Candidate
 		for _, oc := range classes {
 			if oc != class {
@@ -76,11 +82,11 @@ func SelectTopK(pool *ip.Pool, train *ts.Dataset, d *dabf.DABF, cfg SelectionCon
 		var u *utilities
 		if cfg.UseDT && d != nil {
 			if cf := d.PerClass[class]; cf != nil {
-				u = dtUtilities(motifs, others, instances, cf, d.Cfg.Dim, cfg.UseCR)
+				u = dtUtilities(motifs, others, instances, cf, d.Cfg.Dim, cfg.UseCR, csp)
 			}
 		}
 		if u == nil {
-			u = rawUtilities(motifs, others, instances, cfg.UseCR)
+			u = rawUtilities(motifs, others, instances, cfg.UseCR, csp)
 		}
 		scores := u.scores()
 
@@ -117,6 +123,9 @@ func SelectTopK(pool *ip.Pool, train *ts.Dataset, d *dabf.DABF, cfg SelectionCon
 			})
 		}
 		out = append(out, picked...)
+		csp.SetInt("motifs", int64(len(motifs)))
+		csp.SetInt("picked", int64(len(picked)))
+		csp.End()
 	}
 	return out
 }

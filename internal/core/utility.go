@@ -9,6 +9,7 @@ import (
 
 	"ips/internal/dabf"
 	"ips/internal/ip"
+	"ips/internal/obs"
 	"ips/internal/ts"
 )
 
@@ -71,14 +72,18 @@ func (u *utilities) scores() []float64 {
 // using raw Def. 4 distances.  useCR enables computation reuse: each
 // symmetric pairwise distance is computed once and credited to both
 // endpoints; without it the loops recompute every pair from both sides,
-// reproducing the cost the CR optimisation removes.
-func rawUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.Instance, useCR bool) *utilities {
+// reproducing the cost the CR optimisation removes.  Each utility gets its
+// own sub-span of sp; distance-evaluation counts are derived arithmetically
+// so the loops themselves carry no instrumentation cost.
+func rawUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.Instance, useCR bool, sp *obs.Span) *utilities {
 	n := len(motifs)
 	u := &utilities{
 		intra: make([]float64, n),
 		inter: make([]float64, n),
 		dc:    make([]float64, n),
 	}
+	dists := sp.Metrics().Counter("core.select.raw_dists")
+	intraSp := sp.Child("utility.intra")
 	if useCR {
 		// Intra: symmetric matrix, compute the upper triangle once.
 		for i := 0; i < n; i++ {
@@ -88,12 +93,7 @@ func rawUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.I
 				u.intra[j] += d
 			}
 		}
-		// Inter: each (motif, other) pair computed once.
-		for i := 0; i < n; i++ {
-			for _, o := range others {
-				u.inter[i] += ts.Dist(motifs[i].Values, o.Values)
-			}
-		}
+		dists.Add(int64(n) * int64(n-1) / 2)
 	} else {
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
@@ -103,17 +103,27 @@ func rawUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.I
 				u.intra[i] += ts.Dist(motifs[i].Values, motifs[j].Values)
 			}
 		}
-		for i := 0; i < n; i++ {
-			for _, o := range others {
-				u.inter[i] += ts.Dist(motifs[i].Values, o.Values)
-			}
+		dists.Add(int64(n) * int64(n-1))
+	}
+	intraSp.End()
+	interSp := sp.Child("utility.inter")
+	// Inter: each (motif, other) pair computed once; CR has nothing to
+	// reuse here because the sums are one-sided.
+	for i := 0; i < n; i++ {
+		for _, o := range others {
+			u.inter[i] += ts.Dist(motifs[i].Values, o.Values)
 		}
 	}
+	dists.Add(int64(n) * int64(len(others)))
+	interSp.End()
+	dcSp := sp.Child("utility.dc")
 	for i := 0; i < n; i++ {
 		for _, in := range instances {
 			u.dc[i] += ts.Dist(motifs[i].Values, in.Values)
 		}
 	}
+	dists.Add(int64(n) * int64(len(instances)))
+	dcSp.End()
 	return u
 }
 
@@ -124,14 +134,16 @@ func rawUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.I
 // and every pairwise evaluation is then O(NumHashes) instead of O(L²).
 // useCR additionally reuses the symmetric intra sums.
 func dtUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.Instance,
-	cf *dabf.ClassFilter, dim int, useCR bool) *utilities {
+	cf *dabf.ClassFilter, dim int, useCR bool, sp *obs.Span) *utilities {
 	n := len(motifs)
 	u := &utilities{
 		intra: make([]float64, n),
 		inter: make([]float64, n),
 		dc:    make([]float64, n),
 	}
+	dists := sp.Metrics().Counter("core.select.dt_dists")
 	// Hash everything once.
+	hashSp := sp.Child("utility.hash")
 	mb := make([][]float64, n)
 	for i, m := range motifs {
 		mb[i] = cf.ProjectValues(m.Values, dim)
@@ -144,6 +156,9 @@ func dtUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.In
 	for i, in := range instances {
 		ib[i] = cf.ProjectValues(in.Values, dim)
 	}
+	sp.Metrics().Counter("core.select.hashes").Add(int64(n + len(others) + len(instances)))
+	hashSp.End()
+	intraSp := sp.Child("utility.intra")
 	if useCR {
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
@@ -152,6 +167,7 @@ func dtUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.In
 				u.intra[j] += d
 			}
 		}
+		dists.Add(int64(n) * int64(n-1) / 2)
 	} else {
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
@@ -160,14 +176,24 @@ func dtUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.In
 				}
 			}
 		}
+		dists.Add(int64(n) * int64(n-1))
 	}
+	intraSp.End()
+	interSp := sp.Child("utility.inter")
 	for i := 0; i < n; i++ {
 		for _, b := range ob {
 			u.inter[i] += ts.EuclideanDist(mb[i], b)
 		}
+	}
+	dists.Add(int64(n) * int64(len(others)))
+	interSp.End()
+	dcSp := sp.Child("utility.dc")
+	for i := 0; i < n; i++ {
 		for _, b := range ib {
 			u.dc[i] += ts.EuclideanDist(mb[i], b)
 		}
 	}
+	dists.Add(int64(n) * int64(len(instances)))
+	dcSp.End()
 	return u
 }

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"ips/internal/ip"
 	"ips/internal/lsh"
+	"ips/internal/obs"
 	"ips/internal/stats"
 )
 
@@ -84,10 +86,19 @@ type DABF struct {
 // discords) into buckets, rank buckets by centre distance from the origin,
 // z-normalise the projected norms, and fit the best distribution by NMSE.
 func Build(pool *ip.Pool, cfg Config) (*DABF, error) {
+	return BuildSpan(pool, cfg, nil)
+}
+
+// BuildSpan is Build with observability: a sub-span per class filter
+// (annotated with the chosen distribution, its NMSE, and the bucket count)
+// and a bucket-occupancy histogram hang off sp.  A nil span disables all of
+// it; the filter is identical either way.
+func BuildSpan(pool *ip.Pool, cfg Config, sp *obs.Span) (*DABF, error) {
 	cfg = cfg.Defaults()
 	if pool == nil || len(pool.ByClass) == 0 {
 		return nil, errors.New("dabf: empty candidate pool")
 	}
+	occupancy := sp.Metrics().Histogram("dabf.bucket_occupancy", []float64{1, 2, 4, 8, 16, 32, 64, 128})
 	d := &DABF{PerClass: map[int]*ClassFilter{}, Cfg: cfg}
 	classes := pool.Classes()
 	sort.Ints(classes)
@@ -96,6 +107,7 @@ func Build(pool *ip.Pool, cfg Config) (*DABF, error) {
 		if len(cands) == 0 {
 			continue
 		}
+		fsp := sp.Child("fit.class-" + strconv.Itoa(class))
 		family := lsh.New(lsh.Config{
 			Kind:      cfg.LSH,
 			Dim:       cfg.Dim,
@@ -179,6 +191,7 @@ func Build(pool *ip.Pool, cfg Config) (*DABF, error) {
 		// between those two families by NMSE.
 		hist, err := stats.NewHistogram(z, bins)
 		if err != nil {
+			fsp.End()
 			return nil, fmt.Errorf("dabf: class %d distribution fit: %w", class, err)
 		}
 		norm := stats.FitNormal(z)
@@ -190,6 +203,14 @@ func Build(pool *ip.Pool, cfg Config) (*DABF, error) {
 			cf.Dist, cf.FitNMSE = gamma, gNMSE
 		}
 		d.PerClass[class] = cf
+		for _, b := range cf.Buckets {
+			occupancy.Observe(float64(b.Count))
+		}
+		fsp.SetInt("candidates", int64(len(cands)))
+		fsp.SetInt("buckets", int64(len(cf.Buckets)))
+		fsp.SetString("dist", cf.Dist.Name())
+		fsp.SetFloat("nmse", cf.FitNMSE)
+		fsp.End()
 	}
 	if len(d.PerClass) == 0 {
 		return nil, errors.New("dabf: no class filters built")
@@ -266,9 +287,21 @@ type PruneStats struct {
 // At least cfg.MinKeep motif candidates survive per class (the most
 // distinctive ones by z-score) so downstream selection never starves.
 func Prune(pool *ip.Pool, d *DABF) (*ip.Pool, PruneStats) {
+	return PruneSpan(pool, d, nil)
+}
+
+// PruneSpan is Prune with observability.  It feeds four counters:
+// dabf.prune.examined / accepted / rejected, and
+// dabf.prune.false_positives — candidates the filter answered "possibly
+// close" for but the MinKeep floor restored as the most distinctive of
+// their class, i.e. the measurable proxy for the filter's false-positive
+// side.  Counts are accumulated locally and published once, so the
+// per-candidate loop carries no atomic traffic.
+func PruneSpan(pool *ip.Pool, d *DABF, sp *obs.Span) (*ip.Pool, PruneStats) {
 	cfg := d.Cfg
 	out := &ip.Pool{ByClass: map[int][]ip.Candidate{}}
 	var st PruneStats
+	refilled := 0
 	for class, cands := range pool.ByClass {
 		var kept []ip.Candidate
 		// Pruned motifs ranked by distinctiveness for the MinKeep fallback.
@@ -317,10 +350,20 @@ func Prune(pool *ip.Pool, d *DABF) (*ip.Pool, PruneStats) {
 				kept = append(kept, cands[r.idx])
 				keptMotifs++
 				st.Pruned--
+				refilled++
 			}
 		}
 		out.ByClass[class] = kept
 	}
+	if m := sp.Metrics(); m != nil {
+		m.Counter("dabf.prune.examined").Add(int64(st.Examined))
+		m.Counter("dabf.prune.accepted").Add(int64(st.Examined - st.Pruned))
+		m.Counter("dabf.prune.rejected").Add(int64(st.Pruned))
+		m.Counter("dabf.prune.false_positives").Add(int64(refilled))
+	}
+	sp.SetInt("examined", int64(st.Examined))
+	sp.SetInt("pruned", int64(st.Pruned))
+	sp.SetInt("refilled", int64(refilled))
 	return out, st
 }
 

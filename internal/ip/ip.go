@@ -10,9 +10,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"ips/internal/mp"
+	"ips/internal/obs"
 	"ips/internal/ts"
 )
 
@@ -176,6 +179,15 @@ type job struct {
 // out over cfg.Workers goroutines, producing an identical pool for any
 // worker count.
 func Generate(d *ts.Dataset, cfg Config) (*Pool, error) {
+	return GenerateSpan(d, cfg, nil)
+}
+
+// GenerateSpan is Generate with observability: sub-spans for per-class
+// sampling and the profile fan-out, per-length and per-class candidate
+// counters, worker-utilisation gauges, and streamed per-job progress hang
+// off sp.  A nil span disables all of it at the cost of a pointer check;
+// the candidate pool is identical either way.
+func GenerateSpan(d *ts.Dataset, cfg Config, sp *obs.Span) (*Pool, error) {
 	cfg = cfg.Defaults()
 	if err := d.Validate(false); err != nil {
 		return nil, err
@@ -192,6 +204,7 @@ func Generate(d *ts.Dataset, cfg Config) (*Pool, error) {
 		if len(ins) == 0 {
 			continue
 		}
+		ssp := sp.Child("sample.class-" + strconv.Itoa(class))
 		lengths := cfg.Lengths(len(ins[0].Values))
 		for s := 0; s < cfg.QN; s++ {
 			sample := ts.Sample(ins, cfg.QS, rng)
@@ -200,10 +213,16 @@ func Generate(d *ts.Dataset, cfg Config) (*Pool, error) {
 				jobs = append(jobs, job{class: class, sample: s, length: L, cat: cat, starts: starts})
 			}
 		}
+		ssp.SetInt("samples", int64(cfg.QN))
+		ssp.SetInt("lengths", int64(len(lengths)))
+		ssp.End()
 	}
 
 	// Phase 2 (parallel): compute the instance profile of each job and
 	// extract its motif and discord into a per-job slot.
+	psp := sp.Child("profiles")
+	psp.SetInt("jobs", int64(len(jobs)))
+	var done atomic.Int64
 	results := make([][]Candidate, len(jobs))
 	run := func(ji int) {
 		j := jobs[ji]
@@ -232,33 +251,59 @@ func Generate(d *ts.Dataset, cfg Config) (*Pool, error) {
 		}
 	}
 	if cfg.Workers > 1 {
+		psp.SetInt("workers", int64(cfg.Workers))
+		perWorker := make([]int64, cfg.Workers)
 		var wg sync.WaitGroup
 		ch := make(chan int)
 		for w := 0; w < cfg.Workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
 				for ji := range ch {
 					run(ji)
+					perWorker[w]++
+					psp.Progress(int(done.Add(1)), len(jobs))
 				}
-			}()
+			}(w)
 		}
 		for ji := range jobs {
 			ch <- ji
 		}
 		close(ch)
 		wg.Wait()
+		// Worker utilisation: jobs handled per goroutine.  With a shared
+		// unbuffered channel this stays near-uniform unless one profile
+		// dominates.
+		if m := sp.Metrics(); m != nil {
+			for w, n := range perWorker {
+				m.Gauge(fmt.Sprintf("ip.worker_jobs.w%d", w)).Set(float64(n))
+			}
+			psp.SetString("worker_jobs", fmt.Sprint(perWorker))
+		}
 	} else {
 		for ji := range jobs {
 			run(ji)
+			psp.Progress(int(done.Add(1)), len(jobs))
 		}
 	}
+	psp.End()
 
 	// Phase 3: assemble in job order (class, sample, length).
 	pool := &Pool{ByClass: map[int][]Candidate{}}
+	byLength := map[int]int64{}
 	for ji, cands := range results {
 		pool.ByClass[jobs[ji].class] = append(pool.ByClass[jobs[ji].class], cands...)
+		byLength[jobs[ji].length] += int64(len(cands))
 	}
+	if m := sp.Metrics(); m != nil {
+		for L, n := range byLength {
+			m.Counter(fmt.Sprintf("ip.candidates.len%d", L)).Add(n)
+		}
+		for class, cands := range pool.ByClass {
+			m.Counter(fmt.Sprintf("ip.candidates.class%d", class)).Add(int64(len(cands)))
+		}
+	}
+	sp.SetInt("candidates", int64(pool.Size()))
 	for _, class := range classes {
 		if len(byClass[class]) > 0 && len(pool.ByClass[class]) == 0 {
 			return nil, fmt.Errorf("ip: class %d produced no candidates (series too short?)", class)

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux returns an http.ServeMux exposing live-profiling hooks:
+// net/http/pprof under /debug/pprof/, expvar under /debug/vars, the
+// registry's text exposition at /metrics, and its JSON form at
+// /metrics.json.  reg may be nil (the metric endpoints then serve empty
+// bodies).
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", reg)
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if reg == nil {
+			w.Write([]byte("{}"))
+			return
+		}
+		w.Write([]byte(reg.String()))
+	})
+	return mux
+}
+
+// ServeDebug starts the debug server on addr in a background goroutine and
+// returns it together with the bound address (useful with ":0").  The caller
+// owns the returned server; Close it to stop serving.
+func ServeDebug(addr string, reg *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: DebugMux(reg)}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

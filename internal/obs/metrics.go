@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a concurrency-safe metrics registry.  Handles are get-or-create
+// by name; updates are atomic and lock-free.  A nil *Registry hands out nil
+// handles whose update methods are no-ops, so instrumented code can hold and
+// use handles unconditionally.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use (nil for a nil
+// registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use (nil for a nil
+// registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named fixed-bucket histogram, creating it with the
+// given upper bounds on first use (later calls reuse the existing buckets;
+// nil for a nil registry).  Bounds must be sorted ascending; an implicit
+// +Inf bucket catches the overflow.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotone atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d (no-op on nil).
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one (no-op on nil).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float-valued instantaneous measurement.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v (no-op on nil).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d to the gauge (no-op on nil).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets: bucket i counts values
+// v ≤ bounds[i] (and > bounds[i-1]); the final bucket is the +Inf overflow.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value (no-op on nil).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a consistent-enough point-in-time view of a histogram.
+type HistSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"` // len(Bounds)+1; last is +Inf overflow
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot returns the current bucket counts (zero value for nil).
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// sortedKeys returns the map keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteText writes a Prometheus-flavoured plain-text exposition: one
+// `name value` line per counter/gauge, and `name_bucket{le="..."}` /
+// `name_sum` / `name_count` lines per histogram.  No-op on nil.
+func (r *Registry) WriteText(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range sortedKeys(r.counters) {
+		fmt.Fprintf(w, "%s %d\n", name, r.counters[name].Value())
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		fmt.Fprintf(w, "%s %g\n", name, r.gauges[name].Value())
+	}
+	for _, name := range sortedKeys(r.hists) {
+		s := r.hists[name].Snapshot()
+		cum := int64(0)
+		for i, b := range s.Bounds {
+			cum += s.Counts[i]
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", b), cum)
+		}
+		cum += s.Counts[len(s.Counts)-1]
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "%s_sum %g\n", name, s.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	}
+}
+
+// snapshot collects every metric into plain maps for JSON encoding.
+func (r *Registry) snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	counters := map[string]int64{}
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := map[string]float64{}
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := map[string]HistSnapshot{}
+	for name, h := range r.hists {
+		hists[name] = h.Snapshot()
+	}
+	return map[string]any{"counters": counters, "gauges": gauges, "histograms": hists}
+}
+
+// MarshalJSON encodes the registry as {"counters":…,"gauges":…,"histograms":…}.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.snapshot())
+}
+
+// String returns the JSON exposition, which makes *Registry an expvar.Var so
+// callers can expvar.Publish it.
+func (r *Registry) String() string {
+	b, err := json.Marshal(r.snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// ServeHTTP serves the text exposition, making *Registry an http.Handler
+// mountable at /metrics.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	r.WriteText(w)
+}

@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	o := New("root")
+	a := o.Root().Child("a")
+	a1 := a.Child("a1")
+	a1.End()
+	a2 := a.Child("a2")
+	a2.End()
+	a.End()
+	b := o.Root().Child("b")
+	b.End()
+	o.Finish()
+
+	root := o.Root()
+	if root.Name() != "root" {
+		t.Fatalf("root name = %q", root.Name())
+	}
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "a" || kids[1].Name() != "b" {
+		t.Fatalf("root children = %v", kids)
+	}
+	if got := a.Children(); len(got) != 2 || got[0] != a1 || got[1] != a2 {
+		t.Fatalf("a children wrong")
+	}
+	if root.ChildByName("b") != b || root.ChildByName("nope") != nil {
+		t.Fatal("ChildByName wrong")
+	}
+	if a1.Duration() < 0 || a.Duration() < a1.Duration() {
+		t.Fatalf("durations inconsistent: a=%v a1=%v", a.Duration(), a1.Duration())
+	}
+	// End is idempotent: duration must not change on a second End.
+	d := a.Duration()
+	time.Sleep(time.Millisecond)
+	a.End()
+	if a.Duration() != d {
+		t.Fatal("second End changed the duration")
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	o := New("root")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := o.Root().Child(fmt.Sprintf("c%d", i))
+			c.SetInt("i", int64(i))
+			c.End()
+		}(i)
+	}
+	wg.Wait()
+	if got := len(o.Root().Children()); got != 32 {
+		t.Fatalf("children = %d, want 32", got)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	o := New("run")
+	outer := o.Root().Child("outer")
+	outer.SetInt("n", 42)
+	outer.SetString("kind", "test")
+	inner := outer.Child("inner")
+	time.Sleep(2 * time.Millisecond)
+	inner.End()
+	outer.End()
+	o.Finish()
+	o.Metrics().Counter("c").Add(7)
+
+	var buf bytes.Buffer
+	if err := o.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents     []TraceEvent   `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		Metrics         map[string]any `json:"ipsMetrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) != 3 {
+		t.Fatalf("events = %d, want 3", len(tf.TraceEvents))
+	}
+	byName := map[string]TraceEvent{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q phase = %q, want X", ev.Name, ev.Ph)
+		}
+		byName[ev.Name] = ev
+	}
+	run, outerEv, innerEv := byName["run"], byName["outer"], byName["inner"]
+	// Containment: child interval inside parent interval (µs precision).
+	const eps = 1.0
+	contains := func(p, c TraceEvent) bool {
+		return c.Ts+eps >= p.Ts && c.Ts+c.Dur <= p.Ts+p.Dur+eps
+	}
+	if !contains(run, outerEv) || !contains(outerEv, innerEv) {
+		t.Fatalf("nesting violated: run=%+v outer=%+v inner=%+v", run, outerEv, innerEv)
+	}
+	if innerEv.Dur < 1000 {
+		t.Fatalf("inner dur = %vµs, want ≥ ~2ms", innerEv.Dur)
+	}
+	if outerEv.Args["n"] != float64(42) || outerEv.Args["kind"] != "test" {
+		t.Fatalf("outer args = %v", outerEv.Args)
+	}
+	counters, _ := tf.Metrics["counters"].(map[string]any)
+	if counters["c"] != float64(7) {
+		t.Fatalf("trace metrics = %v", tf.Metrics)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []int64{2, 2, 2, 1} // ≤1: {0.5,1}; ≤2: {1.5,2}; ≤4: {3,4}; +Inf: {5}
+	if fmt.Sprint(s.Counts) != fmt.Sprint(want) {
+		t.Fatalf("counts = %v, want %v", s.Counts, want)
+	}
+	if s.Count != 7 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 0.5+1+1.5+2+3+4+5 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+	// Same name reuses the histogram regardless of bounds argument.
+	if r.Histogram("h", []float64{99}) != h {
+		t.Fatal("histogram not deduplicated by name")
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests").Add(3)
+	r.Gauge("load").Set(1.5)
+	r.Histogram("lat", []float64{1, 10}).Observe(5)
+
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	text := buf.String()
+	for _, want := range []string{
+		"requests 3\n",
+		"load 1.5\n",
+		`lat_bucket{le="1"} 0`,
+		`lat_bucket{le="10"} 1`,
+		`lat_bucket{le="+Inf"} 1`,
+		"lat_sum 5\n",
+		"lat_count 1\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// String() is the expvar exposition and must be valid JSON.
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(r.String()), &decoded); err != nil {
+		t.Fatalf("String() not valid JSON: %v", err)
+	}
+
+	// The registry serves its text form over HTTP.
+	srv := httptest.NewServer(r)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "requests 3") {
+		t.Fatalf("http exposition = %q", body)
+	}
+}
+
+func TestDebugMux(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	srv := httptest.NewServer(DebugMux(r))
+	defer srv.Close()
+	for path, want := range map[string]string{
+		"/metrics":                     "x 1",
+		"/metrics.json":                `"x":1`,
+		"/debug/vars":                  "memstats",
+		"/debug/pprof/":                "goroutine",
+		"/debug/pprof/trace?seconds=0": "", // handler exists (no 404)
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			t.Fatalf("%s -> 404", path)
+		}
+		if want != "" && !strings.Contains(string(body), want) {
+			t.Fatalf("%s body missing %q: %q", path, want, body)
+		}
+	}
+}
+
+func TestProgress(t *testing.T) {
+	o := New("run")
+	var mu sync.Mutex
+	var got []string
+	o.OnProgress(func(stage string, done, total int) {
+		mu.Lock()
+		got = append(got, fmt.Sprintf("%s %d/%d", stage, done, total))
+		mu.Unlock()
+	})
+	o.Progress("gen", 1, 2)
+	o.Root().Child("span-stage").Progress(2, 2)
+	if len(got) != 2 || got[0] != "gen 1/2" || got[1] != "span-stage 2/2" {
+		t.Fatalf("progress = %v", got)
+	}
+	o.OnProgress(nil)
+	o.Progress("gen", 2, 2)
+	if len(got) != 2 {
+		t.Fatal("uninstalled callback still fired")
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	o := New("run")
+	c := o.Root().Child("stage")
+	c.SetInt("items", 3)
+	c.End()
+	o.Finish()
+	var buf bytes.Buffer
+	o.RenderTree(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "run") || !strings.Contains(out, "└─ stage") || !strings.Contains(out, "items=3") {
+		t.Fatalf("render output:\n%s", out)
+	}
+}
+
+// TestNilSafety exercises every entry point on nil receivers: nothing may
+// panic and the no-op path must not allocate.
+func TestNilSafety(t *testing.T) {
+	var o *Observer
+	var r *Registry
+	o.Finish()
+	o.Progress("x", 1, 2)
+	o.OnProgress(nil)
+	o.RenderTree(io.Discard)
+	if err := o.WriteTrace(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if o.Root() != nil || o.Metrics() != nil || o.Trace() != nil {
+		t.Fatal("nil observer returned non-nil")
+	}
+	if r.Counter("c") != nil || r.Gauge("g") != nil || r.Histogram("h", nil) != nil {
+		t.Fatal("nil registry returned non-nil handle")
+	}
+	r.WriteText(io.Discard)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		var o *Observer
+		sp := o.Root().Child("x")
+		sp.SetInt("k", 1)
+		sp.SetFloat("f", 2.5)
+		sp.SetString("s", "v")
+		sp.Progress(1, 2)
+		sp.End()
+		var reg *Registry
+		reg.Counter("c").Add(1)
+		reg.Gauge("g").Set(3)
+		reg.Histogram("h", nil).Observe(1)
+		_ = sp.Metrics()
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op path allocates %v per run, want 0", allocs)
+	}
+}
+
+func BenchmarkNoopInstrumentation(b *testing.B) {
+	b.ReportAllocs()
+	var o *Observer
+	var reg *Registry
+	for i := 0; i < b.N; i++ {
+		sp := o.Root().Child("x")
+		sp.SetInt("k", int64(i))
+		reg.Counter("c").Add(1)
+		reg.Histogram("h", nil).Observe(1)
+		sp.End()
+	}
+}
+
+func BenchmarkLiveCounter(b *testing.B) {
+	b.ReportAllocs()
+	c := NewRegistry().Counter("c")
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}

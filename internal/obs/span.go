@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one span attribute: a key with an arbitrary (JSON-encodable) value.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Span is one timed region of the pipeline.  Spans form a tree under the
+// observer's root; children may be created and ended from any goroutine.
+// Every method is safe on a nil receiver and does nothing, so instrumented
+// code never needs to guard against observability being off.
+type Span struct {
+	obs   *Observer
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    []Attr
+	children []*Span
+}
+
+// Child starts a sub-span.  It returns nil when s is nil, so call sites can
+// chain unconditionally.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{obs: s.obs, name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End marks the span finished.  The first call wins; later calls (and calls
+// on a nil span) are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Name returns the span name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Start returns the span start time (zero for nil).
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// Duration returns end−start for an ended span, and the running duration for
+// a live one (0 for nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	end := s.end
+	s.mu.Unlock()
+	if end.IsZero() {
+		return time.Since(s.start)
+	}
+	return end.Sub(s.start)
+}
+
+// SetAttr records an arbitrary attribute.  Prefer the typed setters in hot
+// paths: they avoid boxing the value when the span is nil.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// SetInt records an integer attribute without allocating when s is nil.
+func (s *Span) SetInt(key string, value int64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, value)
+}
+
+// SetFloat records a float attribute without allocating when s is nil.
+func (s *Span) SetFloat(key string, value float64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, value)
+}
+
+// SetString records a string attribute without allocating when s is nil.
+func (s *Span) SetString(key, value string) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, value)
+}
+
+// Attrs returns a copy of the attributes recorded so far.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Attr, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Children returns a copy of the child spans created so far.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// ChildByName returns the first child with the given name, or nil.
+func (s *Span) ChildByName(name string) *Span {
+	for _, c := range s.Children() {
+		if c.name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Metrics returns the observer's metrics registry (nil when the span is nil
+// or the observer records spans only), so deep call sites can reach counters
+// through the span they were handed.
+func (s *Span) Metrics() *Registry {
+	if s == nil || s.obs == nil {
+		return nil
+	}
+	return s.obs.Metrics()
+}
+
+// Progress reports done/total progress under the span's name; see
+// Observer.Progress.  Safe to call concurrently and on a nil span.
+func (s *Span) Progress(done, total int) {
+	if s == nil || s.obs == nil {
+		return
+	}
+	s.obs.Progress(s.name, done, total)
+}
+
+// Render writes the span subtree as an indented text tree with durations and
+// attributes, e.g.
+//
+//	discover                       41.2ms
+//	├─ candidate-gen               29.8ms  jobs=50 candidates=100
+//	│  └─ profiles                 29.1ms  workers=4
+//	└─ selection                    9.6ms
+func (s *Span) Render(w io.Writer) {
+	if s == nil {
+		return
+	}
+	s.render(w, "", "")
+}
+
+func (s *Span) render(w io.Writer, prefix, childPrefix string) {
+	label := prefix + s.name
+	line := fmt.Sprintf("%-*s %9.3fms", renderNameWidth, label, s.Duration().Seconds()*1e3)
+	if attrs := s.Attrs(); len(attrs) > 0 {
+		parts := make([]string, len(attrs))
+		for i, a := range attrs {
+			parts[i] = fmt.Sprintf("%s=%v", a.Key, a.Value)
+		}
+		sort.Strings(parts)
+		line += "  " + strings.Join(parts, " ")
+	}
+	fmt.Fprintln(w, line)
+	children := s.Children()
+	for i, c := range children {
+		connector, extend := "├─ ", "│  "
+		if i == len(children)-1 {
+			connector, extend = "└─ ", "   "
+		}
+		c.render(w, childPrefix+connector, childPrefix+extend)
+	}
+}
+
+// renderNameWidth aligns the duration column of Render.
+const renderNameWidth = 44

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"time"
+)
+
+// TraceEvent is one Chrome trace_event record.  WriteTrace emits "X"
+// (complete) events; the format is understood by chrome://tracing, Perfetto,
+// and speedscope.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds since trace start
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the JSON-object envelope of a trace_event file.
+type TraceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	Metrics         *Registry    `json:"ipsMetrics,omitempty"`
+}
+
+// Trace flattens the span tree into trace events with timestamps relative to
+// the root span's start.  Live spans are clamped to now.
+func (o *Observer) Trace() []TraceEvent {
+	root := o.Root()
+	if root == nil {
+		return nil
+	}
+	var out []TraceEvent
+	now := time.Now()
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		s.mu.Lock()
+		end := s.end
+		s.mu.Unlock()
+		if end.IsZero() {
+			end = now
+		}
+		ev := TraceEvent{
+			Name: s.name,
+			Cat:  "ips",
+			Ph:   "X",
+			Ts:   float64(s.start.Sub(root.start)) / float64(time.Microsecond),
+			Dur:  float64(end.Sub(s.start)) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  1,
+		}
+		if attrs := s.Attrs(); len(attrs) > 0 {
+			ev.Args = make(map[string]any, len(attrs))
+			for _, a := range attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		out = append(out, ev)
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// WriteTrace writes the span tree (and the metrics registry, when present)
+// as Chrome trace_event JSON.  No-op on a nil observer.
+func (o *Observer) WriteTrace(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	tf := TraceFile{
+		TraceEvents:     o.Trace(),
+		DisplayTimeUnit: "ms",
+		Metrics:         o.Metrics(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&tf)
+}
+
+// WriteTraceFile writes the trace to a file.  No-op on a nil observer.
+func (o *Observer) WriteTraceFile(path string) error {
+	if o == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

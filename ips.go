@@ -24,10 +24,13 @@
 package ips
 
 import (
+	"net/http"
+
 	"ips/internal/classify"
 	"ips/internal/core"
 	"ips/internal/dabf"
 	"ips/internal/ip"
+	"ips/internal/obs"
 	"ips/internal/ts"
 	"ips/internal/ucr"
 )
@@ -59,7 +62,27 @@ type (
 	GenConfig = ucr.GenConfig
 	// DatasetMeta describes a UCR dataset (sizes, length, classes).
 	DatasetMeta = ucr.Meta
+	// Observer collects spans, metrics, and progress for a run; assign one
+	// to Options.Obs.  See internal/obs for the full API.
+	Observer = obs.Observer
+	// Span is one timed region of the pipeline's span tree.
+	Span = obs.Span
+	// MetricsRegistry holds the run's counters, gauges, and histograms.
+	MetricsRegistry = obs.Registry
 )
+
+// NewObserver returns an observer with a live metrics registry, ready to be
+// assigned to Options.Obs.  After the run, render the span tree with
+// o.RenderTree, export it with o.WriteTraceFile, or read o.Metrics().
+func NewObserver(name string) *Observer { return obs.New(name) }
+
+// ServeDebug starts a background HTTP server with net/http/pprof under
+// /debug/pprof/, expvar under /debug/vars, and the observer's metrics at
+// /metrics (text) and /metrics.json.  It returns the server and the bound
+// address (useful with ":0"); o may be nil to expose profiling only.
+func ServeDebug(addr string, o *Observer) (*http.Server, string, error) {
+	return obs.ServeDebug(addr, o.Metrics())
+}
 
 // DefaultOptions returns the paper's default parameters: k = 5 shapelets per
 // class, candidate length ratios {0.1 … 0.5}, Q_N = 10 samples of Q_S = 3
