@@ -1,0 +1,86 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// errswallowAnalyzer flags silently discarded errors: `_ = f()` where f
+// returns an error, and `v, _ := f()` where the blank slot is the error of
+// a multi-return call.  A swallowed error turns a loud failure into a
+// corrupted profile three stages later; handle it or suppress with a reason.
+// Test files are exempt — helpers there fail the test through t.Fatal.
+var errswallowAnalyzer = &Analyzer{
+	Name: "errswallow",
+	Doc:  "error assigned to _ or dropped from a multi-return call",
+	Run:  runErrSwallow,
+}
+
+func runErrSwallow(pass *Pass) {
+	errType := types.Universe.Lookup("error").Type()
+	implementsError := func(t types.Type) bool {
+		if t == nil {
+			return false
+		}
+		return types.Identical(t, errType) || types.Implements(t, errType.Underlying().(*types.Interface))
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+				// v, _ := f(): look the tuple element types up by position.
+				tup, ok := pass.TypeOf(as.Rhs[0]).(*types.Tuple)
+				if !ok {
+					return true
+				}
+				for i, lhs := range as.Lhs {
+					if isBlank(lhs) && i < tup.Len() && implementsError(tup.At(i).Type()) {
+						pass.Reportf(lhs.Pos(), "error result of %s discarded with _; handle it", callName(as.Rhs[0]))
+					}
+				}
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				if !isBlank(lhs) || i >= len(as.Rhs) {
+					continue
+				}
+				if as.Tok == token.DEFINE && len(as.Lhs) == 1 {
+					// `_ := x` does not compile; unreachable, kept for shape.
+					continue
+				}
+				if implementsError(pass.TypeOf(as.Rhs[i])) {
+					pass.Reportf(lhs.Pos(), "error value of %s discarded with _; handle it", callName(as.Rhs[i]))
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// callName renders a short name for the call or expression being discarded.
+func callName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return callName(e.Fun)
+	case *ast.SelectorExpr:
+		return callName(e.X) + "." + e.Sel.Name
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr:
+		return callName(e.X)
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// floateqAnalyzer flags == and != between floating-point operands.  The
+// matrix-profile literature this repo builds on warns repeatedly that
+// accumulation order perturbs low-order bits, so exact comparison of
+// computed values silently corrupts profiles; use ts.ApproxEqual with an
+// explicit tolerance instead.
+//
+// Exemptions, because they are exact by construction: comparison against
+// the constant 0 or ±Inf (representable sentinels), the x != x NaN idiom,
+// constant-folded comparisons, code inside functions whose name contains
+// "Approx" (the epsilon helpers themselves), and _test.go files (golden
+// determinism tests compare exact outputs on purpose).
+var floateqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc:  "exact ==/!= between floats; use ts.ApproxEqual with an explicit tolerance",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		// Named function ranges, so findings inside the epsilon helpers
+		// themselves are exempt.
+		type funcRange struct {
+			pos, end token.Pos
+			name     string
+		}
+		var funcs []funcRange
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok {
+				funcs = append(funcs, funcRange{fd.Pos(), fd.End(), fd.Name.Name})
+			}
+			return true
+		})
+		inApproxHelper := func(pos token.Pos) bool {
+			for _, fr := range funcs {
+				if fr.pos <= pos && pos < fr.end && strings.Contains(strings.ToLower(fr.name), "approx") {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(be.X)) || !isFloat(pass.TypeOf(be.Y)) {
+				return true
+			}
+			if inApproxHelper(be.Pos()) {
+				return true
+			}
+			if exactFloatSentinel(pass, be.X) || exactFloatSentinel(pass, be.Y) {
+				return true
+			}
+			if sameExpr(pass, be.X, be.Y) { // x != x NaN check
+				return true
+			}
+			pass.Reportf(be.OpPos, "exact %s between floats; use ts.ApproxEqual (or compare against an explicit sentinel)", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// exactFloatSentinel reports whether e is an exactly-representable
+// comparison target: the constant zero, or a math.Inf / math.NaN call.
+// Non-zero constants are not exempt — 0.1 has no exact binary
+// representation, so == against it is still a bug.
+func exactFloatSentinel(pass *Pass, e ast.Expr) bool {
+	if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+		v, _ := constant.Float64Val(tv.Value)
+		return v == 0
+	}
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pn := pkgOf(pass, sel.X)
+	return pn != nil && pn.Imported().Path() == "math" &&
+		(sel.Sel.Name == "Inf" || sel.Sel.Name == "NaN")
+}
+
+// sameExpr reports whether a and b are the same identifier or selector
+// chain, the x != x idiom for NaN detection.
+func sameExpr(pass *Pass, a, b ast.Expr) bool {
+	switch a := ast.Unparen(a).(type) {
+	case *ast.Ident:
+		b, ok := ast.Unparen(b).(*ast.Ident)
+		return ok && pass.Info.Uses[a] != nil && pass.Info.Uses[a] == pass.Info.Uses[b]
+	case *ast.SelectorExpr:
+		b, ok := ast.Unparen(b).(*ast.SelectorExpr)
+		return ok && a.Sel.Name == b.Sel.Name && sameExpr(pass, a.X, b.X)
+	}
+	return false
+}

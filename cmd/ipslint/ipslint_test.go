@@ -1,0 +1,199 @@
+package main
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRe matches corpus expectations: a `// want "regex"` comment expects a
+// finding on its own line whose message matches the regex.  wantAboveRe is
+// the variant for findings reported at comment positions (suppression
+// directives), expecting the finding one line up.
+var (
+	wantRe      = regexp.MustCompile(`// want "([^"]+)"`)
+	wantAboveRe = regexp.MustCompile(`// want-above "([^"]+)"`)
+)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// corpusExpectations scans every corpus file for want comments.
+func corpusExpectations(t *testing.T, dirs []string) []*expectation {
+	t.Helper()
+	var exps []*expectation
+	for _, dir := range dirs {
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+					exps = append(exps, &expectation{file: f, line: i + 1, re: regexp.MustCompile(m[1]), raw: m[1]})
+				}
+				for _, m := range wantAboveRe.FindAllStringSubmatch(line, -1) {
+					exps = append(exps, &expectation{file: f, line: i, re: regexp.MustCompile(m[1]), raw: m[1]})
+				}
+			}
+		}
+	}
+	return exps
+}
+
+// TestCorpus runs every analyzer over the testdata corpus and requires an
+// exact correspondence between findings and want comments: every finding
+// must be expected, every expectation must fire.
+func TestCorpus(t *testing.T) {
+	modRoot, modPath, err := findModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			abs, err := filepath.Abs(filepath.Join("testdata", "src", e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			dirs = append(dirs, abs)
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) < 6 {
+		t.Fatalf("corpus has %d packages, want at least one per analyzer", len(dirs))
+	}
+
+	findings, err := lintDirs(newLoader(modRoot, modPath), dirs, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := corpusExpectations(t, dirs)
+
+	for _, f := range findings {
+		matched := false
+		for _, e := range exps {
+			if e.file == f.Pos.Filename && e.line == f.Pos.Line && e.re.MatchString(f.Message) {
+				e.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, e := range exps {
+		if !e.matched {
+			t.Errorf("%s:%d: expected finding matching %q never reported", e.file, e.line, e.raw)
+		}
+	}
+	// Every analyzer must have fired at least once over the corpus, so a
+	// silently-broken check cannot hide behind a green run.
+	fired := map[string]bool{}
+	for _, f := range findings {
+		fired[f.Analyzer] = true
+	}
+	for _, a := range analyzers {
+		if !fired[a.Name] {
+			t.Errorf("analyzer %s reported nothing on the corpus", a.Name)
+		}
+	}
+}
+
+// TestRepoClean is the golden acceptance check: the repository itself must
+// lint clean, so CI can gate on a non-zero exit.
+func TestRepoClean(t *testing.T) {
+	modRoot, modPath, err := findModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := resolvePatterns(modRoot, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 20 {
+		t.Fatalf("resolved only %d package dirs from ./..., expected the whole repo", len(dirs))
+	}
+	findings, err := lintDirs(newLoader(modRoot, modPath), dirs, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("repo not lint-clean: %s", f)
+	}
+}
+
+// TestResolvePatterns pins the go-tool-like pattern semantics the CI step
+// relies on: ./... walks the module but skips testdata (the corpus must
+// never gate CI), and plain directories resolve to themselves.
+func TestResolvePatterns(t *testing.T) {
+	modRoot, _, err := findModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := resolvePatterns(modRoot, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("./... must skip testdata, got %s", d)
+		}
+	}
+	single, err := resolvePatterns(modRoot, []string{"internal/ts"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single) != 1 || filepath.Base(single[0]) != "ts" {
+		t.Errorf("plain dir pattern resolved to %v", single)
+	}
+	if _, err := resolvePatterns(modRoot, []string{"no/such/dir"}); err == nil {
+		t.Error("nonexistent pattern should error")
+	}
+}
+
+// TestFindingSortOrder pins the position sort the output contract promises.
+func TestFindingSortOrder(t *testing.T) {
+	fs := []Finding{
+		{Analyzer: "b", Pos: pos("b.go", 3, 1)},
+		{Analyzer: "a", Pos: pos("a.go", 9, 2)},
+		{Analyzer: "a", Pos: pos("a.go", 9, 1)},
+		{Analyzer: "c", Pos: pos("a.go", 2, 1)},
+	}
+	sortFindings(fs)
+	got := make([]string, len(fs))
+	for i, f := range fs {
+		got[i] = f.Pos.Filename + ":" + f.Analyzer
+	}
+	want := []string{"a.go:c", "a.go:a", "a.go:a", "b.go:b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sort order %v", got)
+		}
+	}
+	if fs[1].Pos.Column != 1 || fs[2].Pos.Column != 2 {
+		t.Fatalf("column tiebreak broken: %v", fs)
+	}
+}
+
+func pos(file string, line, col int) (p token.Position) {
+	p.Filename, p.Line, p.Column = file, line, col
+	return p
+}

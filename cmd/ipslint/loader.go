@@ -1,0 +1,337 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// loader parses and type-checks module packages with nothing but the
+// standard library: intra-module imports are resolved recursively against
+// the module tree, everything else is handed to the stdlib source importer.
+type loader struct {
+	fset    *token.FileSet
+	modRoot string
+	modPath string
+	std     types.ImporterFrom
+	cache   map[string]*types.Package // import view: no test files
+	loading map[string]bool           // cycle detection
+}
+
+func newLoader(modRoot, modPath string) *loader {
+	// Force the pure-Go build variant so source-importing net/http and
+	// friends never needs a working C toolchain.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		modRoot: modRoot,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		cache:   map[string]*types.Package{},
+		loading: map[string]bool{},
+	}
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.modRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom.  Module-internal paths map onto
+// directories under the module root; everything else (the standard library)
+// goes to the source importer.
+func (l *loader) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path != l.modPath && !strings.HasPrefix(path, l.modPath+"/") {
+		return l.std.ImportFrom(path, l.modRoot, 0)
+	}
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	dir := l.modRoot
+	if path != l.modPath {
+		dir = filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(path, l.modPath+"/")))
+	}
+	pkg, _, _, err := l.check(dir, path, false)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// importPathFor derives the module-relative import path of dir.
+func (l *loader) importPathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.modRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("%s is outside module %s", dir, l.modRoot)
+	}
+	if rel == "." {
+		return l.modPath, nil
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// parseDir parses every .go file of dir, grouped by package clause and
+// sorted by filename so runs are deterministic.
+func (l *loader) parseDir(dir string) (map[string][]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	byPkg := map[string][]*ast.File{}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		byPkg[f.Name.Name] = append(byPkg[f.Name.Name], f)
+	}
+	return byPkg, nil
+}
+
+// check type-checks the package in dir.  With includeTests set, in-package
+// _test.go files are part of the checked unit (the lint view); without, only
+// the shippable files are (the import view).
+func (l *loader) check(dir, importPath string, includeTests bool) (*types.Package, []*ast.File, *types.Info, error) {
+	byPkg, err := l.parseDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	var pkgName string
+	for name, fs := range byPkg {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		if pkgName != "" && name != pkgName {
+			return nil, nil, nil, fmt.Errorf("%s: multiple packages %s and %s", dir, pkgName, name)
+		}
+		pkgName = name
+		files = append(files, fs...)
+	}
+	if pkgName == "" {
+		return nil, nil, nil, fmt.Errorf("%s: no non-test Go files", dir)
+	}
+	if !includeTests {
+		var kept []*ast.File
+		for _, f := range files {
+			if !strings.HasSuffix(l.fset.Position(f.Pos()).Filename, "_test.go") {
+				kept = append(kept, f)
+			}
+		}
+		files = kept
+		if len(files) == 0 {
+			return nil, nil, nil, fmt.Errorf("%s: only test files", dir)
+		}
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return l.fset.Position(files[i].Pos()).Filename < l.fset.Position(files[j].Pos()).Filename
+	})
+	return l.typeCheck(importPath, files)
+}
+
+// checkExternalTest type-checks the foo_test external test package of dir,
+// if any.  It returns nils when the directory has none.
+func (l *loader) checkExternalTest(dir, importPath string) (*types.Package, []*ast.File, *types.Info, error) {
+	byPkg, err := l.parseDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	var name string
+	for n, fs := range byPkg {
+		if strings.HasSuffix(n, "_test") {
+			name = n
+			files = append(files, fs...)
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, nil
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return l.fset.Position(files[i].Pos()).Filename < l.fset.Position(files[j].Pos()).Filename
+	})
+	return l.typeCheck(importPath+" ["+name+"]", files)
+}
+
+func (l *loader) typeCheck(importPath string, files []*ast.File) (*types.Package, []*ast.File, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, err := conf.Check(importPath, l.fset, files, info)
+	if len(errs) > 0 {
+		msgs := make([]string, 0, len(errs))
+		for i, e := range errs {
+			if i == 8 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(errs)-i))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		return nil, nil, nil, fmt.Errorf("type-checking %s:\n\t%s", importPath, strings.Join(msgs, "\n\t"))
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return pkg, files, info, nil
+}
+
+// resolvePatterns expands command-line package patterns ("./...", "dir/...",
+// plain directories) into the sorted list of directories to lint.
+func resolvePatterns(modRoot string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." || pat == "./..." {
+			pat, recursive = ".", true
+		} else if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			pat, recursive = rest, true
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(modRoot, base)
+		}
+		if st, err := os.Stat(base); err != nil || !st.IsDir() {
+			return nil, fmt.Errorf("package pattern %q: not a directory", pat)
+		}
+		if !recursive {
+			if hasGoFiles(base) {
+				add(base)
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// lintDirs loads, type-checks, and analyzes every directory, returning all
+// surviving findings position-sorted.  Each directory contributes up to two
+// units: the package with its in-package tests, and the external _test
+// package when present.
+func lintDirs(ldr *loader, dirs []string, enabled []*Analyzer) ([]Finding, error) {
+	var all []Finding
+	for _, dir := range dirs {
+		importPath, err := ldr.importPathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, files, info, err := ldr.check(dir, importPath, true)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, runAnalyzers(ldr.fset, files, pkg, info, enabled)...)
+		xpkg, xfiles, xinfo, err := ldr.checkExternalTest(dir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		if xpkg != nil {
+			all = append(all, runAnalyzers(ldr.fset, xfiles, xpkg, xinfo, enabled)...)
+		}
+	}
+	sortFindings(all)
+	return all, nil
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// mutexcopyAnalyzer flags by-value copies of types that (transitively)
+// contain a sync primitive.  A copied Mutex forks the lock state and a
+// copied WaitGroup forks the counter: the original keeps waiting while the
+// copy signals, which is exactly the deadlock/race class the worker-pool
+// fan-out must never hit.  Checked sites: assignments from existing values,
+// range-over-collection element copies, and by-value receivers, parameters,
+// and results.
+var mutexcopyAnalyzer = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "by-value copy of a type containing sync.Mutex/WaitGroup state",
+	Run:  runMutexCopy,
+}
+
+// syncLockTypes are the sync types whose value state must never fork.
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Map": true, "Pool": true,
+}
+
+// containsLock returns a human-readable description of a sync primitive
+// held by value inside t — "sync.Mutex" directly, or "sync.Mutex at field
+// mu" when nested — and "" when there is none.
+func containsLock(t types.Type) string {
+	p := lockPath(t, map[types.Type]bool{})
+	if p == "" {
+		return ""
+	}
+	if i := strings.LastIndex(p, "sync."); i > 0 {
+		return p[i:] + " at field " + strings.TrimSuffix(p[:i], ".")
+	}
+	return p
+}
+
+func lockPath(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return "sync." + obj.Name()
+		}
+		return lockPath(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if p := lockPath(f.Type(), seen); p != "" {
+				return f.Name() + "." + p
+			}
+		}
+	case *types.Array:
+		if p := lockPath(u.Elem(), seen); p != "" {
+			return "[...]." + p
+		}
+	}
+	return ""
+}
+
+// copiesValue reports whether the expression reads an existing value (so
+// assigning it elsewhere duplicates state), as opposed to constructing a
+// fresh one (composite literal, call, conversion-of-literal).
+func copiesValue(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.TypeAssertExpr:
+		return copiesValue(e.X)
+	default:
+		return false
+	}
+}
+
+func runMutexCopy(pass *Pass) {
+	checkAssignPair := func(rhs ast.Expr) {
+		if !copiesValue(rhs) {
+			return
+		}
+		t := pass.TypeOf(rhs)
+		if t == nil {
+			return
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			return
+		}
+		if p := containsLock(t); p != "" {
+			pass.Reportf(rhs.Pos(), "assignment copies %s by value (via %s); use a pointer", p, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+		}
+	}
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := pass.TypeOf(f.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if p := containsLock(t); p != "" {
+				pass.Reportf(f.Type.Pos(), "%s passes %s by value (via %s); use a pointer", what, p, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for _, rhs := range n.Rhs {
+						checkAssignPair(rhs)
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkAssignPair(v)
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil || isBlankOrNil(n.Value) {
+					return true
+				}
+				t := pass.TypeOf(n.Value)
+				if t == nil {
+					return true
+				}
+				if p := containsLock(t); p != "" {
+					pass.Reportf(n.Value.Pos(), "range copies %s by value per element (via %s); index into the collection instead", p, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+				}
+			case *ast.FuncDecl:
+				checkFieldList(n.Recv, "receiver")
+				checkFieldList(n.Type.Params, "parameter")
+				checkFieldList(n.Type.Results, "result")
+			case *ast.FuncLit:
+				checkFieldList(n.Type.Params, "parameter")
+				checkFieldList(n.Type.Results, "result")
+			}
+			return true
+		})
+	}
+}
+
+func isBlankOrNil(e ast.Expr) bool {
+	return e == nil || isBlank(e)
+}

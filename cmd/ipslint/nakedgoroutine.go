@@ -1,0 +1,126 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// nakedGoroutineAnalyzer polices goroutine fan-out in loops, the shape the
+// worker pools in internal/ip and internal/classify use.  Two rules:
+//
+//  1. The goroutine body must not capture a loop variable — inputs cross
+//     the spawn boundary as arguments, so which iteration a worker serves
+//     is explicit and independent of scheduling (and of pre-1.22 loop-var
+//     semantics).
+//  2. The spawning function must hold a join for the fan-out: a
+//     WaitGroup.Wait, a channel receive, or a select.  A loop of goroutines
+//     with no join in scope leaks workers past the stage boundary, which
+//     breaks the determinism argument ("identical pool for any worker
+//     count") and the span lifecycle.
+var nakedGoroutineAnalyzer = &Analyzer{
+	Name: "nakedgoroutine",
+	Doc:  "goroutine in a loop capturing the loop variable or spawned with no join in scope",
+	Run:  runNakedGoroutine,
+}
+
+func runNakedGoroutine(pass *Pass) {
+	for _, file := range pass.Files {
+		parents := parentMap(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			loopVars, inLoop, fn := enclosingLoopVars(pass, parents, g)
+			if !inLoop {
+				return true
+			}
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok && len(loopVars) > 0 {
+				ast.Inspect(lit.Body, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if obj := pass.Info.Uses[id]; obj != nil && loopVars[obj] {
+						pass.Reportf(id.Pos(), "goroutine captures loop variable %s; pass it as an argument to the goroutine's function", id.Name)
+					}
+					return true
+				})
+			}
+			if fn != nil && !hasJoin(pass, funcBody(fn)) {
+				pass.Reportf(g.Pos(), "goroutine launched in a loop with no join in scope (no WaitGroup.Wait, channel receive, or select in the function)")
+			}
+			return true
+		})
+	}
+}
+
+// enclosingLoopVars walks outward from the go statement, collecting the
+// iteration variables of every loop between it and the enclosing function.
+func enclosingLoopVars(pass *Pass, parents map[ast.Node]ast.Node, n ast.Node) (map[types.Object]bool, bool, ast.Node) {
+	vars := map[types.Object]bool{}
+	inLoop := false
+	for p := parents[n]; p != nil; p = parents[p] {
+		switch p := p.(type) {
+		case *ast.RangeStmt:
+			inLoop = true
+			for _, e := range []ast.Expr{p.Key, p.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						vars[obj] = true
+					}
+				}
+			}
+		case *ast.ForStmt:
+			inLoop = true
+			if init, ok := p.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, e := range init.Lhs {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							vars[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			return vars, inLoop, p
+		}
+	}
+	return vars, inLoop, nil
+}
+
+// hasJoin reports whether the function body contains any synchronization
+// that waits for spawned work: WaitGroup-style .Wait(), a channel receive
+// (including range over a channel), or a select statement.
+func hasJoin(pass *Pass, body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	join := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if join {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				join = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				join = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					join = true
+				}
+			}
+		case *ast.SelectStmt:
+			join = true
+		}
+		return !join
+	})
+	return join
+}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// spanendAnalyzer enforces the obs span lifecycle: a span obtained from
+// Child() must be ended on every path out of the function that started it.
+// A leaked span never closes in the trace export, skews the Timings view,
+// and pins its subtree in memory for the run's lifetime.
+//
+// The check is lexical, not a full CFG: a span is considered handled when
+// its End/Stop is deferred, when the variable escapes (passed to a callee,
+// stored, or returned — ownership moves with it), or when every return
+// statement after the start is lexically preceded by an End call.  That is
+// exactly the discipline the pipeline code follows; anything cleverer
+// should be rewritten to be defer-shaped anyway.
+var spanendAnalyzer = &Analyzer{
+	Name: "spanend",
+	Doc:  "obs span started but not ended on every return path",
+	Run:  runSpanEnd,
+}
+
+func runSpanEnd(pass *Pass) {
+	for _, file := range pass.Files {
+		parents := parentMap(file)
+		nearestFunc := func(n ast.Node) ast.Node {
+			for p := parents[n]; p != nil; p = parents[p] {
+				switch p.(type) {
+				case *ast.FuncDecl, *ast.FuncLit:
+					return p
+				}
+			}
+			return nil
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok || id.Name == "_" || !isSpanChildCall(pass, rhs) {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				fn := nearestFunc(as)
+				if fn == nil {
+					continue
+				}
+				checkSpanVar(pass, parents, fn, obj, id)
+			}
+			return true
+		})
+	}
+}
+
+// isSpanChildCall reports whether e is a call to a method named Child whose
+// result is a *Span (matched by type name, so any span-shaped API counts).
+func isSpanChildCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Child" {
+		return false
+	}
+	ptr, ok := pass.TypeOf(call).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Span"
+}
+
+// checkSpanVar inspects every use of the span variable within fn and
+// reports starts that can leak.
+func checkSpanVar(pass *Pass, parents map[ast.Node]ast.Node, fn ast.Node, obj types.Object, start *ast.Ident) {
+	body := funcBody(fn)
+	if body == nil {
+		return
+	}
+	var (
+		deferred bool
+		escapes  bool
+		endPos   []token.Pos
+	)
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id == start {
+			return true
+		}
+		if pass.Info.Uses[id] != obj && pass.Info.Defs[id] != obj {
+			return true
+		}
+		switch p := parents[id].(type) {
+		case *ast.SelectorExpr:
+			if p.X != ast.Expr(id) {
+				escapes = true
+				return true
+			}
+			call, ok := parents[p].(*ast.CallExpr)
+			if !ok || call.Fun != ast.Expr(p) {
+				escapes = true // method value or field read: ownership unclear
+				return true
+			}
+			if p.Sel.Name == "End" || p.Sel.Name == "Stop" {
+				if _, isDefer := parents[call].(*ast.DeferStmt); isDefer {
+					deferred = true
+				} else {
+					endPos = append(endPos, call.Pos())
+				}
+			}
+			// Other methods (SetInt, Progress, Child, ...) are neutral.
+		case *ast.AssignStmt:
+			// Reassignment of the variable itself is neutral; appearing on
+			// the right-hand side hands the span to something else.
+			for _, rhs := range p.Rhs {
+				if rhs == ast.Expr(id) {
+					escapes = true
+				}
+			}
+		default:
+			escapes = true
+		}
+		return true
+	})
+	if deferred || escapes {
+		return
+	}
+	if len(endPos) == 0 {
+		pass.Reportf(start.Pos(), "span %s is started but never ended; add defer %s.End()", start.Name, start.Name)
+		return
+	}
+	// Every return after the start must be lexically preceded by an End.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != fn {
+			return false // returns inside closures exit the closure, not fn
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() < start.Pos() {
+			return true
+		}
+		covered := false
+		for _, ep := range endPos {
+			if ep > start.Pos() && ep < ret.Pos() {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pass.Reportf(ret.Pos(), "return leaks span %s (started at %s); call %s.End() before returning or defer it", start.Name, pass.Fset.Position(start.Pos()), start.Name)
+		}
+		return true
+	})
+}
+
+func funcBody(fn ast.Node) *ast.BlockStmt {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// parentMap records each node's syntactic parent within the file.
+func parentMap(file *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,34 @@
+// Package errswallow is ipslint test corpus: silently discarded errors.
+package errswallow
+
+import (
+	"errors"
+	"strconv"
+)
+
+func doWork() error { return errors.New("x") }
+
+func parseTwo(s string) (int, int, error) { return 0, 0, errors.New("x") }
+
+func explicitDiscard() {
+	_ = doWork() // want "error value of doWork discarded"
+}
+
+func multiDiscard(s string) int {
+	v, _ := strconv.Atoi(s) // want "error result of strconv.Atoi discarded"
+	return v
+}
+
+func midTupleDiscard(s string) int {
+	a, _, _ := parseTwo(s) // want "error result of parseTwo discarded"
+	return a
+}
+
+func handledOK(s string) (int, error) {
+	return strconv.Atoi(s)
+}
+
+func nonErrorBlankOK(xs map[string]int) bool {
+	_, ok := xs["k"]
+	return ok
+}

@@ -1,0 +1,45 @@
+// Package floateq is ipslint test corpus: naive floating-point equality.
+package floateq
+
+import "math"
+
+func bad(a, b float64) bool {
+	return a == b // want "exact == between floats"
+}
+
+func badNeq(a, b float32) bool {
+	return a != b // want "exact != between floats"
+}
+
+func badConst(x float64) bool {
+	return x == 0.1 // want "exact == between floats"
+}
+
+type meters float64
+
+func badNamed(a, b meters) bool {
+	return a == b // want "exact == between floats"
+}
+
+func zeroSentinelOK(std float64) bool {
+	return std == 0
+}
+
+func infSentinelOK(x float64) bool {
+	return x == math.Inf(1)
+}
+
+func nanIdiomOK(x float64) bool {
+	return x != x
+}
+
+func approxEqualHelperOK(a, b, eps float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= eps
+}
+
+func intOK(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,33 @@
+// Package ignore is ipslint test corpus: the //lint:ignore suppression
+// protocol — valid suppression, mandatory reasons, and stale-directive
+// detection.  The "want-above" marker attaches an expectation to the
+// preceding line, for findings reported at directive positions.
+package ignore
+
+import "errors"
+
+func boom() error { return errors.New("x") }
+
+func suppressedOK() {
+	//lint:ignore ipslint/errswallow corpus demo: failure is impossible here
+	_ = boom()
+}
+
+func suppressedSameLineOK() {
+	_ = boom() //lint:ignore ipslint/errswallow corpus demo: failure is impossible here
+}
+
+func missingReason() {
+	//lint:ignore ipslint/errswallow
+	// want-above "needs a reason"
+	_ = boom() // want "error value of boom discarded"
+}
+
+func stale() {
+	//lint:ignore ipslint/errswallow nothing here needs suppressing
+	// want-above "suppresses nothing"
+	err := boom()
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,62 @@
+// Package mutexcopy is ipslint test corpus: by-value copies of lock-bearing
+// types.
+package mutexcopy
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type pool struct {
+	wg      sync.WaitGroup
+	workers int
+}
+
+func assignCopy(g *guarded) {
+	h := *g // want "assignment copies sync.Mutex.* by value"
+	h.n++
+}
+
+func varCopy(g guarded) { // want "parameter passes sync.Mutex.* by value"
+	var h = g // want "assignment copies sync.Mutex.* by value"
+	h.n++
+}
+
+func rangeCopy(gs []guarded) {
+	for _, g := range gs { // want "range copies sync.Mutex.* by value"
+		_ = g.n
+	}
+}
+
+func (g guarded) byValueReceiver() int { // want "receiver passes sync.Mutex.* by value"
+	return g.n
+}
+
+func (g *guarded) pointerReceiverOK() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func returnsCopy() (p pool) { // want "result passes sync.WaitGroup.* by value"
+	return p
+}
+
+func freshLiteralOK() *guarded {
+	g := guarded{n: 1}
+	return &g
+}
+
+func pointerOK(gs []*guarded) {
+	for _, g := range gs {
+		g.n++
+	}
+}
+
+func indexOK(gs []guarded) {
+	for i := range gs {
+		gs[i].n++
+	}
+}

@@ -1,0 +1,55 @@
+// Package nakedgoroutine is ipslint test corpus: goroutine fan-out hygiene
+// in loops.
+package nakedgoroutine
+
+import "sync"
+
+func process(int) int { return 0 }
+
+func capturesLoopVar(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			process(it) // want "goroutine captures loop variable it"
+		}()
+	}
+	wg.Wait()
+}
+
+func noJoin(items []int) {
+	for i := range items {
+		go process(i) // want "goroutine launched in a loop with no join in scope"
+	}
+}
+
+func argPassedJoinedOK(items []int) {
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			process(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func channelJoinOK(items []int) []int {
+	ch := make(chan int)
+	for i := range items {
+		go func(i int) { ch <- process(i) }(i)
+	}
+	out := make([]int, 0, len(items))
+	for range items {
+		out = append(out, <-ch)
+	}
+	return out
+}
+
+func singleGoroutineOK(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}

@@ -1,0 +1,36 @@
+// Package noglobalrand is ipslint test corpus: determinism violations via
+// the math/rand global generator and clock seeding.
+package noglobalrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraw() int {
+	return rand.Intn(10) // want "rand.Intn uses the process-global generator"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle uses the process-global generator"
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want "rand.Float64 uses the process-global generator"
+}
+
+func clockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from the clock"
+}
+
+func clockSeedDirect() rand.Source {
+	return rand.NewSource(int64(time.Now().Nanosecond())) // want "seeded from the clock"
+}
+
+func injectedOK(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func drawOK(rng *rand.Rand) float64 {
+	return rng.Float64()
+}

@@ -1,0 +1,66 @@
+// Package spanend is ipslint test corpus: obs span lifecycle leaks.  The
+// local Span type mirrors the internal/obs API shape the analyzer matches
+// on (a Child method returning *Span, ended by End).
+package spanend
+
+import "errors"
+
+type Span struct{}
+
+func (s *Span) Child(name string) *Span  { return &Span{} }
+func (s *Span) End()                     {}
+func (s *Span) SetInt(k string, v int64) {}
+
+func root() *Span { return &Span{} }
+
+var errBoom = errors.New("boom")
+
+func neverEnded() {
+	sp := root().Child("work") // want "span sp is started but never ended"
+	sp.SetInt("n", 1)
+}
+
+func leakyEarlyReturn(fail bool) error {
+	sp := root().Child("stage")
+	if fail {
+		return errBoom // want "return leaks span sp"
+	}
+	sp.End()
+	return nil
+}
+
+func deferredOK() {
+	sp := root().Child("ok")
+	defer sp.End()
+	sp.SetInt("n", 2)
+}
+
+func lexicalOK(fail bool) error {
+	sp := root().Child("ok")
+	if fail {
+		sp.End()
+		return errBoom
+	}
+	sp.End()
+	return nil
+}
+
+func escapeOK() *Span {
+	sp := root().Child("handoff")
+	return sp
+}
+
+func passedOK(use func(*Span)) {
+	sp := root().Child("callee-owned")
+	use(sp)
+}
+
+func loopChildOK(names []string) {
+	parent := root().Child("parent")
+	defer parent.End()
+	for _, n := range names {
+		c := parent.Child(n)
+		c.SetInt("i", 1)
+		c.End()
+	}
+}

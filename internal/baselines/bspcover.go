@@ -184,6 +184,7 @@ func bestInfoGainSplit(dists []float64, labels []int, target int) (gain, split f
 		if rows[i].isTgt {
 			tgtLeft++
 		}
+		//lint:ignore ipslint/floateq adjacent sorted values: exact tie detection is the split-point definition
 		if rows[i].d == rows[i+1].d {
 			continue // split must fall between distinct values
 		}

@@ -69,6 +69,7 @@ func (e *Ensemble) Predict(d *ts.Dataset) []int {
 	for i, v := range votes {
 		best, bestW := 0, -1.0
 		for class, w := range v {
+			//lint:ignore ipslint/floateq exact tie-break keeps the vote argmax deterministic
 			if w > bestW || (w == bestW && class < best) {
 				best, bestW = class, w
 			}

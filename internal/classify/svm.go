@@ -129,6 +129,7 @@ func dualCD(X [][]float64, y []int, class, dim int, cfg SVMConfig) ([]float64, f
 			g := labels[i]*score - 1
 			old := alpha[i]
 			next := math.Min(math.Max(old-g/qii[i], 0), C)
+			//lint:ignore ipslint/floateq no-op update check: both sides come from the same clamp, so equality is exact
 			if next == old {
 				continue
 			}

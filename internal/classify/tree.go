@@ -110,6 +110,7 @@ func growTree(X [][]float64, y []int, idx []int, cfg TreeConfig, depth int) *tre
 			if rightCounts[y[i]] == 0 {
 				delete(rightCounts, y[i])
 			}
+			//lint:ignore ipslint/floateq adjacent sorted values: exact tie detection is the split-point definition
 			if X[order[pos+1]][f] == X[i][f] {
 				continue // split must separate distinct values
 			}

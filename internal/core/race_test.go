@@ -1,0 +1,68 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"ips/internal/classify"
+	"ips/internal/obs"
+)
+
+// TestWorkerPoolRaceWorkers8 exercises the full fan-out surface at
+// Workers=8 — candidate generation, the shapelet transform, and concurrent
+// observability (spans, metrics, progress callbacks) — with two pipelines
+// running at once.  Its job is to give the race detector maximal
+// interleaving to bite on: under `go test -race` (the CI configuration) any
+// unsynchronized access in the worker pools or the obs plumbing fails the
+// run.  It also re-checks that the heavily parallel run is bit-identical to
+// the sequential one, the determinism contract ipslint's analyzers guard.
+func TestWorkerPoolRaceWorkers8(t *testing.T) {
+	train := plantedDataset(12, 64, 3, 11)
+
+	run := func(workers int) ([]classify.Shapelet, [][]float64) {
+		o := obs.New("race")
+		var progressMu sync.Mutex
+		seen := map[string]int{}
+		o.OnProgress(func(stage string, done, total int) {
+			// A locking sink makes the callback itself race-visible work.
+			progressMu.Lock()
+			seen[stage]++
+			progressMu.Unlock()
+		})
+		opt := smallOptions(11)
+		opt.Workers = workers
+		opt.Obs = o
+		res, err := Discover(train, opt)
+		if err != nil {
+			t.Errorf("workers=%d: %v", workers, err)
+			return nil, nil
+		}
+		X := classify.TransformSpan(train, res.Shapelets, workers, o.Root().Child("transform"))
+		o.Finish()
+		return res.Shapelets, X
+	}
+
+	// Two concurrent Workers=8 pipelines plus one sequential reference.
+	var wg sync.WaitGroup
+	results := make([][]classify.Shapelet, 2)
+	features := make([][][]float64, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], features[i] = run(8)
+		}(i)
+	}
+	wg.Wait()
+	refShapelets, refFeatures := run(1)
+
+	for i := 0; i < 2; i++ {
+		if !reflect.DeepEqual(results[i], refShapelets) {
+			t.Fatalf("run %d: Workers=8 shapelets differ from sequential reference", i)
+		}
+		if !reflect.DeepEqual(features[i], refFeatures) {
+			t.Fatalf("run %d: Workers=8 features differ from sequential reference", i)
+		}
+	}
+}

@@ -159,6 +159,7 @@ func BuildSpan(pool *ip.Pool, cfg Config, sp *obs.Span) (*DABF, error) {
 		}
 		// Rank buckets by distance from the origin (Alg. 2 line 7).
 		sort.Slice(cf.Buckets, func(i, j int) bool {
+			//lint:ignore ipslint/floateq comparator tie-break: exact inequality falls through to the signature order
 			if cf.Buckets[i].NormDist != cf.Buckets[j].NormDist {
 				return cf.Buckets[i].NormDist < cf.Buckets[j].NormDist
 			}

@@ -12,29 +12,45 @@ import (
 // Forward computes the in-place FFT of x, whose length must be a power of
 // two (including 1).
 func Forward(x []complex128) error {
-	return transform(x, false)
+	if err := checkLen(len(x)); err != nil {
+		return err
+	}
+	dft(x, false)
+	return nil
 }
 
 // Inverse computes the in-place inverse FFT of x (scaled by 1/len(x)),
 // whose length must be a power of two.
 func Inverse(x []complex128) error {
-	if err := transform(x, true); err != nil {
+	if err := checkLen(len(x)); err != nil {
 		return err
 	}
-	n := complex(float64(len(x)), 0)
-	for i := range x {
-		x[i] /= n
+	idft(x)
+	return nil
+}
+
+func checkLen(n int) error {
+	if n&(n-1) != 0 {
+		return errors.New("fft: length must be a power of two")
 	}
 	return nil
 }
 
-func transform(x []complex128, inverse bool) error {
-	n := len(x)
-	if n == 0 {
-		return nil
+// idft is the unchecked inverse transform with 1/n scaling; len(x) must be
+// a power of two.
+func idft(x []complex128) {
+	dft(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
 	}
-	if n&(n-1) != 0 {
-		return errors.New("fft: length must be a power of two")
+}
+
+// dft is the unchecked transform core; len(x) must be a power of two.
+func dft(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
 	}
 	// Bit-reversal permutation.
 	shift := 64 - uint(bits.TrailingZeros(uint(n)))
@@ -63,7 +79,6 @@ func transform(x []complex128, inverse bool) error {
 			}
 		}
 	}
-	return nil
 }
 
 // NextPow2 returns the smallest power of two >= n (and 1 for n <= 1).
@@ -90,13 +105,14 @@ func Convolve(a, b []float64) []float64 {
 	for i, v := range b {
 		fb[i] = complex(v, 0)
 	}
-	// Lengths are powers of two by construction; errors are impossible.
-	_ = Forward(fa)
-	_ = Forward(fb)
+	// Lengths are powers of two by construction, so the unchecked core
+	// applies directly.
+	dft(fa, false)
+	dft(fb, false)
 	for i := range fa {
 		fa[i] *= fb[i]
 	}
-	_ = Inverse(fa)
+	idft(fa)
 	out := make([]float64, outLen)
 	for i := range out {
 		out[i] = real(fa[i])

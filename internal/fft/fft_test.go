@@ -173,7 +173,7 @@ func TestParseval(t *testing.T) {
 			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
 		}
 		freqEnergy /= float64(n)
-		return math.Abs(timeEnergy-freqEnergy) < 1e-6*(1+timeEnergy)
+		return ts.ApproxEqual(timeEnergy, freqEnergy, 1e-6*(1+timeEnergy))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)

@@ -43,7 +43,7 @@ func TestMASSMatchesNaive(t *testing.T) {
 			t.Fatalf("len %d vs %d", len(got), len(want))
 		}
 		for i := range want {
-			if math.Abs(got[i]-want[i]) > 1e-6 {
+			if !ts.ApproxEqual(got[i], want[i], 1e-6) {
 				t.Fatalf("m=%d profile[%d]: %v vs %v", tc.m, i, got[i], want[i])
 			}
 		}

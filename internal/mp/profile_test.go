@@ -99,7 +99,7 @@ func profilesClose(t *testing.T, got, want *Profile, tol float64) {
 		if math.IsInf(gi, 1) {
 			continue
 		}
-		if math.Abs(gi-wi) > tol {
+		if !ts.ApproxEqual(gi, wi, tol) {
 			t.Fatalf("P[%d]: got %v want %v", i, gi, wi)
 		}
 	}

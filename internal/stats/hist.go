@@ -33,7 +33,7 @@ func NewHistogram(samples []float64, bins int) (*Histogram, error) {
 			hi = v
 		}
 	}
-	if hi == lo {
+	if hi <= lo {
 		hi = lo + 1 // all-equal samples: one unit-wide bin range
 	}
 	h := &Histogram{

@@ -5,9 +5,11 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"ips/internal/ts"
 )
 
-func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+func approx(a, b, tol float64) bool { return ts.ApproxEqual(a, b, tol) }
 
 func TestRegularizedGammaP(t *testing.T) {
 	// P(1, x) = 1 − e^{−x}
@@ -398,7 +400,7 @@ func TestHistogramNMSEProperties(t *testing.T) {
 		for _, d := range h.Density {
 			total += d * h.Width
 		}
-		if math.Abs(total-1) > 1e-9 {
+		if !approx(total, 1, 1e-9) {
 			return false
 		}
 		return h.NMSE(FitNormal(xs)) >= 0

@@ -19,6 +19,7 @@ func Ranks(xs []float64) []float64 {
 	ranks := make([]float64, k)
 	for i := 0; i < k; {
 		j := i
+		//lint:ignore ipslint/floateq rank ties are defined by exact equality of the sorted values
 		for j+1 < k && xs[idx[j+1]] == xs[idx[i]] {
 			j++
 		}
@@ -121,6 +122,7 @@ func WilcoxonSignedRank(a, b []float64) (w, p float64, err error) {
 	var wPlus, wMinus, tieCorr float64
 	for i := 0; i < n; {
 		j := i
+		//lint:ignore ipslint/floateq rank ties are defined by exact equality of the sorted values
 		for j+1 < n && diffs[j+1].abs == diffs[i].abs {
 			j++
 		}

@@ -1,0 +1,46 @@
+package ts
+
+import "math"
+
+// ApproxEqual reports whether a and b are within eps of each other.  It is
+// the shared epsilon comparison the floateq lint check points to: floating-
+// point accumulation order perturbs low-order bits, so computed values are
+// never compared with == directly.
+//
+// Equal infinities compare true regardless of eps; NaN compares false
+// against everything, matching IEEE semantics.
+func ApproxEqual(a, b, eps float64) bool {
+	if a == b {
+		return true // exact hit, and the only way two infinities match
+	}
+	return math.Abs(a-b) <= eps
+}
+
+// ApproxEqualSlice reports whether a and b have equal length and are
+// element-wise within eps.
+func ApproxEqualSlice(a, b []float64, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !ApproxEqual(a[i], b[i], eps) {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqualRel reports whether a and b are within a relative tolerance:
+// |a−b| <= eps·max(|a|, |b|), falling back to the absolute test near zero.
+// Use it when the compared magnitudes span orders of magnitude (profile
+// distances do).
+func ApproxEqualRel(a, b, eps float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale <= 1 {
+		return math.Abs(a-b) <= eps
+	}
+	return math.Abs(a-b) <= eps*scale
+}

@@ -1,0 +1,57 @@
+package ts
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b, eps float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-10, 1e-9, true},
+		{1, 1 + 1e-8, 1e-9, false},
+		{-2, -2.0005, 1e-3, true},
+		{0, 0, 0, true},
+		{math.Inf(1), math.Inf(1), 0, true},
+		{math.Inf(1), math.Inf(-1), 1e300, false},
+		{math.Inf(1), 1e308, 1e300, false},
+		{math.NaN(), math.NaN(), 1, false},
+		{math.NaN(), 0, 1, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.eps); got != c.want {
+			t.Errorf("ApproxEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.eps, got, c.want)
+		}
+	}
+}
+
+func TestApproxEqualSlice(t *testing.T) {
+	a := []float64{1, 2, 3}
+	if !ApproxEqualSlice(a, []float64{1, 2 + 1e-12, 3}, 1e-9) {
+		t.Fatal("near-identical slices should match")
+	}
+	if ApproxEqualSlice(a, []float64{1, 2.1, 3}, 1e-9) {
+		t.Fatal("differing slices should not match")
+	}
+	if ApproxEqualSlice(a, []float64{1, 2}, 1e-9) {
+		t.Fatal("length mismatch should not match")
+	}
+}
+
+func TestApproxEqualRel(t *testing.T) {
+	// 1 part in 1e9 at magnitude 1e12 is a difference of 1e3: far outside
+	// any absolute eps, inside the relative one.
+	if !ApproxEqualRel(1e12, 1e12+1e3, 1e-8) {
+		t.Fatal("relative comparison should scale with magnitude")
+	}
+	if ApproxEqualRel(1e12, 1e12*(1+1e-6), 1e-8) {
+		t.Fatal("relative comparison should still reject large drift")
+	}
+	// Near zero it degrades to the absolute test.
+	if !ApproxEqualRel(0, 1e-10, 1e-9) {
+		t.Fatal("near-zero values should use the absolute tolerance")
+	}
+}

@@ -12,10 +12,8 @@ func TestInterpolateInteriorGap(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := Series{1, 2, 3, 4}
-	for i := range want {
-		if math.Abs(got[i]-want[i]) > 1e-12 {
-			t.Fatalf("interp = %v, want %v", got, want)
-		}
+	if !ApproxEqualSlice(got, want, 1e-12) {
+		t.Fatalf("interp = %v, want %v", got, want)
 	}
 	// Original untouched.
 	if !math.IsNaN(s[1]) {

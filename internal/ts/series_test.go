@@ -8,7 +8,7 @@ import (
 )
 
 func almostEqual(a, b, tol float64) bool {
-	return math.Abs(a-b) <= tol
+	return ApproxEqual(a, b, tol)
 }
 
 func TestSeriesClone(t *testing.T) {

@@ -67,18 +67,19 @@ func LoadTSV(path string) (*ts.Dataset, error) {
 	for l := range distinct {
 		labels = append(labels, l)
 	}
+	numeric := make(map[string]float64, len(labels))
 	allNumeric := true
 	for _, l := range labels {
-		if _, err := strconv.ParseFloat(l, 64); err != nil {
+		v, err := strconv.ParseFloat(l, 64)
+		if err != nil {
 			allNumeric = false
 			break
 		}
+		numeric[l] = v
 	}
 	sort.Slice(labels, func(i, j int) bool {
 		if allNumeric {
-			a, _ := strconv.ParseFloat(labels[i], 64)
-			b, _ := strconv.ParseFloat(labels[j], 64)
-			return a < b
+			return numeric[labels[i]] < numeric[labels[j]]
 		}
 		return labels[i] < labels[j]
 	})
