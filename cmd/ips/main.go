@@ -14,6 +14,7 @@
 //	-qn N        bagging samples per class (default 10)
 //	-qs N        instances per sample (default 3)
 //	-seed N      random seed (default 1)
+//	-workers N   parallelise the pipeline; output identical for any value
 //	-show N      print the first N shapelets as sparklines (default 3)
 //	-save FILE   write the trained model to FILE as JSON
 //	-load FILE   classify with a previously saved model instead of training
@@ -48,6 +49,7 @@ func main() {
 	qn := flag.Int("qn", 10, "bagging samples per class (Q_N)")
 	qs := flag.Int("qs", 3, "instances per sample (Q_S)")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 1, "parallelise the pipeline (output identical for any value)")
 	show := flag.Int("show", 3, "print the first N shapelets as sparklines")
 	savePath := flag.String("save", "", "write the trained model to this JSON file")
 	loadPath := flag.String("load", "", "classify with a previously saved model instead of training")
@@ -98,6 +100,7 @@ func main() {
 	opt.IP.Seed = *seed
 	opt.DABF.Seed = *seed
 	opt.SVM.Seed = *seed
+	opt.Workers = *workers
 	opt.Obs = o
 
 	acc, model, err := ips.Evaluate(train, test, opt)

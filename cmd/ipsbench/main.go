@@ -12,6 +12,8 @@
 //	fig9 fig10a fig10bc fig11 fig12 fig13 all
 //	table6x (additional measured methods: RotF, LTS, FS)
 //	fig11m  (Fig. 11 ranked on measured accuracies)
+//	mp      (STOMP kernel micro-benchmark across worker counts;
+//	         snapshot with -mpout BENCH_mp.json)
 //
 // Flags:
 //
@@ -21,6 +23,10 @@
 //	-seed N      random seed (default 1)
 //	-k N         shapelets per class (default 5)
 //	-runs N      repetitions averaged for randomised methods (default 1)
+//	-workers N   parallelise the IPS pipeline and STOMP kernels; results
+//	             are identical for any value (default 1)
+//	-mpout FILE  write the "mp" experiment's kernel report as JSON
+//	             (e.g. BENCH_mp.json)
 //
 // Observability (see internal/obs):
 //
@@ -46,6 +52,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	k := flag.Int("k", 5, "shapelets per class")
 	runs := flag.Int("runs", 1, "repetitions averaged for randomised methods")
+	workers := flag.Int("workers", 1, "parallelise the IPS pipeline and STOMP kernels (results identical for any value)")
+	mpOut := flag.String("mpout", "", "write the mp experiment's kernel report as JSON to this file")
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON of all IPS runs to this file")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof, expvar, and /metrics on this address (e.g. :6060)")
 	flag.Parse()
@@ -77,24 +85,38 @@ func main() {
 		Runs:    *runs,
 		Out:     os.Stdout,
 		Obs:     o,
+		Workers: *workers,
 	}
 
 	experiments := map[string]func() error{
-		"table2":   func() error { _, err := h.Table2(); return err },
-		"table3":   func() error { _, err := h.Table3(); return err },
-		"table4":   func() error { _, err := h.Table4(nil); return err },
-		"table5":   func() error { _, err := h.Table5(nil); return err },
-		"table6":   func() error { _, err := h.Table6(nil); return err },
-		"table7":   func() error { _, err := h.Table7(nil); return err },
-		"fig9":     func() error { _, err := h.Fig9(nil); return err },
-		"fig10a":   func() error { _, err := h.Fig10a(nil); return err },
-		"fig10bc":  func() error { _, err := h.Fig10bc(nil); return err },
-		"fig11":    func() error { _, err := h.Fig11(nil); return err },
-		"fig12":    func() error { _, err := h.Fig12(nil); return err },
-		"fig13":    func() error { _, err := h.Fig13(); return err },
-		"table6x":  func() error { _, err := h.Table6Extended(nil); return err },
-		"fig11m":   func() error { _, err := h.Fig11Measured(nil); return err },
-		"params":   func() error { _, err := h.Params(nil); return err },
+		"table2":  func() error { _, err := h.Table2(); return err },
+		"table3":  func() error { _, err := h.Table3(); return err },
+		"table4":  func() error { _, err := h.Table4(nil); return err },
+		"table5":  func() error { _, err := h.Table5(nil); return err },
+		"table6":  func() error { _, err := h.Table6(nil); return err },
+		"table7":  func() error { _, err := h.Table7(nil); return err },
+		"fig9":    func() error { _, err := h.Fig9(nil); return err },
+		"fig10a":  func() error { _, err := h.Fig10a(nil); return err },
+		"fig10bc": func() error { _, err := h.Fig10bc(nil); return err },
+		"fig11":   func() error { _, err := h.Fig11(nil); return err },
+		"fig12":   func() error { _, err := h.Fig12(nil); return err },
+		"fig13":   func() error { _, err := h.Fig13(); return err },
+		"table6x": func() error { _, err := h.Table6Extended(nil); return err },
+		"fig11m":  func() error { _, err := h.Fig11Measured(nil); return err },
+		"params":  func() error { _, err := h.Params(nil); return err },
+		"mp": func() error {
+			rep, err := h.MPBench()
+			if err != nil {
+				return err
+			}
+			if *mpOut != "" {
+				if err := rep.WriteJSON(*mpOut); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "kernel report written to %s\n", *mpOut)
+			}
+			return nil
+		},
 		"cote":     func() error { _, err := h.COTE(nil); return err },
 		"ablation": func() error { _, err := h.Ablation(nil); return err },
 	}

@@ -15,6 +15,8 @@
 //	-dataset S    use an instance of a generated UCR dataset instead of a file
 //	-instance N   which instance of the dataset (default 0)
 //	-seed N       generation seed (default 1)
+//	-workers N    parallelise the self-join over diagonal tiles; the
+//	              profile is identical for any value (default 1)
 package main
 
 import (
@@ -37,6 +39,7 @@ func main() {
 	dataset := flag.String("dataset", "", "generated UCR dataset name")
 	instance := flag.Int("instance", 0, "dataset instance index")
 	seed := flag.Int64("seed", 1, "generation seed")
+	workers := flag.Int("workers", 1, "parallelise the self-join (profile identical for any value)")
 	flag.Parse()
 
 	if *w <= 0 {
@@ -53,7 +56,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	p := mp.SelfJoin(series, *w, nil)
+	p := mp.SelfJoinOpts(series, *w, nil, mp.Options{Workers: *workers})
 	fmt.Printf("series length %d, window %d, %d subsequences\n\n", len(series), *w, p.Len())
 
 	fmt.Println("top motifs (position, neighbour, distance):")

@@ -23,6 +23,10 @@ type BaseConfig struct {
 	// length (kept identical to IPS for fairness, §IV-A).
 	LengthRatios []float64
 	MinLength    int
+	// Workers parallelises the STOMP self- and AB-joins over diagonal
+	// tiles (<=1 means sequential).  The discovered shapelets are
+	// identical for any worker count; see mp.SelfJoinOpts.
+	Workers int
 }
 
 func (c BaseConfig) defaults() BaseConfig {
@@ -79,8 +83,9 @@ func BaseDiscover(train *ts.Dataset, cfg BaseConfig) ([]classify.Shapelet, error
 			}
 			validOwn := ts.BoundaryMask(startsOwn, len(catOwn), L)
 			validRest := ts.BoundaryMask(startsRest, len(catRest), L)
-			pSelf := mp.SelfJoin(catOwn, L, validOwn)
-			pCross := mp.ABJoin(catOwn, catRest, L, validOwn, validRest)
+			kern := mp.Options{Workers: cfg.Workers}
+			pSelf := mp.SelfJoinOpts(catOwn, L, validOwn, kern)
+			pCross := mp.ABJoinOpts(catOwn, catRest, L, validOwn, validRest, kern)
 			diff := mp.Diff(pCross, pSelf)
 			dp := &mp.Profile{P: diff, W: L}
 			// Top-k per length with an exclusion zone; merged across

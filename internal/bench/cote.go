@@ -51,7 +51,7 @@ func (h *Harness) COTE(datasets []string) ([]COTERow, error) {
 		addMember("IPS", ipsModel.Predict)
 
 		// Shapelet-transform methods sharing the common classifier.
-		if sh, err := baselines.BaseDiscover(train, baselines.BaseConfig{K: h.k()}); err == nil {
+		if sh, err := baselines.BaseDiscover(train, baselines.BaseConfig{K: h.k(), Workers: h.Workers}); err == nil {
 			if m, err := baselines.TrainShapeletClassifier(train, sh, classify.SVMConfig{Seed: h.Seed}); err == nil {
 				addMember("BASE", m.Predict)
 			}

@@ -39,6 +39,10 @@ type Harness struct {
 	// pipeline run the harness performs (see internal/obs); each Discover
 	// appears as one subtree under the observer's root.
 	Obs *obs.Observer
+	// Workers parallelises the IPS pipeline and the BASE baseline's STOMP
+	// joins (<=1 means sequential).  Accuracies are unaffected: every
+	// parallel path is deterministic for any worker count.
+	Workers int
 }
 
 func (h *Harness) runs() int {
@@ -90,11 +94,12 @@ func (h *Harness) Load(name string) (train, test *ts.Dataset, err error) {
 // ipsOptions returns the IPS pipeline configuration for the current mode.
 func (h *Harness) ipsOptions() core.Options {
 	opt := core.Options{
-		IP:   ip.Config{QN: 10, QS: 3, Seed: h.Seed},
-		DABF: dabf.Config{Seed: h.Seed},
-		K:    h.k(),
-		SVM:  classify.SVMConfig{Seed: h.Seed},
-		Obs:  h.Obs,
+		IP:      ip.Config{QN: 10, QS: 3, Seed: h.Seed},
+		DABF:    dabf.Config{Seed: h.Seed},
+		K:       h.k(),
+		SVM:     classify.SVMConfig{Seed: h.Seed},
+		Obs:     h.Obs,
+		Workers: h.Workers,
 	}
 	if h.Quick {
 		opt.IP.QN = 5
@@ -149,7 +154,7 @@ func evaluateWithOptions(train, test *ts.Dataset, opt core.Options) (float64, ti
 func (h *Harness) RunBase(train, test *ts.Dataset, k int) (MethodResult, error) {
 	t0 := time.Now()
 	acc, err := baselines.BaseEvaluate(train, test,
-		baselines.BaseConfig{K: k},
+		baselines.BaseConfig{K: k, Workers: h.Workers},
 		classify.SVMConfig{Seed: h.Seed})
 	if err != nil {
 		return MethodResult{}, err

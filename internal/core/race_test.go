@@ -1,11 +1,14 @@
 package core
 
 import (
+	"math"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 
 	"ips/internal/classify"
+	"ips/internal/mp"
 	"ips/internal/obs"
 )
 
@@ -64,5 +67,48 @@ func TestWorkerPoolRaceWorkers8(t *testing.T) {
 		if !reflect.DeepEqual(features[i], refFeatures) {
 			t.Fatalf("run %d: Workers=8 features differ from sequential reference", i)
 		}
+	}
+}
+
+// TestKernelDeterminismAtGOMAXPROCS pins the end-to-end determinism
+// contract at the machine's own parallelism: a Discover run and a raw STOMP
+// self-join at Workers=GOMAXPROCS must be identical — byte-identical for
+// the kernel — to the sequential reference, whatever hardware CI lands on.
+func TestKernelDeterminismAtGOMAXPROCS(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2 // still exercise the pooled path on single-core machines
+	}
+
+	// Raw kernel: byte-identical profile.
+	series := make([]float64, 600)
+	v := 0.0
+	for i := range series {
+		// Deterministic pseudo-walk without seeding a global rng.
+		v += math.Sin(float64(i)*0.7) + math.Cos(float64(i*i)*0.13)
+		series[i] = v
+	}
+	ref := mp.SelfJoinOpts(series, 24, nil, mp.Options{Workers: 1})
+	got := mp.SelfJoinOpts(series, 24, nil, mp.Options{Workers: workers})
+	for i := range ref.P {
+		if math.Float64bits(got.P[i]) != math.Float64bits(ref.P[i]) || got.I[i] != ref.I[i] {
+			t.Fatalf("workers=%d: kernel (P[%d],I[%d]) = (%v,%d), want (%v,%d)",
+				workers, i, i, got.P[i], got.I[i], ref.P[i], ref.I[i])
+		}
+	}
+
+	// Full pipeline: identical shapelets.
+	train := plantedDataset(10, 64, 2, 17)
+	run := func(w int) []classify.Shapelet {
+		opt := smallOptions(17)
+		opt.Workers = w
+		res, err := Discover(train, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		return res.Shapelets
+	}
+	if !reflect.DeepEqual(run(workers), run(1)) {
+		t.Fatalf("Workers=%d shapelets differ from sequential reference", workers)
 	}
 }

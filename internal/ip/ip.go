@@ -109,10 +109,13 @@ type Config struct {
 	// Seed drives the sampling; runs are deterministic given a seed.
 	Seed int64
 	// Workers sets the number of goroutines computing instance profiles
-	// (<=1 means sequential).  The sampling itself stays sequential, so the
-	// candidate pool is identical for any worker count — this is the
-	// shared-memory form of the distributed discovery the paper lists as
-	// future work.
+	// (<=1 means sequential).  When there are fewer profile jobs than
+	// workers, the spare parallelism drops into the diagonal-tiled STOMP
+	// kernel instead (see mp.SelfJoinOpts).  The sampling itself stays
+	// sequential and the kernel is byte-identical for any worker count, so
+	// the candidate pool is identical however the work is split — this is
+	// the shared-memory form of the distributed discovery the paper lists
+	// as future work.
 	Workers int
 }
 
@@ -138,9 +141,17 @@ func (c Config) Defaults() Config {
 // instance boundaries excluded.  It returns the profile and the
 // concatenated series it annotates.
 func InstanceProfile(ins []ts.Instance, L int) (*mp.Profile, ts.Series) {
+	return InstanceProfileOpts(ins, L, mp.Options{})
+}
+
+// InstanceProfileOpts is InstanceProfile with an explicit kernel
+// configuration: opt.Workers parallelises the underlying STOMP self-join
+// over diagonal tiles (the profile is byte-identical for any worker
+// count), and opt.Span receives the kernel's spans.
+func InstanceProfileOpts(ins []ts.Instance, L int, opt mp.Options) (*mp.Profile, ts.Series) {
 	cat, starts := ts.ConcatenateInstances(ins)
 	valid := ts.BoundaryMask(starts, len(cat), L)
-	return mp.SelfJoin(cat, L, valid), cat
+	return mp.SelfJoinOpts(cat, L, valid, opt), cat
 }
 
 // Lengths converts the configured ratios into absolute candidate lengths for
@@ -219,15 +230,26 @@ func GenerateSpan(d *ts.Dataset, cfg Config, sp *obs.Span) (*Pool, error) {
 	}
 
 	// Phase 2 (parallel): compute the instance profile of each job and
-	// extract its motif and discord into a per-job slot.
+	// extract its motif and discord into a per-job slot.  The fan-out is
+	// two-level: jobs spread across cfg.Workers goroutines, and when there
+	// are fewer jobs than workers the spare parallelism moves down into the
+	// STOMP kernel itself (diagonal tiles), so a handful of large profiles
+	// still saturates the machine.  Either way the pool is identical: the
+	// kernel is byte-identical for any worker count, and the sampling above
+	// already fixed the rng stream.
+	kernelWorkers := 1
+	if cfg.Workers > 1 && len(jobs) > 0 && len(jobs) < cfg.Workers {
+		kernelWorkers = (cfg.Workers + len(jobs) - 1) / len(jobs)
+	}
 	psp := sp.Child("profiles")
 	psp.SetInt("jobs", int64(len(jobs)))
+	psp.SetInt("kernel_workers", int64(kernelWorkers))
 	var done atomic.Int64
 	results := make([][]Candidate, len(jobs))
 	run := func(ji int) {
 		j := jobs[ji]
 		valid := ts.BoundaryMask(j.starts, len(j.cat), j.length)
-		prof := mp.SelfJoin(j.cat, j.length, valid)
+		prof := mp.SelfJoinOpts(j.cat, j.length, valid, mp.Options{Workers: kernelWorkers})
 		if prof.Len() == 0 {
 			return
 		}

@@ -1,0 +1,130 @@
+package mp
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// fuzzSeries decodes 8-byte chunks of data as float64s.  NaN and ±Inf bit
+// patterns are remapped to finite values derived from the same bits, so the
+// harness explores the full finite range — including the huge magnitudes
+// (|v| ≳ 1e154) whose squares overflow the sliding statistics — without
+// feeding the kernels inputs they do not claim to accept.
+func fuzzSeries(data []byte) []float64 {
+	n := len(data) / 8
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		bits := binary.LittleEndian.Uint64(data[i*8:])
+		v := math.Float64frombits(bits)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = float64(int32(bits)) // deterministic finite stand-in
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// checkProfileFinite asserts the NaN/Inf contract of a join result: every
+// distance is either +Inf with neighbour −1 (no valid neighbour) or a
+// finite non-negative value with a neighbour in range — NaN never leaks
+// into a profile, whatever the (finite) input.
+func checkProfileFinite(t *testing.T, p *Profile, nNeighbours int) {
+	t.Helper()
+	for i, v := range p.P {
+		switch {
+		case math.IsNaN(v):
+			t.Fatalf("P[%d] is NaN", i)
+		case math.IsInf(v, 1):
+			if p.I[i] != -1 {
+				t.Fatalf("P[%d] = +Inf but I[%d] = %d", i, i, p.I[i])
+			}
+		case math.IsInf(v, -1) || v < 0:
+			t.Fatalf("P[%d] = %v, want non-negative", i, v)
+		default:
+			if p.I[i] < 0 || p.I[i] >= nNeighbours {
+				t.Fatalf("I[%d] = %d out of range [0,%d)", i, p.I[i], nNeighbours)
+			}
+		}
+	}
+}
+
+// FuzzSelfJoin feeds arbitrary finite series — zero-variance segments,
+// overflow-scale magnitudes, sub-window lengths — through the tiled kernel
+// at several worker counts, asserting the no-NaN contract and worker-count
+// byte-identity on every input.
+func FuzzSelfJoin(f *testing.F) {
+	f.Add([]byte{}, uint8(4))
+	f.Add(make([]byte, 8*6), uint8(3))                             // all-zero (constant) series
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0xf0, 0x7f, 1, 2, 3}, uint8(2)) // +Inf bit pattern remapped
+	seed := make([]byte, 8*40)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed, uint8(8))
+	f.Fuzz(func(t *testing.T, data []byte, wRaw uint8) {
+		if len(data) > 8*512 {
+			return // keep the O(N²) join inside fuzz-time budget
+		}
+		series := fuzzSeries(data)
+		w := 2 + int(wRaw)%64
+		ref := SelfJoinOpts(series, w, nil, Options{Workers: 1})
+		n := len(series) - w + 1
+		if n <= 0 {
+			if ref.Len() != 0 {
+				t.Fatalf("sub-window input produced %d entries", ref.Len())
+			}
+			return
+		}
+		checkProfileFinite(t, ref, n)
+		for _, workers := range []int{2, 5} {
+			got := SelfJoinOpts(series, w, nil, Options{Workers: workers})
+			for i := range got.P {
+				if math.Float64bits(got.P[i]) != math.Float64bits(ref.P[i]) || got.I[i] != ref.I[i] {
+					t.Fatalf("workers=%d: (P[%d],I[%d]) = (%v,%d), want (%v,%d)",
+						workers, i, i, got.P[i], got.I[i], ref.P[i], ref.I[i])
+				}
+			}
+		}
+	})
+}
+
+// FuzzMASS asserts that the FFT-based distance profile never emits NaN or
+// negative values: every entry is finite and non-negative for any finite
+// query/series pair, including constant queries and sub-window series.
+func FuzzMASS(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add(make([]byte, 8*4), make([]byte, 8*16)) // constant query and series
+	q := make([]byte, 8*8)
+	s := make([]byte, 8*64)
+	for i := range q {
+		q[i] = byte(i * 13)
+	}
+	for i := range s {
+		s[i] = byte(i * 7)
+	}
+	f.Add(q, s)
+	f.Fuzz(func(t *testing.T, qb, tb []byte) {
+		if len(qb) > 8*64 || len(tb) > 8*1024 {
+			return
+		}
+		query := fuzzSeries(qb)
+		series := fuzzSeries(tb)
+		prof := MASS(query, series)
+		wantLen := len(series) - len(query) + 1
+		if len(query) == 0 || wantLen <= 0 {
+			if prof != nil {
+				t.Fatalf("degenerate input produced %d entries", len(prof))
+			}
+			return
+		}
+		if len(prof) != wantLen {
+			t.Fatalf("profile length %d, want %d", len(prof), wantLen)
+		}
+		for i, v := range prof {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("prof[%d] = %v, want finite non-negative", i, v)
+			}
+		}
+	})
+}

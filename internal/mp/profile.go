@@ -4,11 +4,7 @@
 // discord extraction, and the profile difference used by the MP baseline.
 package mp
 
-import (
-	"math"
-
-	"ips/internal/ts"
-)
+import "math"
 
 // Profile annotates a time series: P[i] is the nearest-neighbour distance of
 // the length-W subsequence starting at i, and I[i] the index of that
@@ -120,122 +116,20 @@ func Diff(a, b *Profile) []float64 {
 // exclusion zone¹) are excluded, as are subsequences for which valid is false
 // when a mask is supplied (nil means all valid).
 //
+// SelfJoin is the sequential convenience form of SelfJoinOpts; see there for
+// the diagonal-tiled kernel and its determinism contract.
+//
 // ¹ Footnote 1 of the paper: trivially overlapping neighbours are excluded.
 func SelfJoin(t []float64, w int, valid []bool) *Profile {
-	n := len(t) - w + 1
-	if n <= 0 || w <= 0 {
-		return &Profile{W: w}
-	}
-	means, stds := ts.MovingMeanStd(t, w)
-	p := &Profile{P: make([]float64, n), I: make([]int, n), W: w}
-	for i := range p.P {
-		p.P[i] = math.Inf(1)
-		p.I[i] = -1
-	}
-	excl := w / 2
-	if excl < 1 {
-		excl = 1
-	}
-	ok := func(i int) bool { return valid == nil || valid[i] }
-
-	// First column of dot products: q = t[0:w] against every window.
-	qt := ts.SlidingDots(t[:w], t)
-	firstRow := make([]float64, n)
-	copy(firstRow, qt)
-	update := func(i, j int, dot float64) {
-		if !ok(i) || !ok(j) {
-			return
-		}
-		if d := i - j; d < 0 {
-			d = -d
-			if d <= excl {
-				return
-			}
-		} else if d <= excl {
-			return
-		}
-		dist := ts.ZNormSqDistFromStats(dot, w, means[i], stds[i], means[j], stds[j])
-		if dist < p.P[i] {
-			p.P[i] = dist
-			p.I[i] = j
-		}
-		if dist < p.P[j] {
-			p.P[j] = dist
-			p.I[j] = i
-		}
-	}
-	for j := 0; j < n; j++ {
-		update(0, j, qt[j])
-	}
-	// STOMP: row i is derived from row i−1.
-	for i := 1; i < n; i++ {
-		for j := n - 1; j >= 1; j-- {
-			qt[j] = qt[j-1] - t[i-1]*t[j-1] + t[i+w-1]*t[j+w-1]
-		}
-		qt[0] = firstRow[i]
-		for j := i + 1; j < n; j++ { // upper triangle only; update is symmetric
-			update(i, j, qt[j])
-		}
-	}
-	// Report distances, not squared distances.
-	for i := range p.P {
-		if !math.IsInf(p.P[i], 1) {
-			p.P[i] = math.Sqrt(p.P[i])
-		}
-	}
-	return p
+	return SelfJoinOpts(t, w, valid, Options{})
 }
 
 // ABJoin computes, for every length-w subsequence of a, its nearest-neighbour
 // z-normalised distance among the subsequences of b (the paper's P_AB).  No
 // exclusion zone applies because the two series are distinct.  validA/validB
 // optionally mask boundary-spanning subsequences (nil means all valid).
+//
+// ABJoin is the sequential convenience form of ABJoinOpts.
 func ABJoin(a, b []float64, w int, validA, validB []bool) *Profile {
-	na := len(a) - w + 1
-	nb := len(b) - w + 1
-	if na <= 0 || nb <= 0 || w <= 0 {
-		return &Profile{W: w}
-	}
-	meansA, stdsA := ts.MovingMeanStd(a, w)
-	meansB, stdsB := ts.MovingMeanStd(b, w)
-	p := &Profile{P: make([]float64, na), I: make([]int, na), W: w}
-	for i := range p.P {
-		p.P[i] = math.Inf(1)
-		p.I[i] = -1
-	}
-	okA := func(i int) bool { return validA == nil || validA[i] }
-	okB := func(i int) bool { return validB == nil || validB[i] }
-
-	// qt[j] = dot(a[i:i+w], b[j:j+w]) for the current row i.
-	qt := ts.SlidingDots(a[:w], b)
-	firstCol := ts.SlidingDots(b[:w], a) // dot(a[i:i+w], b[0:w])
-	row := func(i int) {
-		if !okA(i) {
-			return
-		}
-		for j := 0; j < nb; j++ {
-			if !okB(j) {
-				continue
-			}
-			dist := ts.ZNormSqDistFromStats(qt[j], w, meansA[i], stdsA[i], meansB[j], stdsB[j])
-			if dist < p.P[i] {
-				p.P[i] = dist
-				p.I[i] = j
-			}
-		}
-	}
-	row(0)
-	for i := 1; i < na; i++ {
-		for j := nb - 1; j >= 1; j-- {
-			qt[j] = qt[j-1] - a[i-1]*b[j-1] + a[i+w-1]*b[j+w-1]
-		}
-		qt[0] = firstCol[i]
-		row(i)
-	}
-	for i := range p.P {
-		if !math.IsInf(p.P[i], 1) {
-			p.P[i] = math.Sqrt(p.P[i])
-		}
-	}
-	return p
+	return ABJoinOpts(a, b, w, validA, validB, Options{})
 }

@@ -1,6 +1,7 @@
 package mp
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -266,10 +267,22 @@ func TestTopKExclusion(t *testing.T) {
 	}
 }
 
+// BenchmarkSelfJoin measures the diagonal-tiled STOMP kernel across series
+// lengths, windows, and worker counts.  Speedups over workers=1 require as
+// many CPUs as workers (compare with runtime.GOMAXPROCS); determinism does
+// not — every cell is byte-identical regardless (TestSelfJoinPropertyWorkers).
 func BenchmarkSelfJoin(b *testing.B) {
-	series := randomSeries(1000, 1)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		SelfJoin(series, 50, nil)
+	for _, size := range [][2]int{{1000, 50}, {4096, 128}, {16384, 64}} {
+		n, w := size[0], size[1]
+		series := randomSeries(n, 1)
+		for _, workers := range []int{1, 2, 4, 8} {
+			name := fmt.Sprintf("N=%dxw=%d/workers=%d", n, w, workers)
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					SelfJoinOpts(series, w, nil, Options{Workers: workers})
+				}
+			})
+		}
 	}
 }

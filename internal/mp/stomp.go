@@ -1,0 +1,276 @@
+package mp
+
+import (
+	"math"
+	"sync"
+
+	"ips/internal/obs"
+	"ips/internal/ts"
+)
+
+// Options configures a join kernel invocation.  The zero value reproduces
+// the historical sequential behaviour.
+type Options struct {
+	// Workers is the number of goroutines walking diagonal tiles (<=1 means
+	// sequential).  The kernel is worker-count invariant: the profile is
+	// byte-identical for every value of Workers, because each diagonal's
+	// rolling dot product is walked by exactly one goroutine (so every cell
+	// distance is bitwise reproducible) and the partial profiles are merged
+	// under the total order (distance, neighbour index).
+	Workers int
+	// Span, when non-nil, receives a child span per join with size/tile
+	// attributes and one sub-span per worker (see internal/obs).
+	Span *obs.Span
+}
+
+// tile is a half-open range [lo, hi) of diagonal offsets.
+type tile struct{ lo, hi int }
+
+// cutTiles partitions the diagonal offsets [lo, hi) into tiles of roughly
+// equal cell count, so dynamic tile scheduling stays balanced even though
+// early diagonals of a self-join are much longer than late ones.  cells(k)
+// returns the number of matrix cells on diagonal k.
+func cutTiles(lo, hi, workers int, cells func(k int) int) []tile {
+	if workers <= 1 {
+		return []tile{{lo, hi}}
+	}
+	total := 0
+	for k := lo; k < hi; k++ {
+		total += cells(k)
+	}
+	// A few tiles per worker lets the pool absorb uneven diagonals without
+	// shrinking tiles so far that channel traffic dominates.
+	const tilesPerWorker = 4
+	target := total/(workers*tilesPerWorker) + 1
+	var out []tile
+	start, acc := lo, 0
+	for k := lo; k < hi; k++ {
+		acc += cells(k)
+		if acc >= target {
+			out = append(out, tile{start, k + 1})
+			start, acc = k+1, 0
+		}
+	}
+	if start < hi {
+		out = append(out, tile{start, hi})
+	}
+	return out
+}
+
+// clampWorkers bounds the requested worker count to something useful for
+// ndiags diagonals.
+func clampWorkers(workers, ndiags int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > ndiags {
+		workers = ndiags
+	}
+	return workers
+}
+
+// runTiles drains the tile set with workers goroutines, each accumulating
+// into its own partial profile from the shared arena, and returns the
+// partials for merging.  walk must be safe to call concurrently for
+// distinct partials; tiles are handed out dynamically, which is safe
+// because the merge order (not the schedule) defines the result.
+func runTiles(workers int, tiles []tile, n int, sp *obs.Span, walk func(pt *partial, tl tile)) []*partial {
+	parts := make([]*partial, workers)
+	if workers <= 1 {
+		pt := getPartial(n)
+		for _, tl := range tiles {
+			walk(pt, tl)
+		}
+		parts[0] = pt
+		return parts
+	}
+	ch := make(chan tile)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		parts[wi] = getPartial(n)
+		wg.Add(1)
+		go func(wi int, pt *partial) {
+			defer wg.Done()
+			wsp := sp.Child("worker")
+			defer wsp.End()
+			ntiles := 0
+			for tl := range ch {
+				walk(pt, tl)
+				ntiles++
+			}
+			wsp.SetInt("worker", int64(wi))
+			wsp.SetInt("tiles", int64(ntiles))
+		}(wi, parts[wi])
+	}
+	for _, tl := range tiles {
+		ch <- tl
+	}
+	close(ch)
+	wg.Wait()
+	return parts
+}
+
+// mergePartials min-reduces the partial profiles into prof (squared
+// distances), then converts to distances in place.  The reduction uses the
+// same total order as partial.update, so the result is independent of both
+// the worker count and the tile schedule.
+func mergePartials(parts []*partial, prof *Profile) {
+	n := len(prof.P)
+	for pos := 0; pos < n; pos++ {
+		best, bestIdx := math.Inf(1), -1
+		for _, pt := range parts {
+			d, idx := pt.p[pos], pt.i[pos]
+			//lint:ignore ipslint/floateq cell distances are bitwise reproducible across workers, so an exact tie means the same value reached via two neighbours; the lower index wins by definition
+			if d < best || (d == best && idx >= 0 && (bestIdx < 0 || idx < bestIdx)) {
+				best, bestIdx = d, idx
+			}
+		}
+		if math.IsInf(best, 1) {
+			prof.P[pos] = best
+		} else {
+			prof.P[pos] = math.Sqrt(best)
+		}
+		prof.I[pos] = bestIdx
+	}
+	for _, pt := range parts {
+		putPartial(pt)
+	}
+}
+
+// SelfJoinOpts computes the matrix profile of t with window w under
+// z-normalised Euclidean distance, using a diagonal-tiled STOMP kernel:
+// the strict upper triangle of the distance matrix (offsets k > excl) is
+// partitioned into contiguous diagonal tiles, each walked with the O(1)
+// rolling dot-product recurrence
+//
+//	qt(i+1, j+1) = qt(i, j) − t[i]·t[j] + t[i+w]·t[j+w]
+//
+// into per-worker partial profiles, which are then min-reduced
+// deterministically (ties on exact distance go to the lower neighbour
+// index).  Subsequences within w/2 of the query are excluded, as are
+// subsequences for which valid is false (nil means all valid).
+func SelfJoinOpts(t []float64, w int, valid []bool, opt Options) *Profile {
+	n := len(t) - w + 1
+	if n <= 0 || w <= 0 {
+		return &Profile{W: w}
+	}
+	sp := opt.Span.Child("mp.selfjoin")
+	defer sp.End()
+	sp.SetInt("n", int64(n))
+	sp.SetInt("w", int64(w))
+
+	p := &Profile{P: make([]float64, n), I: make([]int, n), W: w}
+	excl := w / 2
+	if excl < 1 {
+		excl = 1
+	}
+	lo := excl + 1 // first diagonal offset with a non-trivial pair
+	if lo >= n {
+		for i := range p.P {
+			p.P[i] = math.Inf(1)
+			p.I[i] = -1
+		}
+		return p
+	}
+	means, stds := ts.MovingMeanStd(t, w)
+	first := ts.SlidingDots(t[:w], t) // first[k] = dot(t[0:w], t[k:k+w])
+
+	workers := clampWorkers(opt.Workers, n-lo)
+	tiles := cutTiles(lo, n, workers, func(k int) int { return n - k })
+	sp.SetInt("workers", int64(workers))
+	sp.SetInt("tiles", int64(len(tiles)))
+
+	walk := func(pt *partial, tl tile) {
+		for k := tl.lo; k < tl.hi; k++ {
+			dot := first[k]
+			for i, j := 0, k; j < n; i, j = i+1, j+1 {
+				if i > 0 {
+					dot += t[i+w-1]*t[j+w-1] - t[i-1]*t[j-1]
+				}
+				if valid != nil && (!valid[i] || !valid[j]) {
+					continue
+				}
+				d := ts.ZNormSqDistFromStats(dot, w, means[i], stds[i], means[j], stds[j])
+				pt.update(i, d, j)
+				pt.update(j, d, i)
+			}
+		}
+	}
+	parts := runTiles(workers, tiles, n, sp, walk)
+	mergePartials(parts, p)
+	return p
+}
+
+// ABJoinOpts computes, for every length-w subsequence of a, its
+// nearest-neighbour z-normalised distance among the subsequences of b (the
+// paper's P_AB), with the same diagonal-tiled kernel as SelfJoinOpts: the
+// na×nb cross matrix is cut along its diagonals j−i = k ∈ (−na, nb), each
+// walked with the rolling dot-product recurrence into per-worker partials.
+// No exclusion zone applies because the two series are distinct.
+// validA/validB optionally mask boundary-spanning subsequences.
+func ABJoinOpts(a, b []float64, w int, validA, validB []bool, opt Options) *Profile {
+	na := len(a) - w + 1
+	nb := len(b) - w + 1
+	if na <= 0 || nb <= 0 || w <= 0 {
+		return &Profile{W: w}
+	}
+	sp := opt.Span.Child("mp.abjoin")
+	defer sp.End()
+	sp.SetInt("na", int64(na))
+	sp.SetInt("nb", int64(nb))
+	sp.SetInt("w", int64(w))
+
+	meansA, stdsA := ts.MovingMeanStd(a, w)
+	meansB, stdsB := ts.MovingMeanStd(b, w)
+	ab := ts.SlidingDots(a[:w], b) // ab[k]  = dot(a[0:w], b[k:k+w]), diagonals k >= 0
+	ba := ts.SlidingDots(b[:w], a) // ba[i0] = dot(a[i0:i0+w], b[0:w]), diagonals k < 0
+
+	p := &Profile{P: make([]float64, na), I: make([]int, na), W: w}
+	// Diagonal offsets k are shifted by (na−1) so the tile range is [0, nd).
+	nd := na + nb - 1
+	diagLen := func(s int) int {
+		k := s - (na - 1)
+		i0, j0 := 0, k
+		if k < 0 {
+			i0, j0 = -k, 0
+		}
+		la, lb := na-i0, nb-j0
+		if la < lb {
+			return la
+		}
+		return lb
+	}
+	workers := clampWorkers(opt.Workers, nd)
+	tiles := cutTiles(0, nd, workers, diagLen)
+	sp.SetInt("workers", int64(workers))
+	sp.SetInt("tiles", int64(len(tiles)))
+
+	walk := func(pt *partial, tl tile) {
+		for s := tl.lo; s < tl.hi; s++ {
+			k := s - (na - 1)
+			i0, j0 := 0, k
+			dot := 0.0
+			if k < 0 {
+				i0, j0 = -k, 0
+				dot = ba[i0]
+			} else {
+				dot = ab[j0]
+			}
+			count := diagLen(s)
+			for c := 0; c < count; c++ {
+				i, j := i0+c, j0+c
+				if c > 0 {
+					dot += a[i+w-1]*b[j+w-1] - a[i-1]*b[j-1]
+				}
+				if validA != nil && !validA[i] || validB != nil && !validB[j] {
+					continue
+				}
+				d := ts.ZNormSqDistFromStats(dot, w, meansA[i], stdsA[i], meansB[j], stdsB[j])
+				pt.update(i, d, j)
+			}
+		}
+	}
+	parts := runTiles(workers, tiles, na, sp, walk)
+	mergePartials(parts, p)
+	return p
+}

@@ -105,6 +105,15 @@ func ZNormSqDistFromStats(qt float64, w int, meanA, stdA, meanB, stdB float64) f
 		return 2 * fw
 	}
 	corr := (qt - fw*meanA*meanB) / (fw * stdA * stdB)
+	// Huge-magnitude (but finite) inputs overflow the sliding statistics:
+	// dots and variances reach ±Inf and Inf−Inf / Inf÷Inf turn corr into
+	// NaN, which the clamps below cannot catch.  Treat such garbage as zero
+	// correlation so the distance stays finite, in [0, 4w], and — crucially
+	// for the tiled kernel — deterministic, instead of leaking NaN into the
+	// profile where it would poison every min-reduce.
+	if math.IsNaN(corr) {
+		corr = 0
+	}
 	if corr > 1 {
 		corr = 1
 	}

@@ -1,0 +1,76 @@
+package ts
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// fuzzFloats decodes 8-byte chunks as float64s, remapping NaN/±Inf bit
+// patterns to finite stand-ins so the harness explores the full finite
+// range (including overflow-scale magnitudes) without feeding the
+// normalisers inputs they do not claim to accept.
+func fuzzFloats(data []byte) []float64 {
+	n := len(data) / 8
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		bits := binary.LittleEndian.Uint64(data[i*8:])
+		v := math.Float64frombits(bits)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = float64(int32(bits))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// FuzzZNorm asserts the z-normalisation contract for arbitrary finite
+// input: the output never contains NaN or Inf — constant series, and
+// series whose variance accumulator overflows, normalise to all zeros —
+// and ZNormSqDistFromStats stays inside [0, 4w] for whatever statistics
+// the sliding windows produce.
+func FuzzZNorm(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 8*7)) // exactly constant (all zeros)
+	big := make([]byte, 8*9)
+	for i := 0; i < 9; i++ {
+		binary.LittleEndian.PutUint64(big[i*8:], math.Float64bits(1e200)) // variance overflow
+	}
+	f.Add(big)
+	mixed := make([]byte, 8*32)
+	for i := range mixed {
+		mixed[i] = byte(i * 31)
+	}
+	f.Add(mixed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 8*2048 {
+			return
+		}
+		s := fuzzFloats(data)
+		z := ZNorm(s)
+		if len(z) != len(s) {
+			t.Fatalf("ZNorm length %d, want %d", len(z), len(s))
+		}
+		for i, v := range z {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("ZNorm[%d] = %v from input %v", i, v, s[i])
+			}
+		}
+		// ZNormSqDistFromStats must stay in [0, 4w] — never NaN — for any
+		// stats the sliding windows can produce, including Inf/NaN stds
+		// from overflow.
+		for _, w := range []int{2, 8} {
+			if len(s) < w {
+				continue
+			}
+			means, stds := MovingMeanStd(s, w)
+			dots := SlidingDots(s[:w], s)
+			for j := range dots {
+				d := ZNormSqDistFromStats(dots[j], w, means[0], stds[0], means[j], stds[j])
+				if math.IsNaN(d) || d < 0 || d > 4*float64(w) {
+					t.Fatalf("ZNormSqDistFromStats(w=%d, j=%d) = %v, want in [0, %d]", w, j, d, 4*w)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package ts
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests pin the NaN-hardening surfaced by FuzzZNorm: huge-but-finite
+// inputs overflow the variance accumulator (sumSq → +Inf, then Inf−Inf →
+// NaN std), which before the guards leaked NaN out of ZNorm and
+// ZNormSqDistFromStats.
+
+func TestZNormVarianceOverflowIsAllZeros(t *testing.T) {
+	s := make([]float64, 9)
+	for i := range s {
+		s[i] = 1e200 * float64(i%3) // finite input, sumSq overflows to +Inf
+	}
+	z := ZNorm(s)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("ZNorm[%d] = %v, want 0 (overflowing variance treated as constant)", i, v)
+		}
+	}
+}
+
+func TestZNormConstantIsAllZeros(t *testing.T) {
+	z := ZNorm([]float64{3.5, 3.5, 3.5, 3.5})
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("ZNorm[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestZNormSqDistFromStatsNaNStatsClampsToUncorrelated(t *testing.T) {
+	w := 8
+	nan := math.NaN()
+	inf := math.Inf(1)
+	for _, tc := range []struct{ qt, mA, sA, mB, sB float64 }{
+		{qt: 1, mA: nan, sA: nan, mB: 0, sB: 1},   // NaN stats from overflow
+		{qt: 1, mA: inf, sA: inf, mB: 0, sB: 1},   // Inf mean and std (Inf/Inf → NaN corr)
+		{qt: inf, mA: 0, sA: inf, mB: 0, sB: 1},   // Inf dot against Inf std
+		{qt: nan, mA: 0, sA: inf, mB: 0, sB: inf}, // everything degenerate
+	} {
+		d := ZNormSqDistFromStats(tc.qt, w, tc.mA, tc.sA, tc.mB, tc.sB)
+		if d != 2*float64(w) {
+			t.Fatalf("ZNormSqDistFromStats(%v,%v,%v,%v,%v) = %v, want %v (zero-correlation convention)",
+				tc.qt, tc.mA, tc.sA, tc.mB, tc.sB, d, 2*float64(w))
+		}
+	}
+}
+
+func TestZNormSqDistFromStatsStaysInRange(t *testing.T) {
+	w := 4
+	// An overflowed dot product (±Inf) is caught by the correlation clamps:
+	// +Inf correlation means distance 0, −Inf means the 4w maximum.
+	for _, qt := range []float64{math.Inf(-1), -1e300, -1, 0, 1, 1e300, math.Inf(1)} {
+		d := ZNormSqDistFromStats(qt, w, 0, 1, 0, 1)
+		if math.IsNaN(d) || d < 0 || d > 4*float64(w) {
+			t.Fatalf("qt=%v: d = %v, want in [0, %d]", qt, d, 4*w)
+		}
+	}
+}

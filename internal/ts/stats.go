@@ -33,7 +33,12 @@ func ZNorm(s []float64) []float64 {
 func ZNormInto(dst, src []float64) {
 	const eps = 1e-12
 	mean, std := MeanStd(src)
-	if std < eps {
+	// Near-constant series conventionally z-normalise to all zeros.  A
+	// non-finite std — the variance accumulator overflows once |v| ≳ 1e154,
+	// and Inf−Inf cancellation then turns it into NaN — gets the same
+	// treatment, so NaN can never leak into the output (!(std > eps) is
+	// deliberate: it is true for NaN where std < eps would be false).
+	if !(std > eps) || math.IsInf(std, 1) {
 		for i := range dst {
 			dst[i] = 0
 		}
