@@ -18,6 +18,8 @@
 //	-show N      print the first N shapelets as sparklines (default 3)
 //	-save FILE   write the trained model to FILE as JSON
 //	-load FILE   classify with a previously saved model instead of training
+//	-dist-kernel auto|rolling|fft  force the shapelet transform's distance
+//	             kernel (debugging/measurement; output identical for any value)
 //
 // Observability (see internal/obs):
 //
@@ -38,6 +40,8 @@ import (
 	"strings"
 
 	ips "ips"
+	"ips/internal/classify"
+	"ips/internal/dist"
 )
 
 func main() {
@@ -57,7 +61,15 @@ func main() {
 	spans := flag.Bool("spans", false, "print the span tree after the run")
 	progress := flag.Bool("progress", false, "stream stage progress to stderr")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof, expvar, and /metrics on this address (e.g. :6060)")
+	distKernel := flag.String("dist-kernel", "auto", "force the transform's distance kernel: auto, rolling, or fft (output identical)")
 	flag.Parse()
+
+	if k, err := dist.ParseKernel(*distKernel); err != nil {
+		fmt.Fprintln(os.Stderr, "ips:", err)
+		os.Exit(2)
+	} else {
+		classify.DefaultKernel = k
+	}
 
 	train, test, err := loadData(*dataset, *data, *trainPath, *testPath, *seed)
 	if err != nil {

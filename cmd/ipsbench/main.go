@@ -14,6 +14,9 @@
 //	fig11m  (Fig. 11 ranked on measured accuracies)
 //	mp      (STOMP kernel micro-benchmark across worker counts;
 //	         snapshot with -mpout BENCH_mp.json)
+//	transform (shapelet-transform micro-benchmark: naive per-pair loop vs
+//	         the batched distance engine; snapshot with -tfout
+//	         BENCH_transform.json)
 //
 // Flags:
 //
@@ -27,6 +30,10 @@
 //	             are identical for any value (default 1)
 //	-mpout FILE  write the "mp" experiment's kernel report as JSON
 //	             (e.g. BENCH_mp.json)
+//	-tfout FILE  write the "transform" experiment's report as JSON
+//	             (e.g. BENCH_transform.json)
+//	-dist-kernel auto|rolling|fft  force the transform's distance kernel
+//	             (debugging/measurement; results identical for any value)
 //
 // Observability (see internal/obs):
 //
@@ -42,8 +49,22 @@ import (
 	"os"
 
 	"ips/internal/bench"
+	"ips/internal/classify"
+	"ips/internal/dist"
 	"ips/internal/obs"
 )
+
+// setDistKernel applies the -dist-kernel flag: it forces the shapelet
+// transform's distance kernel globally.  Results are identical for any
+// kernel; the flag exists for measurement and debugging.
+func setDistKernel(name string) error {
+	k, err := dist.ParseKernel(name)
+	if err != nil {
+		return err
+	}
+	classify.DefaultKernel = k
+	return nil
+}
 
 func main() {
 	quick := flag.Bool("quick", true, "cap dataset sizes for a CI-scale run")
@@ -54,9 +75,16 @@ func main() {
 	runs := flag.Int("runs", 1, "repetitions averaged for randomised methods")
 	workers := flag.Int("workers", 1, "parallelise the IPS pipeline and STOMP kernels (results identical for any value)")
 	mpOut := flag.String("mpout", "", "write the mp experiment's kernel report as JSON to this file")
+	tfOut := flag.String("tfout", "", "write the transform experiment's report as JSON to this file")
+	distKernel := flag.String("dist-kernel", "auto", "force the transform's distance kernel: auto, rolling, or fft (results identical)")
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON of all IPS runs to this file")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof, expvar, and /metrics on this address (e.g. :6060)")
 	flag.Parse()
+
+	if err := setDistKernel(*distKernel); err != nil {
+		fmt.Fprintln(os.Stderr, "ipsbench:", err)
+		os.Exit(2)
+	}
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: ipsbench [flags] <table2|table3|table4|table5|table6|table7|fig9|fig10a|fig10bc|fig11|fig12|fig13|all>...")
@@ -119,6 +147,19 @@ func main() {
 		},
 		"cote":     func() error { _, err := h.COTE(nil); return err },
 		"ablation": func() error { _, err := h.Ablation(nil); return err },
+		"transform": func() error {
+			rep, err := h.TransformBench()
+			if err != nil {
+				return err
+			}
+			if *tfOut != "" {
+				if err := rep.WriteJSON(*tfOut); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "transform report written to %s\n", *tfOut)
+			}
+			return nil
+		},
 	}
 	order := []string{
 		"table2", "table3", "table4", "table5", "table6", "table7",

@@ -100,12 +100,16 @@ func BSPCoverDiscover(train *ts.Dataset, cfg BSPConfig) ([]classify.Shapelet, er
 		return nil, errors.New("baselines: BSPCOVER generated no candidates")
 	}
 
-	// Stage 3: full-scan quality assessment.
+	// Stage 3: full-scan quality assessment, batched: the distance matrix
+	// shares per-instance sliding statistics across every candidate instead
+	// of a fresh scan per (candidate, instance) pair.
+	queries := make([][]float64, len(cands))
 	for ci := range cands {
-		dists := make([]float64, len(train.Instances))
-		for i, in := range train.Instances {
-			dists[i] = ts.Dist(cands[ci].values, in.Values)
-		}
+		queries[ci] = cands[ci].values
+	}
+	D := distMatrix(train, nil, queries, nil)
+	for ci := range cands {
+		dists := D[ci]
 		gain, split := bestInfoGainSplit(dists, labels, cands[ci].class)
 		cands[ci].gain = gain
 		cands[ci].split = split

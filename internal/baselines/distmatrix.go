@@ -1,0 +1,39 @@
+package baselines
+
+import (
+	"ips/internal/dist"
+	"ips/internal/ts"
+)
+
+// distMatrix evaluates every query against every training instance (or the
+// subset named by idx; nil means all, in dataset order) and returns
+// D[query][position], where position follows idx.  Each entry is
+// byte-identical to ts.Dist(query, instance), but the work is batched: one
+// engine pass per instance shares the per-length sliding statistics and the
+// padded series FFT across all queries, instead of re-deriving them per
+// (candidate, instance) pair.  An optional cache reuses prepared series
+// across calls (tree growers revisit instances node after node); nil
+// prepares per instance.
+func distMatrix(train *ts.Dataset, idx []int, queries [][]float64, cache *dist.Cache) [][]float64 {
+	if idx == nil {
+		idx = make([]int, train.Len())
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	D := make([][]float64, len(queries))
+	for qi := range D {
+		D[qi] = make([]float64, len(idx))
+	}
+	batch := dist.NewBatch(queries)
+	col := make([]float64, len(queries))
+	var counts dist.Counts
+	for pos, i := range idx {
+		p := cache.Prepared(train.Instances[i].Values, &counts)
+		batch.EvalInto(p, col, &counts)
+		for qi := range queries {
+			D[qi][pos] = col[qi]
+		}
+	}
+	return D
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"ips/internal/classify"
+	"ips/internal/dist"
 	"ips/internal/ts"
 )
 
@@ -81,6 +82,9 @@ func FastShapeletsDiscover(train *ts.Dataset, cfg FSConfig) ([]classify.Shapelet
 		classTotals[in.Label]++
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	// One cache across length ratios: every ratio's refinement pass walks
+	// the same training instances, so their prefix statistics are shared.
+	cache := dist.NewCache()
 
 	var out []classify.Shapelet
 	for _, ratio := range cfg.LengthRatios {
@@ -149,19 +153,26 @@ func FastShapeletsDiscover(train *ts.Dataset, cfg FSConfig) ([]classify.Shapelet
 		sort.Slice(ranked, func(i, j int) bool { return ranked[i].gap > ranked[j].gap })
 
 		// Refine the top words per class by information gain over the raw
-		// training distances.
+		// training distances.  The quota selection depends only on the gap
+		// ranking, so the chosen representatives are collected first and
+		// scored in one batched distance-matrix pass.
 		perClass := map[int]int{}
 		labels := train.Labels()
+		var chosen []*fsWord
 		for _, w := range ranked {
 			if perClass[w.class] >= cfg.TopWords {
 				continue
 			}
 			perClass[w.class]++
-			dists := make([]float64, len(train.Instances))
-			for i, in := range train.Instances {
-				dists[i] = ts.Dist(w.rep, in.Values)
-			}
-			gain, _ := bestInfoGainSplit(dists, labels, w.class)
+			chosen = append(chosen, w)
+		}
+		queries := make([][]float64, len(chosen))
+		for i, w := range chosen {
+			queries[i] = w.rep
+		}
+		D := distMatrix(train, nil, queries, cache)
+		for i, w := range chosen {
+			gain, _ := bestInfoGainSplit(D[i], labels, w.class)
 			out = append(out, classify.Shapelet{Class: w.class, Values: w.rep.Clone(), Score: gain})
 		}
 	}

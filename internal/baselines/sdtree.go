@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"ips/internal/classify"
+	"ips/internal/dist"
 	"ips/internal/ts"
 )
 
@@ -71,12 +72,15 @@ func SDTreeTrain(train *ts.Dataset, cfg SDTreeConfig) (*SDTree, error) {
 	for i := range idx {
 		idx[i] = i
 	}
-	root := growSDNode(train, idx, cfg, rng, 0)
+	// One prepared-series cache for the whole tree: child nodes revisit the
+	// same instances, so each series' prefix statistics are built once.
+	cache := dist.NewCache()
+	root := growSDNode(train, idx, cfg, rng, 0, cache)
 	return &SDTree{root: root}, nil
 }
 
 // growSDNode recursively builds one node over the instances in idx.
-func growSDNode(train *ts.Dataset, idx []int, cfg SDTreeConfig, rng *rand.Rand, depth int) *sdNode {
+func growSDNode(train *ts.Dataset, idx []int, cfg SDTreeConfig, rng *rand.Rand, depth int, cache *dist.Cache) *sdNode {
 	labels := train.Labels()
 	pure := true
 	for _, i := range idx[1:] {
@@ -124,27 +128,32 @@ func growSDNode(train *ts.Dataset, idx []int, cfg SDTreeConfig, rng *rand.Rand, 
 		nodeLabels[pos] = labels[i]
 	}
 	target := majorityOf(labels, idx)
+	queries := make([][]float64, len(cands))
+	for ci, cand := range cands {
+		queries[ci] = cand.values
+	}
+	D := distMatrix(train, idx, queries, cache)
 	bestGain := 0.0
 	var bestShapelet ts.Series
 	bestThreshold := 0.0
-	for _, cand := range cands {
-		dists := make([]float64, len(idx))
-		for pos, i := range idx {
-			dists[pos] = ts.Dist(cand.values, train.Instances[i].Values)
-		}
-		gain, split := bestInfoGainSplit(dists, nodeLabels, target)
+	var bestDists []float64
+	for ci, cand := range cands {
+		gain, split := bestInfoGainSplit(D[ci], nodeLabels, target)
 		if gain > bestGain {
 			bestGain = gain
 			bestShapelet = cand.values
 			bestThreshold = split
+			bestDists = D[ci]
 		}
 	}
 	if bestShapelet == nil {
 		return &sdNode{label: majorityOf(labels, idx)}
 	}
+	// Route on the winning candidate's distance row — the values ts.Dist
+	// would recompute per instance, already in hand.
 	var leftIdx, rightIdx []int
-	for _, i := range idx {
-		if ts.Dist(bestShapelet, train.Instances[i].Values) <= bestThreshold {
+	for pos, i := range idx {
+		if bestDists[pos] <= bestThreshold {
 			leftIdx = append(leftIdx, i)
 		} else {
 			rightIdx = append(rightIdx, i)
@@ -156,8 +165,8 @@ func growSDNode(train *ts.Dataset, idx []int, cfg SDTreeConfig, rng *rand.Rand, 
 	return &sdNode{
 		shapelet:  bestShapelet.Clone(),
 		threshold: bestThreshold,
-		left:      growSDNode(train, leftIdx, cfg, rng, depth+1),
-		right:     growSDNode(train, rightIdx, cfg, rng, depth+1),
+		left:      growSDNode(train, leftIdx, cfg, rng, depth+1, cache),
+		right:     growSDNode(train, rightIdx, cfg, rng, depth+1, cache),
 	}
 }
 

@@ -138,13 +138,18 @@ func STDiscover(train *ts.Dataset, cfg STConfig) ([]classify.Shapelet, error) {
 		s classify.Shapelet
 		f float64
 	}
+	// Score candidates against the batched distance matrix: one engine pass
+	// per instance shares sliding statistics across all candidates, instead
+	// of a fresh ts.Dist scan per (candidate, instance) pair.
+	queries := make([][]float64, len(space))
+	for ci, ref := range space {
+		queries[ci] = train.Instances[ref.inst].Values[ref.at : ref.at+ref.length]
+	}
+	D := distMatrix(train, nil, queries, nil)
 	best := map[int][]scored{}
-	for _, ref := range space {
-		values := train.Instances[ref.inst].Values[ref.at : ref.at+ref.length]
-		dists := make([]float64, train.Len())
-		for i, in := range train.Instances {
-			dists[i] = ts.Dist(values, in.Values)
-		}
+	for ci := range space {
+		values := ts.Series(queries[ci])
+		dists := D[ci]
 		f := FStatQuality(dists, labels)
 		if f <= 0 {
 			continue

@@ -9,6 +9,7 @@ import (
 	"math"
 	"sync"
 
+	"ips/internal/dist"
 	"ips/internal/obs"
 	"ips/internal/ts"
 )
@@ -36,47 +37,77 @@ func TransformWorkers(d *ts.Dataset, shapelets []Shapelet, workers int) [][]floa
 }
 
 // TransformSpan is TransformWorkers with observability: span attributes for
-// the embedding shape and a classify.transform.dists counter of sliding
-// Def. 4 distance evaluations.  The count is derived arithmetically
-// (instances × shapelets), so the embedding loop itself carries no
-// instrumentation cost.
+// the embedding shape and kernel mix, a classify.transform.dists counter of
+// sliding Def. 4 distance evaluations, and the dist.* engine counters.
 func TransformSpan(d *ts.Dataset, shapelets []Shapelet, workers int, sp *obs.Span) [][]float64 {
+	return TransformCached(d, shapelets, workers, sp, nil)
+}
+
+// TransformCached is TransformSpan with an optional prepared-series cache.
+// Passing a cache lets repeated transforms over the same dataset (train then
+// test splits sharing storage, cross-validation folds) reuse per-series
+// prefix statistics and padded FFTs across calls; nil prepares per call.
+//
+// Each instance's embedding row is one batched engine evaluation: the
+// shapelets are grouped by length once up front, and every row shares the
+// per-(series, length) sliding statistics.  The output is byte-identical to
+// the per-pair ts.Dist loop for any worker count and either kernel.
+func TransformCached(d *ts.Dataset, shapelets []Shapelet, workers int, sp *obs.Span, cache *dist.Cache) [][]float64 {
 	sp.SetInt("instances", int64(len(d.Instances)))
 	sp.SetInt("shapelets", int64(len(shapelets)))
 	sp.SetInt("workers", int64(max(workers, 1)))
 	sp.Metrics().Counter("classify.transform.dists").Add(int64(len(d.Instances)) * int64(len(shapelets)))
+	queries := make([][]float64, len(shapelets))
+	for i, s := range shapelets {
+		queries[i] = s.Values
+	}
+	batch := dist.NewBatch(queries)
+	batch.SetKernel(DefaultKernel)
 	out := make([][]float64, len(d.Instances))
-	embed := func(j int) {
+	var total dist.Counts
+	embed := func(j int, c *dist.Counts) {
 		row := make([]float64, len(shapelets))
-		for i, s := range shapelets {
-			row[i] = ts.Dist(s.Values, d.Instances[j].Values)
-		}
+		p := cache.Prepared(d.Instances[j].Values, c)
+		batch.EvalInto(p, row, c)
 		out[j] = row
 	}
 	if workers <= 1 || len(d.Instances) < 2 {
 		for j := range d.Instances {
-			embed(j)
+			embed(j, &total)
 		}
-		return out
+	} else {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		ch := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var local dist.Counts
+				for j := range ch {
+					embed(j, &local)
+				}
+				mu.Lock()
+				total.Merge(local)
+				mu.Unlock()
+			}()
+		}
+		for j := range d.Instances {
+			ch <- j
+		}
+		close(ch)
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	ch := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				embed(j)
-			}
-		}()
-	}
-	for j := range d.Instances {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
+	total.Annotate(sp)
+	total.AddTo(sp.Metrics())
 	return out
 }
+
+// DefaultKernel forces the distance kernel for every transform (KernelAuto
+// selects per query length).  It exists for the CLIs' -dist-kernel debugging
+// flag and for benchmarks; kernel choice never changes results.  Set it
+// before any transform runs, not concurrently with one.
+var DefaultKernel = dist.KernelAuto
 
 // Scaler standardises features to zero mean and unit variance, fitted on
 // training data and applied to both splits.

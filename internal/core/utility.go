@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"ips/internal/dabf"
+	"ips/internal/dist"
 	"ips/internal/ip"
 	"ips/internal/obs"
 	"ips/internal/ts"
@@ -83,12 +84,23 @@ func rawUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.I
 		dc:    make([]float64, n),
 	}
 	dists := sp.Metrics().Counter("core.select.raw_dists")
+	// All three utilities run on the batched engine: candidates and
+	// instances are prepared once in a shared cache, and each pairwise
+	// value is byte-identical to the ts.Dist it replaces.
+	cache := dist.NewCache()
+	var counts dist.Counts
+	pair := func(a, b ts.Series) float64 {
+		if len(a) < len(b) {
+			a, b = b, a // prepare the longer side; the shorter one slides
+		}
+		return cache.Prepared(a, &counts).DistCounted(b, &counts)
+	}
 	intraSp := sp.Child("utility.intra")
 	if useCR {
 		// Intra: symmetric matrix, compute the upper triangle once.
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
-				d := ts.Dist(motifs[i].Values, motifs[j].Values)
+				d := pair(motifs[i].Values, motifs[j].Values)
 				u.intra[i] += d
 				u.intra[j] += d
 			}
@@ -100,7 +112,7 @@ func rawUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.I
 				if i == j {
 					continue
 				}
-				u.intra[i] += ts.Dist(motifs[i].Values, motifs[j].Values)
+				u.intra[i] += pair(motifs[i].Values, motifs[j].Values)
 			}
 		}
 		dists.Add(int64(n) * int64(n-1))
@@ -111,19 +123,31 @@ func rawUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.I
 	// reuse here because the sums are one-sided.
 	for i := 0; i < n; i++ {
 		for _, o := range others {
-			u.inter[i] += ts.Dist(motifs[i].Values, o.Values)
+			u.inter[i] += pair(motifs[i].Values, o.Values)
 		}
 	}
 	dists.Add(int64(n) * int64(len(others)))
 	interSp.End()
 	dcSp := sp.Child("utility.dc")
-	for i := 0; i < n; i++ {
-		for _, in := range instances {
-			u.dc[i] += ts.Dist(motifs[i].Values, in.Values)
+	// DC: instance-outer with one batch over the motifs, so every motif
+	// shares each instance's sliding statistics.  dc[i] still accumulates
+	// in instance order, preserving the original summation order exactly.
+	motifValues := make([][]float64, n)
+	for i, m := range motifs {
+		motifValues[i] = m.Values
+	}
+	batch := dist.NewBatch(motifValues)
+	col := make([]float64, n)
+	for _, in := range instances {
+		p := cache.Prepared(in.Values, &counts)
+		batch.EvalInto(p, col, &counts)
+		for i := range col {
+			u.dc[i] += col[i]
 		}
 	}
 	dists.Add(int64(n) * int64(len(instances)))
 	dcSp.End()
+	counts.AddTo(sp.Metrics())
 	return u
 }
 

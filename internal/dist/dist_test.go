@@ -1,0 +1,269 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ips/internal/obs"
+	"ips/internal/ts"
+)
+
+// randSeries draws a series whose character depends on kind: random walks
+// (the benchmark substrate), iid noise, near-constant runs (norm-bound and
+// refinement tie stress), and large-offset data (cancellation stress).
+func randSeries(rng *rand.Rand, n, kind int) []float64 {
+	out := make([]float64, n)
+	switch kind % 4 {
+	case 0:
+		v := 0.0
+		for i := range out {
+			v += rng.NormFloat64()
+			out[i] = v
+		}
+	case 1:
+		for i := range out {
+			out[i] = rng.NormFloat64()
+		}
+	case 2:
+		level := rng.Float64()
+		for i := range out {
+			out[i] = level
+			if rng.Intn(8) == 0 {
+				out[i] += rng.NormFloat64() * 1e-3
+			}
+		}
+	case 3:
+		for i := range out {
+			out[i] = 1e6 + rng.NormFloat64()
+		}
+	}
+	return out
+}
+
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestDistMatchesTsDist drives the single-query path over a broad shape and
+// data sweep and requires byte-identical agreement with ts.Dist.
+func TestDistMatchesTsDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := [][2]int{
+		{1, 1}, {5, 3}, {16, 16}, {40, 7}, {64, 64}, {120, 17},
+		{256, 64}, {256, 128}, {300, 299}, {512, 256},
+	}
+	for kind := 0; kind < 4; kind++ {
+		for _, sh := range shapes {
+			n, m := sh[0], sh[1]
+			series := randSeries(rng, n, kind)
+			p := Prepare(series)
+			for rep := 0; rep < 3; rep++ {
+				var q []float64
+				if rep == 0 && m <= n {
+					at := rng.Intn(n - m + 1)
+					q = append([]float64(nil), series[at:at+m]...) // exact match in series
+				} else {
+					q = randSeries(rng, m, kind+rep)
+				}
+				want := ts.Dist(q, series)
+				got := p.Dist(q)
+				if !bitsEqual(got, want) {
+					t.Fatalf("kind=%d n=%d m=%d rep=%d: Dist=%v (bits %x), ts.Dist=%v (bits %x)",
+						kind, n, m, rep, got, math.Float64bits(got), want, math.Float64bits(want))
+				}
+			}
+		}
+	}
+}
+
+// TestBatchKernelsMatchTsDist forces each kernel over the same workloads and
+// requires byte-identical agreement with ts.Dist per (query, series) pair —
+// the property that makes kernel choice a pure throughput knob.
+func TestBatchKernelsMatchTsDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for kind := 0; kind < 4; kind++ {
+		n := 300 + kind*100
+		series := randSeries(rng, n, kind)
+		var queries [][]float64
+		for _, m := range []int{1, 4, 33, 64, 64, 100, 200, n} {
+			if m <= n && rng.Intn(2) == 0 {
+				at := rng.Intn(n - m + 1)
+				queries = append(queries, append([]float64(nil), series[at:at+m]...))
+			} else {
+				queries = append(queries, randSeries(rng, m, kind+1))
+			}
+		}
+		want := make([]float64, len(queries))
+		for i, q := range queries {
+			want[i] = ts.Dist(q, series)
+		}
+		for _, kernel := range []Kernel{KernelAuto, KernelRolling, KernelFFT} {
+			b := NewBatch(queries)
+			b.SetKernel(kernel)
+			p := Prepare(series)
+			var c Counts
+			out := make([]float64, len(queries))
+			b.EvalInto(p, out, &c)
+			for i := range out {
+				if !bitsEqual(out[i], want[i]) {
+					t.Fatalf("kind=%d kernel=%v query %d (m=%d): got %v (bits %x), want %v (bits %x)",
+						kind, kernel, i, len(queries[i]), out[i], math.Float64bits(out[i]), want[i], math.Float64bits(want[i]))
+				}
+			}
+			if c.Rolling+c.FFT+c.Exact != int64(len(queries)) {
+				t.Fatalf("kernel=%v counts %+v do not cover %d queries", kernel, c, len(queries))
+			}
+			if kernel == KernelFFT && c.FFT == 0 {
+				t.Fatalf("forced fft kernel evaluated nothing via fft: %+v", c)
+			}
+			if kernel == KernelRolling && c.FFT != 0 {
+				t.Fatalf("forced rolling kernel used fft: %+v", c)
+			}
+		}
+	}
+}
+
+// TestDegenerateInputs pins the fallback paths: empty sides, over-long
+// queries, and non-finite data all agree with ts.Dist (bitwise, including
+// the +Inf result for NaN-poisoned input).
+func TestDegenerateInputs(t *testing.T) {
+	series := []float64{1, 2, 3}
+	cases := []struct {
+		name string
+		t, q []float64
+	}{
+		{"empty query", series, nil},
+		{"empty series", nil, series},
+		{"both empty", nil, nil},
+		{"query longer", series, []float64{1, 2, 3, 4, 5}},
+		{"nan series", []float64{1, math.NaN(), 3, 4}, []float64{1, 2}},
+		{"nan query", []float64{1, 2, 3, 4}, []float64{math.NaN(), 2}},
+		{"inf series", []float64{1, math.Inf(1), 3, 4}, []float64{1, 2}},
+		{"overflow series", []float64{1e200, 1e200, 3, 4}, []float64{1, 2}},
+	}
+	for _, tc := range cases {
+		p := Prepare(tc.t)
+		want := ts.Dist(tc.q, tc.t)
+		got := p.Dist(tc.q)
+		if !bitsEqual(got, want) {
+			t.Errorf("%s: Dist=%v, ts.Dist=%v", tc.name, got, want)
+		}
+		b := NewBatch([][]float64{tc.q})
+		if out := b.Eval(p); !bitsEqual(out[0], want) {
+			t.Errorf("%s: batch=%v, ts.Dist=%v", tc.name, out[0], want)
+		}
+	}
+}
+
+// TestWindowSums pins the prefix-sum accessors against direct summation.
+func TestWindowSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	series := randSeries(rng, 64, 1)
+	p := Prepare(series)
+	for _, w := range []int{1, 5, 64} {
+		for j := 0; j+w <= len(series); j += 7 {
+			var sum, sq float64
+			for _, v := range series[j : j+w] {
+				sum += v
+				sq += v * v
+			}
+			if !ts.ApproxEqualRel(p.WindowSum(j, w), sum, 1e-9) {
+				t.Fatalf("WindowSum(%d,%d) = %v, want %v", j, w, p.WindowSum(j, w), sum)
+			}
+			if got := p.WindowSqSum(j, w); !ts.ApproxEqualRel(got, sq, 1e-9) || got < 0 {
+				t.Fatalf("WindowSqSum(%d,%d) = %v, want %v", j, w, got, sq)
+			}
+		}
+	}
+}
+
+// TestKernelFor pins the crossover shape: short queries roll, long queries
+// against long series cross to fft, degenerate shapes are exact.
+func TestKernelFor(t *testing.T) {
+	if k := KernelFor(8, 4096); k != KernelRolling {
+		t.Fatalf("KernelFor(8, 4096) = %v, want rolling", k)
+	}
+	if k := KernelFor(512, 4096); k != KernelFFT {
+		t.Fatalf("KernelFor(512, 4096) = %v, want fft", k)
+	}
+	if k := KernelFor(0, 100); k != KernelExact {
+		t.Fatalf("KernelFor(0, 100) = %v, want exact", k)
+	}
+	if k := KernelFor(200, 100); k != KernelExact {
+		t.Fatalf("KernelFor(200, 100) = %v, want exact", k)
+	}
+}
+
+// TestCacheIdentity verifies slice-identity memoisation and hit accounting.
+func TestCacheIdentity(t *testing.T) {
+	cache := NewCache()
+	var c Counts
+	s := []float64{1, 2, 3, 4}
+	p1 := cache.Prepared(s, &c)
+	p2 := cache.Prepared(s, &c)
+	if p1 != p2 {
+		t.Fatal("same slice should memoise to the same Prepared")
+	}
+	if c.PreparedMisses != 1 || c.PreparedHits != 1 {
+		t.Fatalf("counts = %+v, want 1 miss + 1 hit", c)
+	}
+	// A distinct window of the same array is a distinct key.
+	if p3 := cache.Prepared(s[1:], &c); p3 == p1 {
+		t.Fatal("different slice identity must not share an entry")
+	}
+	if cache.Size() != 2 {
+		t.Fatalf("cache size = %d, want 2", cache.Size())
+	}
+	// Empty series bypass the cache.
+	if p := cache.Prepared(nil, &c); p == nil || cache.Size() != 2 {
+		t.Fatal("empty series must prepare fresh without caching")
+	}
+}
+
+// TestCountsFlush verifies the obs plumbing end to end: counters land in the
+// registry under the dist.* namespace and span attributes are recorded.
+func TestCountsFlush(t *testing.T) {
+	o := obs.New("test")
+	rng := rand.New(rand.NewSource(9))
+	series := randSeries(rng, 3000, 0)
+	queries := [][]float64{randSeries(rng, 8, 1), randSeries(rng, 1024, 1)}
+	b := NewBatch(queries)
+	p := Prepare(series)
+	var c Counts
+	b.EvalInto(p, make([]float64, len(queries)), &c)
+	c.AddTo(o.Metrics())
+	if got := o.Metrics().Counter("dist.kernel.rolling").Value(); got != c.Rolling {
+		t.Fatalf("registry rolling = %d, want %d", got, c.Rolling)
+	}
+	if got := o.Metrics().Counter("dist.kernel.fft").Value(); got != c.FFT || c.FFT == 0 {
+		t.Fatalf("registry fft = %d, want %d (nonzero)", got, c.FFT)
+	}
+	sp := o.Root().Child("eval")
+	c.Annotate(sp)
+	sp.End()
+	if len(sp.Attrs()) != 3 {
+		t.Fatalf("span attrs = %v, want 3", sp.Attrs())
+	}
+}
+
+// TestFFTTransformCacheReuse verifies the padded transform is built once per
+// pad size and shared across queries and calls.
+func TestFFTTransformCacheReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	series := randSeries(rng, 1000, 0)
+	p := Prepare(series)
+	queries := [][]float64{randSeries(rng, 400, 1), randSeries(rng, 400, 2), randSeries(rng, 420, 1)}
+	b := NewBatch(queries)
+	b.SetKernel(KernelFFT)
+	var c Counts
+	b.EvalInto(p, make([]float64, len(queries)), &c)
+	if c.FFTCacheMisses == 0 || c.FFTCacheHits == 0 {
+		t.Fatalf("expected both misses and hits across shared pad sizes: %+v", c)
+	}
+	before := c
+	b.EvalInto(p, make([]float64, len(queries)), &c)
+	if c.FFTCacheMisses != before.FFTCacheMisses {
+		t.Fatalf("second pass rebuilt transforms: %+v", c)
+	}
+}

@@ -120,6 +120,82 @@ func Convolve(a, b []float64) []float64 {
 	return out
 }
 
+// FT is the forward transform of a real series zero-padded to a fixed
+// power-of-two length, precomputed once and reused across convolutions.
+// Batch callers that slide many queries against the same series (the Def. 4
+// engine in internal/dist) pay the series transform once and each query then
+// costs two transforms instead of three.  FT is immutable after construction
+// and safe for concurrent use.
+type FT struct {
+	size int          // power-of-two transform length
+	n    int          // original series length
+	freq []complex128 // forward transform of the zero-padded series
+}
+
+// NewFT computes the padded forward transform of t.  size must be a power of
+// two with size >= len(t)+m-1 for every query length m the caller intends to
+// slide (padding beyond the minimum is harmless for linear convolution).
+func NewFT(t []float64, size int) (*FT, error) {
+	if err := checkLen(size); err != nil {
+		return nil, err
+	}
+	if size < len(t) {
+		return nil, errors.New("fft: transform size smaller than series")
+	}
+	freq := make([]complex128, size)
+	for i, v := range t {
+		freq[i] = complex(v, 0)
+	}
+	dft(freq, false)
+	return &FT{size: size, n: len(t), freq: freq}, nil
+}
+
+// Size returns the transform length.
+func (f *FT) Size() int { return f.size }
+
+// SeriesLen returns the length of the series the transform was built from.
+func (f *FT) SeriesLen() int { return f.n }
+
+// SlidingDotsInto computes dot(q, t[j:j+len(q)]) for every window j of the
+// prepared series into out, which must hold len(t)-len(q)+1 values.  scratch
+// is an optional reusable buffer; when its capacity is at least Size() it is
+// used in place, otherwise a new one is allocated.  The (possibly new)
+// scratch is returned so callers can thread it through a query loop.
+func (f *FT) SlidingDotsInto(q, out []float64, scratch []complex128) ([]complex128, error) {
+	m := len(q)
+	w := f.n - m + 1
+	if m == 0 || w <= 0 {
+		return scratch, errors.New("fft: query length out of range")
+	}
+	if m+f.n-1 > f.size {
+		return scratch, errors.New("fft: transform size too small for query")
+	}
+	if len(out) < w {
+		return scratch, errors.New("fft: output shorter than window count")
+	}
+	if cap(scratch) < f.size {
+		scratch = make([]complex128, f.size)
+	}
+	scratch = scratch[:f.size]
+	// Reversed query followed by zero padding: convolution with the reversed
+	// query is correlation, and the aligned dots live at offsets m-1..m-1+w-1.
+	for i, v := range q {
+		scratch[m-1-i] = complex(v, 0)
+	}
+	for i := m; i < f.size; i++ {
+		scratch[i] = 0
+	}
+	dft(scratch, false)
+	for i := range scratch {
+		scratch[i] *= f.freq[i]
+	}
+	idft(scratch)
+	for j := 0; j < w; j++ {
+		out[j] = real(scratch[m-1+j])
+	}
+	return scratch, nil
+}
+
 // SlidingDots returns the dot product of q against every length-|q| window
 // of t, computed by FFT convolution in O(N log N): reverse q, convolve, and
 // read the aligned segment.  Equivalent to ts.SlidingDots but asymptotically

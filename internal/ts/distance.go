@@ -24,6 +24,14 @@ func EuclideanDist(a, b []float64) float64 {
 //	dist(Tp, Tq) = min_j (1/|Tp|) Σ_l (tq_{j+l-1} − tp_l)²   (|Tq| ≥ |Tp|).
 //
 // The arguments may be passed in either order; the shorter one slides.
+// The result is the minimum over alignments of the fully-accumulated
+// left-to-right sum: early-abandoned windows never update the minimum, so a
+// partial sum can never masquerade as a distance.
+//
+// Callers evaluating many queries against the same series (the shapelet
+// transform, candidate scoring) should use the batched engine in
+// internal/dist, which precomputes per-series prefix statistics once and
+// returns byte-identical values per pair.
 func Dist(p, q []float64) float64 {
 	if len(p) > len(q) {
 		p, q = q, p
@@ -35,12 +43,17 @@ func Dist(p, q []float64) float64 {
 	for j := 0; j+len(p) <= len(q); j++ {
 		var s float64
 		win := q[j : j+len(p)]
+		abandoned := false
 		for l := range p {
 			d := win[l] - p[l]
 			s += d * d
 			if s >= best*float64(len(p)) {
-				break // early abandon: cannot beat the best alignment
+				abandoned = true // early abandon: cannot beat the best alignment
+				break
 			}
+		}
+		if abandoned {
+			continue
 		}
 		if v := s / float64(len(p)); v < best {
 			best = v
@@ -53,9 +66,17 @@ func Dist(p, q []float64) float64 {
 // t, i.e. out[j] = (1/|q|) Σ (t[j+l]−q[l])².  It is computed with cumulative
 // sums and a single sliding dot product pass in O(|t|·|q|) worst case but with
 // the quadratic term vectorised; callers that need only the minimum should
-// use Dist, which early-abandons.
+// use Dist, which early-abandons, and callers profiling many queries against
+// one series should use the batched engine in internal/dist.
+//
+// Degenerate inputs yield nil: a query longer than the series has no
+// alignment, and an empty query has no profile (every "alignment" of nothing
+// would divide by zero; Dist defines that case as distance 0 instead).
 func DistProfile(q, t []float64) []float64 {
 	m := len(q)
+	if m == 0 {
+		return nil
+	}
 	n := len(t) - m + 1
 	if n <= 0 {
 		return nil
