@@ -7,6 +7,7 @@ package ips
 // full-scale, human-readable runs.
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -21,7 +22,7 @@ func BenchmarkTable2BaseTopK(b *testing.B) {
 	h := quickHarness(1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := h.Table2(); err != nil {
+		if _, err := h.Table2(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -31,7 +32,7 @@ func BenchmarkTable3DistributionFit(b *testing.B) {
 	h := quickHarness(1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := h.Table3(); err != nil {
+		if _, err := h.Table3(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -42,7 +43,7 @@ func BenchmarkTable4Efficiency(b *testing.B) {
 	datasets := []string{"ItalyPowerDemand", "ECG200", "GunPoint", "TwoLeadECG"}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := h.Table4(datasets); err != nil {
+		if _, err := h.Table4(context.Background(), datasets); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -53,7 +54,7 @@ func BenchmarkTable5Breakdown(b *testing.B) {
 	datasets := []string{"ArrowHead", "ShapeletSim"}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := h.Table5(datasets); err != nil {
+		if _, err := h.Table5(context.Background(), datasets); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -64,7 +65,7 @@ func BenchmarkTable6Accuracy(b *testing.B) {
 	datasets := []string{"ItalyPowerDemand", "GunPoint", "Coffee"}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := h.Table6(datasets); err != nil {
+		if _, err := h.Table6(context.Background(), datasets); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -75,7 +76,7 @@ func BenchmarkTable7LSH(b *testing.B) {
 	datasets := []string{"ItalyPowerDemand", "GunPoint"}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := h.Table7(datasets); err != nil {
+		if _, err := h.Table7(context.Background(), datasets); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -85,7 +86,7 @@ func BenchmarkFig9VaryK(b *testing.B) {
 	h := quickHarness(1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := h.Fig9([]string{"BeetleFly"}); err != nil {
+		if _, err := h.Fig9(context.Background(), []string{"BeetleFly"}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -96,7 +97,7 @@ func BenchmarkFig10aDABF(b *testing.B) {
 	datasets := []string{"ItalyPowerDemand", "ECG200"}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := h.Fig10a(datasets); err != nil {
+		if _, err := h.Fig10a(context.Background(), datasets); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -107,7 +108,7 @@ func BenchmarkFig10bcDTCR(b *testing.B) {
 	datasets := []string{"ItalyPowerDemand", "ECG200"}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := h.Fig10bc(datasets); err != nil {
+		if _, err := h.Fig10bc(context.Background(), datasets); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -127,7 +128,7 @@ func BenchmarkFig12VaryK(b *testing.B) {
 	h := quickHarness(1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := h.Fig12([]string{"ArrowHead"}); err != nil {
+		if _, err := h.Fig12(context.Background(), []string{"ArrowHead"}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -137,7 +138,7 @@ func BenchmarkFig13CaseStudy(b *testing.B) {
 	h := quickHarness(1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := h.Fig13(); err != nil {
+		if _, err := h.Fig13(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -154,7 +155,7 @@ func BenchmarkDiscover(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Discover(train, opt); err != nil {
+		if _, err := Discover(context.Background(), train, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -166,7 +167,7 @@ func BenchmarkTransform(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	model, err := Fit(train, DefaultOptions())
+	model, err := Fit(context.Background(), train, DefaultOptions())
 	if err != nil {
 		b.Fatal(err)
 	}

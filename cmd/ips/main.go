@@ -14,6 +14,8 @@
 //	-qn N        bagging samples per class (default 10)
 //	-qs N        instances per sample (default 3)
 //	-seed N      random seed (default 1)
+//	-timeout D   abort the run after D (e.g. 30s, 5m); a timed-out run exits
+//	             with status 1 after reporting how far it got (0 = no limit)
 //	-workers N   parallelise the pipeline; output identical for any value
 //	-show N      print the first N shapelets as sparklines (default 3)
 //	-save FILE   write the trained model to FILE as JSON
@@ -32,6 +34,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -62,7 +66,15 @@ func main() {
 	progress := flag.Bool("progress", false, "stream stage progress to stderr")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof, expvar, and /metrics on this address (e.g. :6060)")
 	distKernel := flag.String("dist-kernel", "auto", "force the transform's distance kernel: auto, rolling, or fft (output identical)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long, e.g. 30s or 5m (0 = no limit)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if k, err := dist.ParseKernel(*distKernel); err != nil {
 		fmt.Fprintln(os.Stderr, "ips:", err)
@@ -78,7 +90,7 @@ func main() {
 	}
 
 	if *loadPath != "" {
-		classifyWithSavedModel(*loadPath, test)
+		classifyWithSavedModel(ctx, *loadPath, test)
 		return
 	}
 
@@ -115,9 +127,13 @@ func main() {
 	opt.Workers = *workers
 	opt.Obs = o
 
-	acc, model, err := ips.Evaluate(train, test, opt)
+	acc, model, err := ips.Evaluate(ctx, train, test, opt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ips:", err)
+		if errors.Is(err, ips.ErrCanceled) {
+			fmt.Fprintf(os.Stderr, "ips: run canceled (timeout %v): %v\n", *timeout, err)
+		} else {
+			fmt.Fprintln(os.Stderr, "ips:", err)
+		}
 		os.Exit(1)
 	}
 	o.Finish()
@@ -175,13 +191,17 @@ func main() {
 
 // classifyWithSavedModel loads a serialized model and reports its accuracy
 // on the test split.
-func classifyWithSavedModel(path string, test *ips.Dataset) {
+func classifyWithSavedModel(ctx context.Context, path string, test *ips.Dataset) {
 	model, err := ips.LoadModel(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ips: loading model:", err)
 		os.Exit(1)
 	}
-	pred := model.Predict(test)
+	pred, err := model.Predict(ctx, test)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ips: predicting:", err)
+		os.Exit(1)
+	}
 	correct := 0
 	for i, in := range test.Instances {
 		if pred[i] == in.Label {

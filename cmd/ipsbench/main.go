@@ -28,6 +28,8 @@
 //	-runs N      repetitions averaged for randomised methods (default 1)
 //	-workers N   parallelise the IPS pipeline and STOMP kernels; results
 //	             are identical for any value (default 1)
+//	-timeout D   abort the suite after D (e.g. 10m); a timed-out suite exits
+//	             with status 1 (0 = no limit)
 //	-mpout FILE  write the "mp" experiment's kernel report as JSON
 //	             (e.g. BENCH_mp.json)
 //	-tfout FILE  write the "transform" experiment's report as JSON
@@ -44,6 +46,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -51,6 +55,7 @@ import (
 	"ips/internal/bench"
 	"ips/internal/classify"
 	"ips/internal/dist"
+	"ips/internal/errs"
 	"ips/internal/obs"
 )
 
@@ -79,7 +84,15 @@ func main() {
 	distKernel := flag.String("dist-kernel", "auto", "force the transform's distance kernel: auto, rolling, or fft (results identical)")
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON of all IPS runs to this file")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof, expvar, and /metrics on this address (e.g. :6060)")
+	timeout := flag.Duration("timeout", 0, "abort the suite after this long, e.g. 10m (0 = no limit)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if err := setDistKernel(*distKernel); err != nil {
 		fmt.Fprintln(os.Stderr, "ipsbench:", err)
@@ -117,23 +130,23 @@ func main() {
 	}
 
 	experiments := map[string]func() error{
-		"table2":  func() error { _, err := h.Table2(); return err },
-		"table3":  func() error { _, err := h.Table3(); return err },
-		"table4":  func() error { _, err := h.Table4(nil); return err },
-		"table5":  func() error { _, err := h.Table5(nil); return err },
-		"table6":  func() error { _, err := h.Table6(nil); return err },
-		"table7":  func() error { _, err := h.Table7(nil); return err },
-		"fig9":    func() error { _, err := h.Fig9(nil); return err },
-		"fig10a":  func() error { _, err := h.Fig10a(nil); return err },
-		"fig10bc": func() error { _, err := h.Fig10bc(nil); return err },
+		"table2":  func() error { _, err := h.Table2(ctx); return err },
+		"table3":  func() error { _, err := h.Table3(ctx); return err },
+		"table4":  func() error { _, err := h.Table4(ctx, nil); return err },
+		"table5":  func() error { _, err := h.Table5(ctx, nil); return err },
+		"table6":  func() error { _, err := h.Table6(ctx, nil); return err },
+		"table7":  func() error { _, err := h.Table7(ctx, nil); return err },
+		"fig9":    func() error { _, err := h.Fig9(ctx, nil); return err },
+		"fig10a":  func() error { _, err := h.Fig10a(ctx, nil); return err },
+		"fig10bc": func() error { _, err := h.Fig10bc(ctx, nil); return err },
 		"fig11":   func() error { _, err := h.Fig11(nil); return err },
-		"fig12":   func() error { _, err := h.Fig12(nil); return err },
-		"fig13":   func() error { _, err := h.Fig13(); return err },
-		"table6x": func() error { _, err := h.Table6Extended(nil); return err },
-		"fig11m":  func() error { _, err := h.Fig11Measured(nil); return err },
-		"params":  func() error { _, err := h.Params(nil); return err },
+		"fig12":   func() error { _, err := h.Fig12(ctx, nil); return err },
+		"fig13":   func() error { _, err := h.Fig13(ctx); return err },
+		"table6x": func() error { _, err := h.Table6Extended(ctx, nil); return err },
+		"fig11m":  func() error { _, err := h.Fig11Measured(ctx, nil); return err },
+		"params":  func() error { _, err := h.Params(ctx, nil); return err },
 		"mp": func() error {
-			rep, err := h.MPBench()
+			rep, err := h.MPBench(ctx)
 			if err != nil {
 				return err
 			}
@@ -145,10 +158,10 @@ func main() {
 			}
 			return nil
 		},
-		"cote":     func() error { _, err := h.COTE(nil); return err },
-		"ablation": func() error { _, err := h.Ablation(nil); return err },
+		"cote":     func() error { _, err := h.COTE(ctx, nil); return err },
+		"ablation": func() error { _, err := h.Ablation(ctx, nil); return err },
 		"transform": func() error {
-			rep, err := h.TransformBench()
+			rep, err := h.TransformBench(ctx)
 			if err != nil {
 				return err
 			}
@@ -181,7 +194,11 @@ func main() {
 			os.Exit(2)
 		}
 		if err := run(); err != nil {
-			fmt.Fprintf(os.Stderr, "ipsbench: %s: %v\n", name, err)
+			if errors.Is(err, errs.ErrCanceled) {
+				fmt.Fprintf(os.Stderr, "ipsbench: %s: suite canceled (timeout %v): %v\n", name, *timeout, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "ipsbench: %s: %v\n", name, err)
+			}
 			os.Exit(1)
 		}
 		fmt.Println()

@@ -32,6 +32,7 @@ var analyzers = []*Analyzer{
 	mutexcopyAnalyzer,
 	nakedGoroutineAnalyzer,
 	errswallowAnalyzer,
+	ctxfirstAnalyzer,
 }
 
 func analyzerByName(name string) *Analyzer {

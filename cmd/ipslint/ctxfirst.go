@@ -1,0 +1,92 @@
+package main
+
+import (
+	"go/ast"
+)
+
+// ctxfirstAnalyzer enforces the cancellation-propagation convention behind
+// the cooperative-shutdown contract.  Two rules:
+//
+//  1. A function that accepts a context.Context takes it as the first
+//     parameter, matching the stdlib convention and keeping call sites
+//     greppable (every ctx threads through position zero).
+//  2. An exported non-test function that spawns goroutines accepts a
+//     context.Context: a fan-out with no context is unreachable by
+//     cancellation, so a timeout or Ctrl-C cannot drain its workers.
+//     Deliberate process-lifetime daemons are exempted with a
+//     "//lint:ignore ipslint/ctxfirst reason" directive.
+var ctxfirstAnalyzer = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context must be the first parameter; exported goroutine-spawning functions must accept one",
+	Run:  runCtxfirst,
+}
+
+func runCtxfirst(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkCtxPosition(pass, n.Type)
+				if n.Name.IsExported() && !pass.IsTestFile(n.Pos()) &&
+					!hasCtxParam(pass, n.Type) && containsGoStmt(n.Body) {
+					pass.Reportf(n.Pos(), "exported function %s spawns goroutines but takes no context.Context, so cancellation cannot reach its workers", n.Name.Name)
+				}
+			case *ast.FuncLit:
+				checkCtxPosition(pass, n.Type)
+			}
+			return true
+		})
+	}
+}
+
+// isCtxType reports whether the field's type is exactly context.Context.
+func isCtxType(pass *Pass, field *ast.Field) bool {
+	t := pass.TypeOf(field.Type)
+	return t != nil && t.String() == "context.Context"
+}
+
+// checkCtxPosition reports any context.Context parameter that is not the
+// first parameter of the function type.
+func checkCtxPosition(pass *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	for i, field := range ft.Params.List {
+		if i == 0 {
+			continue
+		}
+		if isCtxType(pass, field) {
+			pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+		}
+	}
+}
+
+// hasCtxParam reports whether any parameter is a context.Context.
+func hasCtxParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isCtxType(pass, field) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsGoStmt reports whether the body spawns any goroutine, including
+// inside nested function literals (a returned closure that spawns still
+// makes the declaring function the fan-out's entry point).
+func containsGoStmt(body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

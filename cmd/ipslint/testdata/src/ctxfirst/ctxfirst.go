@@ -1,0 +1,91 @@
+// Package ctxfirst is ipslint test corpus: context-propagation hygiene.
+package ctxfirst
+
+import (
+	"context"
+	"sync"
+)
+
+func work(int) int { return 0 }
+
+func ctxSecond(name string, ctx context.Context) { // want "context.Context must be the first parameter"
+	_ = name
+	_ = ctx
+}
+
+func ctxFirstOK(ctx context.Context, name string) {
+	_ = ctx
+	_ = name
+}
+
+func noCtxOK(name string) {
+	_ = name
+}
+
+func literalCtxMisplaced() {
+	fn := func(n int, ctx context.Context) { // want "context.Context must be the first parameter"
+		_ = n
+		_ = ctx
+	}
+	fn(1, context.Background())
+}
+
+// Fanout spawns workers with no way to cancel them.
+func Fanout(items []int) { // want "exported function Fanout spawns goroutines but takes no context.Context"
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			work(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// FanoutCtxOK threads a context through its pool.
+func FanoutCtxOK(ctx context.Context, items []int) {
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case <-ctx.Done():
+			default:
+				work(i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// fanoutUnexportedOK: the spawn rule applies to the exported surface only.
+func fanoutUnexportedOK(items []int) {
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			work(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// ClosureSpawn returns a closure that spawns: the declaring function is the
+// fan-out's entry point and still needs a context.
+func ClosureSpawn(done chan struct{}) func() { // want "exported function ClosureSpawn spawns goroutines but takes no context.Context"
+	return func() {
+		go func() {
+			close(done)
+		}()
+	}
+}
+
+//lint:ignore ipslint/ctxfirst corpus: deliberate process-lifetime daemon
+func DaemonIgnoredOK(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -59,6 +60,9 @@ func main() {
 		train, test, err := ips.GenerateDataset(name, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ucrgen:", err)
+			if errors.Is(err, ips.ErrUnknownDataset) {
+				fmt.Fprintln(os.Stderr, "ucrgen: run without dataset arguments to list all known names")
+			}
 			os.Exit(1)
 		}
 		trainPath := filepath.Join(*out, name+"_TRAIN.tsv")

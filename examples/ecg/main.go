@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	train, test, err := ips.GenerateDataset("ECG200", ips.GenConfig{Seed: 5})
 	if err != nil {
 		log.Fatal(err)
@@ -24,7 +26,7 @@ func main() {
 	// IPS.
 	opt := ips.DefaultOptions()
 	opt.IP.Seed, opt.DABF.Seed, opt.SVM.Seed = 5, 5, 5
-	ipsAcc, model, err := ips.Evaluate(train, test, opt)
+	ipsAcc, model, err := ips.Evaluate(ctx, train, test, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +47,10 @@ func main() {
 	fmt.Printf("%-12s %6.1f%%\n\n", "BASE", baseAcc)
 
 	// Confusion matrix for IPS (class 0 = normal beat, 1 = ischemia-like).
-	pred := model.Predict(test)
+	pred, err := model.Predict(ctx, test)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var matrix [2][2]int
 	for i, in := range test.Instances {
 		matrix[in.Label][pred[i]]++

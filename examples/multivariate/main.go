@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	train, test := ips.GenerateMTS(ips.MTSGenConfig{
 		Channels:    4,
 		Informative: 2, // two motion channels, two distractor channels
@@ -30,7 +32,7 @@ func main() {
 	opt.IP.Seed, opt.DABF.Seed, opt.SVM.Seed = 11, 11, 11
 	opt.Workers = 4 // parallel per-channel discovery
 
-	acc, model, err := ips.EvaluateMTS(train, test, opt)
+	acc, model, err := ips.EvaluateMTS(ctx, train, test, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

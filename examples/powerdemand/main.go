@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	train, test, err := ips.GenerateDataset("ItalyPowerDemand", ips.GenConfig{Seed: 3})
 	if err != nil {
 		log.Fatal(err)
@@ -23,11 +25,14 @@ func main() {
 	opt := ips.DefaultOptions()
 	opt.K = 3
 	opt.IP.Seed, opt.DABF.Seed, opt.SVM.Seed = 3, 3, 3
-	model, err := ips.Fit(train, opt)
+	model, err := ips.Fit(ctx, train, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pred := model.Predict(test)
+	pred, err := model.Predict(ctx, test)
+	if err != nil {
+		log.Fatal(err)
+	}
 	correct := 0
 	for i, in := range test.Instances {
 		if pred[i] == in.Label {

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,6 +12,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Synthesise the ItalyPowerDemand train/test splits (the real archive
 	// sizes: 67 train, 1029 test, length 24, 2 classes).
 	train, test, err := ips.GenerateDataset("ItalyPowerDemand", ips.GenConfig{Seed: 1})
@@ -20,16 +23,20 @@ func main() {
 
 	// Discover shapelets and train the classifier with the paper defaults:
 	// k=5 shapelets per class, Q_N=10 samples of Q_S=3 instances,
-	// candidate lengths {0.1..0.5}·N, L2 LSH, 3σ pruning.
+	// candidate lengths {0.1..0.5}·N, L2 LSH, 3σ pruning.  Cancelling the
+	// context (or a deadline) stops the run with ips.ErrCanceled.
 	opt := ips.DefaultOptions()
 	opt.IP.Seed, opt.DABF.Seed, opt.SVM.Seed = 7, 7, 7
-	model, err := ips.Fit(train, opt)
+	model, err := ips.Fit(ctx, train, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Classify the test set.
-	pred := model.Predict(test)
+	pred, err := model.Predict(ctx, test)
+	if err != nil {
+		log.Fatal(err)
+	}
 	correct := 0
 	for i, in := range test.Instances {
 		if pred[i] == in.Label {

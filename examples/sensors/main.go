@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	train, test, err := ips.GenerateDataset("MoteStrain", ips.GenConfig{MaxTest: 300, Seed: 9})
 	if err != nil {
 		log.Fatal(err)
@@ -28,7 +30,7 @@ func main() {
 		opt := ips.DefaultOptions()
 		opt.K = k
 		opt.IP.Seed, opt.DABF.Seed, opt.SVM.Seed = 9, 9, 9
-		acc, _, err := ips.Evaluate(train, test, opt)
+		acc, _, err := ips.Evaluate(ctx, train, test, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -62,7 +64,7 @@ func main() {
 	opt := ips.DefaultOptions()
 	opt.K = bestK
 	opt.IP.Seed, opt.DABF.Seed, opt.SVM.Seed = 9, 9, 9
-	acc, _, err := ips.Evaluate(rtrain, rtest, opt)
+	acc, _, err := ips.Evaluate(ctx, rtrain, rtest, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,10 +7,12 @@
 package baselines
 
 import (
+	"context"
 	"errors"
 	"sort"
 
 	"ips/internal/classify"
+	"ips/internal/errs"
 	"ips/internal/mp"
 	"ips/internal/ts"
 )
@@ -42,15 +44,29 @@ func (c BaseConfig) defaults() BaseConfig {
 	return c
 }
 
-// BaseDiscover implements the MP baseline (Formula 4): per class C it
+// BaseDiscover implements the MP baseline (Formula 4) with a background
+// context; see BaseDiscoverCtx.
+func BaseDiscover(train *ts.Dataset, cfg BaseConfig) ([]classify.Shapelet, error) {
+	return BaseDiscoverCtx(context.Background(), train, cfg)
+}
+
+// BaseDiscoverCtx implements the MP baseline (Formula 4): per class C it
 // concatenates all of C's training instances into T_C and all remaining
 // instances into T_rest, computes the self-join profile P_CC and the AB-join
 // profile P_C,rest, and selects the subsequences of T_C with the top-k
-// largest |P_C,rest − P_CC| as C's "shapelets".
-func BaseDiscover(train *ts.Dataset, cfg BaseConfig) ([]classify.Shapelet, error) {
+// largest |P_C,rest − P_CC| as C's "shapelets".  Cancellation is checked
+// per STOMP join (the unit of heavy work) and inside the joins' tile
+// workers; a cancelled run returns an error matching errs.ErrCanceled.
+func BaseDiscoverCtx(ctx context.Context, train *ts.Dataset, cfg BaseConfig) ([]classify.Shapelet, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.defaults()
+	if train == nil {
+		return nil, errs.BadInput(errs.StageValidate, "base.discover", "", "nil dataset")
+	}
 	if err := train.Validate(true); err != nil {
-		return nil, err
+		return nil, errs.BadInputErr(errs.StageValidate, "base.discover", train.Name, err)
 	}
 	byClass := train.ByClass()
 	classes := train.Classes()
@@ -84,8 +100,14 @@ func BaseDiscover(train *ts.Dataset, cfg BaseConfig) ([]classify.Shapelet, error
 			validOwn := ts.BoundaryMask(startsOwn, len(catOwn), L)
 			validRest := ts.BoundaryMask(startsRest, len(catRest), L)
 			kern := mp.Options{Workers: cfg.Workers}
-			pSelf := mp.SelfJoinOpts(catOwn, L, validOwn, kern)
-			pCross := mp.ABJoinOpts(catOwn, catRest, L, validOwn, validRest, kern)
+			pSelf, err := mp.SelfJoinCtx(ctx, catOwn, L, validOwn, kern)
+			if err != nil {
+				return nil, err
+			}
+			pCross, err := mp.ABJoinCtx(ctx, catOwn, catRest, L, validOwn, validRest, kern)
+			if err != nil {
+				return nil, err
+			}
 			diff := mp.Diff(pCross, pSelf)
 			dp := &mp.Profile{P: diff, W: L}
 			// Top-k per length with an exclusion zone; merged across
@@ -151,7 +173,13 @@ func (m *ShapeletModel) Accuracy(d *ts.Dataset) float64 {
 
 // BaseEvaluate runs the full BASE pipeline and returns its test accuracy.
 func BaseEvaluate(train, test *ts.Dataset, cfg BaseConfig, svmCfg classify.SVMConfig) (float64, error) {
-	sh, err := BaseDiscover(train, cfg)
+	return BaseEvaluateCtx(context.Background(), train, test, cfg, svmCfg)
+}
+
+// BaseEvaluateCtx is BaseEvaluate with cooperative cancellation; see
+// BaseDiscoverCtx for the granularity.
+func BaseEvaluateCtx(ctx context.Context, train, test *ts.Dataset, cfg BaseConfig, svmCfg classify.SVMConfig) (float64, error) {
+	sh, err := BaseDiscoverCtx(ctx, train, cfg)
 	if err != nil {
 		return 0, err
 	}

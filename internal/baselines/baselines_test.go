@@ -192,7 +192,10 @@ func TestBSPCoverSlowerThanItLooks(t *testing.T) {
 	// Not a timing test: verify BSPCOVER examines every training instance
 	// per candidate by checking it works on a slightly larger set without
 	// degenerate output.
-	m := ucr.MustLookup("SonyAIBORobotSurface1")
+	m, err := ucr.Find("SonyAIBORobotSurface1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	train, test := ucr.Generate(m, ucr.GenConfig{MaxTest: 60, Seed: 9})
 	acc, err := BSPCoverEvaluate(train, test, BSPConfig{K: 5}, classify.SVMConfig{Seed: 10})
 	if err != nil {
@@ -252,7 +255,10 @@ func TestEnsembleCOTEIPSStandIn(t *testing.T) {
 	// The actual Table VI construction: IPS + 1NN-ED + 1NN-DTW weighted by
 	// training accuracy should do at least as well as the worst member and
 	// usually track the best.
-	m := ucr.MustLookup("ItalyPowerDemand")
+	m, err := ucr.Find("ItalyPowerDemand")
+	if err != nil {
+		t.Fatal(err)
+	}
 	train, test := ucr.Generate(m, ucr.GenConfig{MaxTest: 80, Seed: 13})
 	nnED := classify.NewNN(train.Instances, classify.NNConfig{Metric: classify.Euclidean})
 	nnDTW := classify.NewNN(train.Instances, classify.NNConfig{Metric: classify.DTWWindowed})

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -29,12 +30,16 @@ type AblationResult struct {
 // no DT, no CR, naive pruning instead of the DABF, and no discord
 // candidates in the inter-class utility (Def. 12 uses motifs AND discords
 // of other classes; this variant drops the discords).
-func (h *Harness) Ablation(datasets []string) ([]AblationResult, error) {
+func (h *Harness) Ablation(ctx context.Context, datasets []string) ([]AblationResult, error) {
+	ctx = benchCtx(ctx)
 	if datasets == nil {
 		datasets = []string{"ItalyPowerDemand", "GunPoint", "ArrowHead"}
 	}
 	var out []AblationResult
 	for _, name := range datasets {
+		if err := ctxErr(ctx, "bench.ablation"); err != nil {
+			return nil, err
+		}
 		train, test, err := h.Load(name)
 		if err != nil {
 			return nil, err
@@ -45,9 +50,9 @@ func (h *Harness) Ablation(datasets []string) ([]AblationResult, error) {
 			t0 := time.Now()
 			var acc float64
 			if mutatePool {
-				acc, err = h.evaluateWithoutDiscords(train, test, opt)
+				acc, err = h.evaluateWithoutDiscords(ctx, train, test, opt)
 			} else {
-				acc, _, err = core.Evaluate(train, test, opt)
+				acc, _, err = core.Evaluate(ctx, train, test, opt)
 			}
 			if err != nil {
 				return err
@@ -94,12 +99,12 @@ func (h *Harness) Ablation(datasets []string) ([]AblationResult, error) {
 // evaluateWithoutDiscords runs the pipeline with discord candidates stripped
 // from the pool before pruning/selection, isolating their contribution to
 // the inter-class utility.
-func (h *Harness) evaluateWithoutDiscords(train, test *ts.Dataset, opt core.Options) (float64, error) {
+func (h *Harness) evaluateWithoutDiscords(ctx context.Context, train, test *ts.Dataset, opt core.Options) (float64, error) {
 	opt = opt.WithDefaults()
 	sp := h.Obs.Root().Child("ablation.no-discords." + train.Name)
 	defer sp.End()
 	gsp := sp.Child("candidate-gen")
-	pool, err := ip.GenerateSpan(train, opt.IP, gsp)
+	pool, err := ip.GenerateSpan(ctx, train, opt.IP, gsp)
 	gsp.End()
 	if err != nil {
 		return 0, err
@@ -114,29 +119,42 @@ func (h *Harness) evaluateWithoutDiscords(train, test *ts.Dataset, opt core.Opti
 		pool.ByClass[class] = motifsOnly
 	}
 	bsp := sp.Child("dabf-build")
-	d, err := dabf.BuildSpan(pool, opt.DABF, bsp)
+	d, err := dabf.BuildSpan(ctx, pool, opt.DABF, bsp)
 	bsp.End()
 	if err != nil {
 		return 0, err
 	}
 	qsp := sp.Child("dabf-query")
-	pruned, _ := dabf.PruneSpan(pool, d, qsp)
+	pruned, _, err := dabf.PruneSpan(ctx, pool, d, qsp)
 	qsp.End()
+	if err != nil {
+		return 0, err
+	}
 	ssp := sp.Child("selection")
-	shapelets := core.SelectTopK(pruned, train, d, core.SelectionConfig{K: opt.K, UseDT: true, UseCR: true, Span: ssp})
+	shapelets, err := core.SelectTopK(ctx, pruned, train, d, core.SelectionConfig{K: opt.K, UseDT: true, UseCR: true, Span: ssp})
 	ssp.End()
+	if err != nil {
+		return 0, err
+	}
 	if len(shapelets) == 0 {
 		return 0, fmt.Errorf("bench: no shapelets without discords")
 	}
-	X := classify.Transform(train, shapelets)
+	X, err := classify.TransformCtx(ctx, train, shapelets, 0, nil, nil)
+	if err != nil {
+		return 0, err
+	}
 	scaler, err := classify.FitScaler(X)
 	if err != nil {
 		return 0, err
 	}
-	svm, err := classify.TrainSVM(scaler.Apply(X), train.Labels(), opt.SVM)
+	svm, err := classify.TrainSVMCtx(ctx, scaler.Apply(X), train.Labels(), opt.SVM, nil)
 	if err != nil {
 		return 0, err
 	}
-	pred := svm.PredictAll(scaler.Apply(classify.Transform(test, shapelets)))
+	Xt, err := classify.TransformCtx(ctx, test, shapelets, 0, nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	pred := svm.PredictAll(scaler.Apply(Xt))
 	return classify.Accuracy(pred, test.Labels()), nil
 }

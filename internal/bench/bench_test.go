@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -46,7 +47,7 @@ func TestHarnessLoadSyntheticAndQuickCaps(t *testing.T) {
 func TestTable2Quick(t *testing.T) {
 	var buf bytes.Buffer
 	h := quickHarness(&buf)
-	rows, err := h.Table2()
+	rows, err := h.Table2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestTable2Quick(t *testing.T) {
 func TestTable3Quick(t *testing.T) {
 	var buf bytes.Buffer
 	h := quickHarness(&buf)
-	rows, err := h.Table3()
+	rows, err := h.Table3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestTable3Quick(t *testing.T) {
 func TestTable4Quick(t *testing.T) {
 	var buf bytes.Buffer
 	h := quickHarness(&buf)
-	rows, err := h.Table4([]string{"ItalyPowerDemand", "ECG200", "GunPoint"})
+	rows, err := h.Table4(context.Background(), []string{"ItalyPowerDemand", "ECG200", "GunPoint"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestTable4Quick(t *testing.T) {
 func TestTable5Quick(t *testing.T) {
 	var buf bytes.Buffer
 	h := quickHarness(&buf)
-	rows, err := h.Table5([]string{"ArrowHead", "ShapeletSim"})
+	rows, err := h.Table5(context.Background(), []string{"ArrowHead", "ShapeletSim"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestTable6Quick(t *testing.T) {
 	h := quickHarness(&buf)
 	h.Runs = 3 // the paper averages 5 runs; 3 keeps CI noise down
 	datasets := []string{"ItalyPowerDemand", "GunPoint", "Coffee", "TwoLeadECG", "ECG200", "ArrowHead"}
-	rows, err := h.Table6(datasets)
+	rows, err := h.Table6(context.Background(), datasets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestTable6Quick(t *testing.T) {
 func TestTable7Quick(t *testing.T) {
 	var buf bytes.Buffer
 	h := quickHarness(&buf)
-	rows, err := h.Table7([]string{"ItalyPowerDemand", "GunPoint"})
+	rows, err := h.Table7(context.Background(), []string{"ItalyPowerDemand", "GunPoint"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestTable7Quick(t *testing.T) {
 func TestFig9Quick(t *testing.T) {
 	var buf bytes.Buffer
 	h := quickHarness(&buf)
-	res, err := h.Fig9([]string{"BeetleFly"})
+	res, err := h.Fig9(context.Background(), []string{"BeetleFly"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestFig9Quick(t *testing.T) {
 func TestFig10Quick(t *testing.T) {
 	var buf bytes.Buffer
 	h := quickHarness(&buf)
-	rowsA, err := h.Fig10a([]string{"ItalyPowerDemand", "ECG200"})
+	rowsA, err := h.Fig10a(context.Background(), []string{"ItalyPowerDemand", "ECG200"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestFig10Quick(t *testing.T) {
 			t.Fatalf("missing prune timings: %+v", r)
 		}
 	}
-	rowsBC, err := h.Fig10bc([]string{"ItalyPowerDemand"})
+	rowsBC, err := h.Fig10bc(context.Background(), []string{"ItalyPowerDemand"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestFig11OnPublishedMatrix(t *testing.T) {
 func TestFig12Quick(t *testing.T) {
 	var buf bytes.Buffer
 	h := quickHarness(&buf)
-	rows, err := h.Fig12([]string{"ArrowHead", "MoteStrain"})
+	rows, err := h.Fig12(context.Background(), []string{"ArrowHead", "MoteStrain"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +266,7 @@ func TestFig12Quick(t *testing.T) {
 func TestFig13Quick(t *testing.T) {
 	var buf bytes.Buffer
 	h := quickHarness(&buf)
-	res, err := h.Fig13()
+	res, err := h.Fig13(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func TestFig13Quick(t *testing.T) {
 func TestParamsQuick(t *testing.T) {
 	var buf bytes.Buffer
 	h := quickHarness(&buf)
-	res, err := h.Params([]string{"ItalyPowerDemand"})
+	res, err := h.Params(context.Background(), []string{"ItalyPowerDemand"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +305,7 @@ func TestParamsQuick(t *testing.T) {
 func TestTable6ExtendedQuick(t *testing.T) {
 	var buf bytes.Buffer
 	h := quickHarness(&buf)
-	rows, err := h.Table6Extended([]string{"ItalyPowerDemand", "GunPoint"})
+	rows, err := h.Table6Extended(context.Background(), []string{"ItalyPowerDemand", "GunPoint"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +319,7 @@ func TestTable6ExtendedQuick(t *testing.T) {
 func TestAblationQuick(t *testing.T) {
 	var buf bytes.Buffer
 	h := quickHarness(&buf)
-	res, err := h.Ablation([]string{"ItalyPowerDemand"})
+	res, err := h.Ablation(context.Background(), []string{"ItalyPowerDemand"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +339,7 @@ func TestAblationQuick(t *testing.T) {
 func TestCOTEQuick(t *testing.T) {
 	var buf bytes.Buffer
 	h := quickHarness(&buf)
-	rows, err := h.COTE([]string{"ItalyPowerDemand"})
+	rows, err := h.COTE(context.Background(), []string{"ItalyPowerDemand"})
 	if err != nil {
 		t.Fatal(err)
 	}

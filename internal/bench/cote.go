@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"ips/internal/baselines"
@@ -26,12 +27,16 @@ type COTERow struct {
 // 1NN-DTW) votes with a weight equal to its training accuracy.  The paper's
 // Table VI shows the ensemble ranked 1st; the expectation here is that the
 // ensemble matches or beats its best single member on most datasets.
-func (h *Harness) COTE(datasets []string) ([]COTERow, error) {
+func (h *Harness) COTE(ctx context.Context, datasets []string) ([]COTERow, error) {
+	ctx = benchCtx(ctx)
 	if datasets == nil {
 		datasets = []string{"ItalyPowerDemand", "GunPoint", "Coffee", "TwoLeadECG"}
 	}
 	var rows []COTERow
 	for _, name := range datasets {
+		if err := ctxErr(ctx, "bench.cote"); err != nil {
+			return nil, err
+		}
 		train, test, err := h.Load(name)
 		if err != nil {
 			return nil, err
@@ -44,14 +49,20 @@ func (h *Harness) COTE(datasets []string) ([]COTERow, error) {
 		}
 
 		// IPS.
-		ipsModel, err := core.Fit(train, h.ipsOptions())
+		ipsModel, err := core.Fit(ctx, train, h.ipsOptions())
 		if err != nil {
 			return nil, err
 		}
-		addMember("IPS", ipsModel.Predict)
+		addMember("IPS", func(d *ts.Dataset) []int {
+			pred, err := ipsModel.Predict(ctx, d)
+			if err != nil {
+				return nil // nil votes are ignored by the ensemble
+			}
+			return pred
+		})
 
 		// Shapelet-transform methods sharing the common classifier.
-		if sh, err := baselines.BaseDiscover(train, baselines.BaseConfig{K: h.k(), Workers: h.Workers}); err == nil {
+		if sh, err := baselines.BaseDiscoverCtx(ctx, train, baselines.BaseConfig{K: h.k(), Workers: h.Workers}); err == nil {
 			if m, err := baselines.TrainShapeletClassifier(train, sh, classify.SVMConfig{Seed: h.Seed}); err == nil {
 				addMember("BASE", m.Predict)
 			}

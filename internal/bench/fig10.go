@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,7 +38,8 @@ var Fig10Datasets = []string{
 // Fig10a reproduces Fig. 10(a): candidate pruning time with and without the
 // DABF across datasets.  Expectation: every dataset lands in the upper
 // triangle (naive slower), 2–10× in the paper.
-func (h *Harness) Fig10a(datasets []string) ([]Fig10aRow, error) {
+func (h *Harness) Fig10a(ctx context.Context, datasets []string) ([]Fig10aRow, error) {
+	ctx = benchCtx(ctx)
 	if datasets == nil {
 		datasets = Fig10Datasets
 		if h.Quick {
@@ -54,13 +56,16 @@ func (h *Harness) Fig10a(datasets []string) ([]Fig10aRow, error) {
 	}
 	var rows []Fig10aRow
 	for _, name := range datasets {
+		if err := ctxErr(ctx, "bench.fig10a"); err != nil {
+			return nil, err
+		}
 		train, _, err := h.Load(name)
 		if err != nil {
 			return nil, err
 		}
 		dsp := h.Obs.Root().Child("fig10a." + name)
 		gsp := dsp.Child("candidate-gen")
-		pool, err := ip.GenerateSpan(train, cfg.IP, gsp)
+		pool, err := ip.GenerateSpan(ctx, train, cfg.IP, gsp)
 		gsp.End()
 		if err != nil {
 			dsp.End()
@@ -69,7 +74,7 @@ func (h *Harness) Fig10a(datasets []string) ([]Fig10aRow, error) {
 		t0 := time.Now()
 		psp := dsp.Child("prune-dabf")
 		bsp := psp.Child("dabf-build")
-		d, err := dabf.BuildSpan(pool, cfg.DABF, bsp)
+		d, err := dabf.BuildSpan(ctx, pool, cfg.DABF, bsp)
 		bsp.End()
 		if err != nil {
 			psp.End()
@@ -77,14 +82,23 @@ func (h *Harness) Fig10a(datasets []string) ([]Fig10aRow, error) {
 			return nil, err
 		}
 		qsp := psp.Child("dabf-query")
-		dabf.PruneSpan(pool, d, qsp)
+		if _, _, err := dabf.PruneSpan(ctx, pool, d, qsp); err != nil {
+			qsp.End()
+			psp.End()
+			dsp.End()
+			return nil, err
+		}
 		qsp.End()
 		psp.End()
 		withDABF := time.Since(t0)
 
 		t0 = time.Now()
 		nsp := dsp.Child("prune-naive")
-		dabf.NaivePrune(pool, cfg.DABF.Dim, cfg.DABF.Sigma)
+		if _, _, err := dabf.NaivePrune(ctx, pool, cfg.DABF.Dim, cfg.DABF.Sigma); err != nil {
+			nsp.End()
+			dsp.End()
+			return nil, err
+		}
 		nsp.End()
 		without := time.Since(t0)
 		dsp.End()
@@ -108,7 +122,8 @@ func (h *Harness) Fig10a(datasets []string) ([]Fig10aRow, error) {
 // Fig10bc reproduces Fig. 10(b,c): top-k selection time and final accuracy
 // with and without the DT & CR optimisations.  Expectation: 50–90% of the
 // selection time saved with near-identical accuracy.
-func (h *Harness) Fig10bc(datasets []string) ([]Fig10bcRow, error) {
+func (h *Harness) Fig10bc(ctx context.Context, datasets []string) ([]Fig10bcRow, error) {
+	ctx = benchCtx(ctx)
 	if datasets == nil {
 		datasets = Fig10Datasets
 		if h.Quick {
@@ -117,6 +132,9 @@ func (h *Harness) Fig10bc(datasets []string) ([]Fig10bcRow, error) {
 	}
 	var rows []Fig10bcRow
 	for _, name := range datasets {
+		if err := ctxErr(ctx, "bench.fig10bc"); err != nil {
+			return nil, err
+		}
 		train, test, err := h.Load(name)
 		if err != nil {
 			return nil, err
@@ -124,21 +142,21 @@ func (h *Harness) Fig10bc(datasets []string) ([]Fig10bcRow, error) {
 		row := Fig10bcRow{Dataset: name}
 
 		opt := h.ipsOptions()
-		acc, _, err := core.Evaluate(train, test, opt)
+		acc, _, err := core.Evaluate(ctx, train, test, opt)
 		if err != nil {
 			return nil, err
 		}
 		row.AccDTCR = acc
-		row.TimeDTCR = h.selectionTime(train, opt)
+		row.TimeDTCR = h.selectionTime(ctx, train, opt)
 
 		opt.DisableDT = true
 		opt.DisableCR = true
-		acc, _, err = core.Evaluate(train, test, opt)
+		acc, _, err = core.Evaluate(ctx, train, test, opt)
 		if err != nil {
 			return nil, err
 		}
 		row.AccRaw = acc
-		row.TimeRaw = h.selectionTime(train, opt)
+		row.TimeRaw = h.selectionTime(ctx, train, opt)
 
 		rows = append(rows, row)
 	}
@@ -157,9 +175,11 @@ func (h *Harness) Fig10bc(datasets []string) ([]Fig10bcRow, error) {
 	return rows, nil
 }
 
-// selectionTime isolates the Alg. 4 stage runtime under the given options.
-func (h *Harness) selectionTime(train *ts.Dataset, opt core.Options) time.Duration {
-	pool, err := ip.Generate(train, opt.IP)
+// selectionTime isolates the Alg. 4 stage runtime under the given options
+// (0 when any stage fails or the context is cancelled — the caller's own
+// Evaluate already surfaced the error).
+func (h *Harness) selectionTime(ctx context.Context, train *ts.Dataset, opt core.Options) time.Duration {
+	pool, err := ip.Generate(ctx, train, opt.IP)
 	if err != nil {
 		return 0
 	}
@@ -171,12 +191,15 @@ func (h *Harness) selectionTime(train *ts.Dataset, opt core.Options) time.Durati
 	sp := h.Obs.Root().Child("fig10bc.selection." + train.Name)
 	sp.SetString("dt_cr", fmt.Sprint(!opt.DisableDT))
 	t0 := time.Now()
-	core.SelectTopK(pruned, train, d, core.SelectionConfig{
+	if _, err := core.SelectTopK(ctx, pruned, train, d, core.SelectionConfig{
 		K:     opt.K,
 		UseDT: !opt.DisableDT,
 		UseCR: !opt.DisableCR,
 		Span:  sp,
-	})
+	}); err != nil {
+		sp.End()
+		return 0
+	}
 	sp.End()
 	return time.Since(t0)
 }

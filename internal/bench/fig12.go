@@ -1,6 +1,9 @@
 package bench
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Fig12Row holds one dataset's accuracy-vs-k sweep.
 type Fig12Row struct {
@@ -16,7 +19,8 @@ var Fig12Datasets = []string{"ArrowHead", "MoteStrain", "ShapeletSim", "ToeSegme
 
 // Fig12 reproduces Fig. 12: IPS accuracy as the shapelet number varies.
 // Expectation: accuracy rises from k=1 and saturates around k≈5.
-func (h *Harness) Fig12(datasets []string) ([]Fig12Row, error) {
+func (h *Harness) Fig12(ctx context.Context, datasets []string) ([]Fig12Row, error) {
+	ctx = benchCtx(ctx)
 	if datasets == nil {
 		datasets = Fig12Datasets
 	}
@@ -26,6 +30,9 @@ func (h *Harness) Fig12(datasets []string) ([]Fig12Row, error) {
 	}
 	var rows []Fig12Row
 	for _, name := range datasets {
+		if err := ctxErr(ctx, "bench.fig12"); err != nil {
+			return nil, err
+		}
 		train, test, err := h.Load(name)
 		if err != nil {
 			return nil, err
@@ -34,7 +41,7 @@ func (h *Harness) Fig12(datasets []string) ([]Fig12Row, error) {
 		for _, k := range ks {
 			opt := h.ipsOptions()
 			opt.K = k
-			acc, _, err := evaluateWithOptions(train, test, opt)
+			acc, _, err := evaluateWithOptions(ctx, train, test, opt)
 			if err != nil {
 				return nil, err
 			}

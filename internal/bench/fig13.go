@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -27,7 +28,8 @@ type Fig13Result struct {
 // against the per-class mean series, illustrating that both highlight the
 // morning-demand difference while IPS discovers its shapelet several times
 // faster (4× in the paper).
-func (h *Harness) Fig13() (*Fig13Result, error) {
+func (h *Harness) Fig13(ctx context.Context) (*Fig13Result, error) {
+	ctx = benchCtx(ctx)
 	const name = "ItalyPowerDemand"
 	train, test, err := h.Load(name)
 	if err != nil {
@@ -35,7 +37,7 @@ func (h *Harness) Fig13() (*Fig13Result, error) {
 	}
 	res := &Fig13Result{Dataset: name, ClassMeans: map[int]ts.Series{}}
 
-	ipsRes, model, err := h.RunIPS(train, test)
+	ipsRes, model, err := h.RunIPS(ctx, train, test)
 	if err != nil {
 		return nil, err
 	}

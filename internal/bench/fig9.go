@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -30,7 +31,8 @@ var Fig9Datasets = []string{"BeetleFly", "TwoLeadECG"}
 // the shapelet number k grows.  Expectation: BASE's accuracy is markedly
 // lower; IPS tracks BSPCOVER's accuracy at a fraction of its runtime;
 // runtimes of BASE/IPS grow roughly linearly with k.
-func (h *Harness) Fig9(datasets []string) ([]Fig9Result, error) {
+func (h *Harness) Fig9(ctx context.Context, datasets []string) ([]Fig9Result, error) {
+	ctx = benchCtx(ctx)
 	if datasets == nil {
 		datasets = Fig9Datasets
 	}
@@ -40,6 +42,9 @@ func (h *Harness) Fig9(datasets []string) ([]Fig9Result, error) {
 	}
 	var out []Fig9Result
 	for _, name := range datasets {
+		if err := ctxErr(ctx, "bench.fig9"); err != nil {
+			return nil, err
+		}
 		train, test, err := h.Load(name)
 		if err != nil {
 			return nil, err
@@ -48,13 +53,13 @@ func (h *Harness) Fig9(datasets []string) ([]Fig9Result, error) {
 		for _, k := range ks {
 			opt := h.ipsOptions()
 			opt.K = k
-			acc, rt, err := evaluateWithOptions(train, test, opt)
+			acc, rt, err := evaluateWithOptions(ctx, train, test, opt)
 			if err != nil {
 				return nil, err
 			}
 			res.IPS = append(res.IPS, Fig9Point{K: k, Accuracy: acc, Runtime: rt})
 
-			baseRes, err := h.RunBase(train, test, k)
+			baseRes, err := h.RunBase(ctx, train, test, k)
 			if err != nil {
 				return nil, err
 			}

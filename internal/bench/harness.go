@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"ips/internal/classify"
 	"ips/internal/core"
 	"ips/internal/dabf"
+	"ips/internal/errs"
 	"ips/internal/ip"
 	"ips/internal/obs"
 	"ips/internal/ts"
@@ -43,6 +45,22 @@ type Harness struct {
 	// joins (<=1 means sequential).  Accuracies are unaffected: every
 	// parallel path is deterministic for any worker count.
 	Workers int
+}
+
+// benchCtx normalises a possibly-nil context; every exported experiment
+// method accepts ctx first and checks it between datasets (and, through the
+// pipeline calls, inside each run), so cancelling the context stops a long
+// table sweep within one pipeline stage's cancellation latency.
+func benchCtx(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// ctxErr annotates a cancelled bench sweep with the experiment name.
+func ctxErr(ctx context.Context, op string) error {
+	return errs.Ctx(ctx, errs.StageBench, op)
 }
 
 func (h *Harness) runs() int {
@@ -117,7 +135,8 @@ type MethodResult struct {
 // dataset, averaging accuracy over h.Runs repetitions with distinct seeds
 // (the paper's 5-run mean).  Runtime is the per-run average; the returned
 // model is from the final run.
-func (h *Harness) RunIPS(train, test *ts.Dataset) (MethodResult, *core.Model, error) {
+func (h *Harness) RunIPS(ctx context.Context, train, test *ts.Dataset) (MethodResult, *core.Model, error) {
+	ctx = benchCtx(ctx)
 	var sumAcc float64
 	var sumRT time.Duration
 	var model *core.Model
@@ -128,7 +147,7 @@ func (h *Harness) RunIPS(train, test *ts.Dataset) (MethodResult, *core.Model, er
 		opt.DABF.Seed = h.Seed + int64(r)
 		opt.SVM.Seed = h.Seed + int64(r)
 		t0 := time.Now()
-		acc, m, err := core.Evaluate(train, test, opt)
+		acc, m, err := core.Evaluate(ctx, train, test, opt)
 		if err != nil {
 			return MethodResult{}, nil, err
 		}
@@ -144,16 +163,16 @@ func (h *Harness) RunIPS(train, test *ts.Dataset) (MethodResult, *core.Model, er
 
 // evaluateWithOptions runs the IPS pipeline under explicit options and
 // returns accuracy plus runtime.
-func evaluateWithOptions(train, test *ts.Dataset, opt core.Options) (float64, time.Duration, error) {
+func evaluateWithOptions(ctx context.Context, train, test *ts.Dataset, opt core.Options) (float64, time.Duration, error) {
 	t0 := time.Now()
-	acc, _, err := core.Evaluate(train, test, opt)
+	acc, _, err := core.Evaluate(ctx, train, test, opt)
 	return acc, time.Since(t0), err
 }
 
 // RunBase measures the MP baseline with the given k.
-func (h *Harness) RunBase(train, test *ts.Dataset, k int) (MethodResult, error) {
+func (h *Harness) RunBase(ctx context.Context, train, test *ts.Dataset, k int) (MethodResult, error) {
 	t0 := time.Now()
-	acc, err := baselines.BaseEvaluate(train, test,
+	acc, err := baselines.BaseEvaluateCtx(benchCtx(ctx), train, test,
 		baselines.BaseConfig{K: k, Workers: h.Workers},
 		classify.SVMConfig{Seed: h.Seed})
 	if err != nil {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -49,7 +50,8 @@ func (h *Harness) mpBenchSizes() [][2]int {
 // and worker counts — so successive PRs have a comparable perf trajectory
 // (snapshot it with WriteJSON as BENCH_mp.json).  Each cell is the best of
 // three runs: the minimum is the least noisy estimator of the true cost.
-func (h *Harness) MPBench() (*MPBenchReport, error) {
+func (h *Harness) MPBench(ctx context.Context) (*MPBenchReport, error) {
+	ctx = benchCtx(ctx)
 	report := &MPBenchReport{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -59,6 +61,9 @@ func (h *Harness) MPBench() (*MPBenchReport, error) {
 	rows := make([][]string, 0, len(h.mpBenchSizes())*len(workerCounts))
 	for _, size := range h.mpBenchSizes() {
 		n, w := size[0], size[1]
+		if err := ctxErr(ctx, "bench.mp"); err != nil {
+			return nil, err
+		}
 		rng := rand.New(rand.NewSource(h.Seed))
 		series := make([]float64, n)
 		v := 0.0
@@ -71,7 +76,9 @@ func (h *Harness) MPBench() (*MPBenchReport, error) {
 			best := 0.0
 			for attempt := 0; attempt < 3; attempt++ {
 				t0 := time.Now()
-				mp.SelfJoinOpts(series, w, nil, mp.Options{Workers: workers})
+				if _, err := mp.SelfJoinCtx(ctx, series, w, nil, mp.Options{Workers: workers}); err != nil {
+					return nil, err
+				}
 				el := time.Since(t0).Seconds()
 				if attempt == 0 || el < best {
 					best = el

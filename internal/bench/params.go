@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -29,7 +30,8 @@ var (
 // parameter grids and reports IPS accuracy and runtime for each setting —
 // the sensitivity study behind the §IV-A parameter choices.  In quick mode
 // the grid shrinks to the corners plus the default.
-func (h *Harness) Params(datasets []string) ([]ParamsResult, error) {
+func (h *Harness) Params(ctx context.Context, datasets []string) ([]ParamsResult, error) {
+	ctx = benchCtx(ctx)
 	if datasets == nil {
 		datasets = []string{"ItalyPowerDemand", "GunPoint"}
 	}
@@ -40,6 +42,9 @@ func (h *Harness) Params(datasets []string) ([]ParamsResult, error) {
 	}
 	var out []ParamsResult
 	for _, name := range datasets {
+		if err := ctxErr(ctx, "bench.params"); err != nil {
+			return nil, err
+		}
 		train, test, err := h.Load(name)
 		if err != nil {
 			return nil, err
@@ -50,7 +55,7 @@ func (h *Harness) Params(datasets []string) ([]ParamsResult, error) {
 				opt := h.ipsOptions()
 				opt.IP.QN = qn
 				opt.IP.QS = qs
-				acc, rt, err := evaluateWithOptions(train, test, opt)
+				acc, rt, err := evaluateWithOptions(ctx, train, test, opt)
 				if err != nil {
 					return nil, err
 				}

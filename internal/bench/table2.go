@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"ips/internal/classify"
@@ -24,20 +25,24 @@ var Table2Datasets = []string{"ArrowHead", "MoteStrain", "ShapeletSim", "ToeSegm
 // Table2 reproduces Table II: the MP baseline's top-k accuracy versus
 // 1NN-ED/1NN-DTW, demonstrating the two issues of §II-B (BASE stays below
 // the simple baselines at every k).
-func (h *Harness) Table2() ([]Table2Row, error) {
+func (h *Harness) Table2(ctx context.Context) ([]Table2Row, error) {
+	ctx = benchCtx(ctx)
 	ks := Table2Ks
 	if h.Quick {
 		ks = []int{1, 5, 20}
 	}
 	var rows []Table2Row
 	for _, name := range Table2Datasets {
+		if err := ctxErr(ctx, "bench.table2"); err != nil {
+			return nil, err
+		}
 		train, test, err := h.Load(name)
 		if err != nil {
 			return nil, err
 		}
 		row := Table2Row{Dataset: name, BaseAcc: map[int]float64{}}
 		for _, k := range ks {
-			r, err := h.RunBase(train, test, k)
+			r, err := h.RunBase(ctx, train, test, k)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"ips/internal/dabf"
@@ -27,9 +28,13 @@ var Table3Datasets = []string{
 // 9/10 datasets (Gamma on Meat); the measured column reports what our fitter
 // selects on the generated data.  The reported NMSE is averaged over the
 // dataset's classes; the fit name is the majority vote across classes.
-func (h *Harness) Table3() ([]Table3Row, error) {
+func (h *Harness) Table3(ctx context.Context) ([]Table3Row, error) {
+	ctx = benchCtx(ctx)
 	var rows []Table3Row
 	for _, name := range Table3Datasets {
+		if err := ctxErr(ctx, "bench.table3"); err != nil {
+			return nil, err
+		}
 		train, _, err := h.Load(name)
 		if err != nil {
 			return nil, err
@@ -37,14 +42,14 @@ func (h *Harness) Table3() ([]Table3Row, error) {
 		cfg := h.ipsOptions()
 		dsp := h.Obs.Root().Child("table3." + name)
 		gsp := dsp.Child("candidate-gen")
-		pool, err := ip.GenerateSpan(train, cfg.IP, gsp)
+		pool, err := ip.GenerateSpan(ctx, train, cfg.IP, gsp)
 		gsp.End()
 		if err != nil {
 			dsp.End()
 			return nil, err
 		}
 		bsp := dsp.Child("dabf-build")
-		d, err := dabf.BuildSpan(pool, cfg.DABF, bsp)
+		d, err := dabf.BuildSpan(ctx, pool, cfg.DABF, bsp)
 		bsp.End()
 		dsp.End()
 		if err != nil {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -27,7 +28,8 @@ var Table4Quick = []string{
 // IPS per dataset with the two speedup columns.  The paper's expectation:
 // BASE is only slightly faster than IPS (~1.2×) while IPS is far faster than
 // BSPCOVER (~25× on average); exact factors depend on dataset scale.
-func (h *Harness) Table4(datasets []string) ([]Table4Row, error) {
+func (h *Harness) Table4(ctx context.Context, datasets []string) ([]Table4Row, error) {
+	ctx = benchCtx(ctx)
 	if datasets == nil {
 		if h.Quick {
 			datasets = Table4Quick
@@ -38,15 +40,18 @@ func (h *Harness) Table4(datasets []string) ([]Table4Row, error) {
 	k := h.k()
 	var rows []Table4Row
 	for _, name := range datasets {
+		if err := ctxErr(ctx, "bench.table4"); err != nil {
+			return nil, err
+		}
 		train, test, err := h.Load(name)
 		if err != nil {
 			return nil, err
 		}
-		ipsRes, _, err := h.RunIPS(train, test)
+		ipsRes, _, err := h.RunIPS(ctx, train, test)
 		if err != nil {
 			return nil, err
 		}
-		baseRes, err := h.RunBase(train, test, k)
+		baseRes, err := h.RunBase(ctx, train, test, k)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -26,7 +27,8 @@ var Table5Datasets = []string{"ArrowHead", "Computers", "ShapeletSim", "UWaveGes
 // pruning step measured both with the DABF and with the naive quadratic
 // method, and top-k selection measured with and without the DT & CR
 // optimisations.  Expectation (paper): DABF and DT+CR each save >= 50%.
-func (h *Harness) Table5(datasets []string) ([]Table5Row, error) {
+func (h *Harness) Table5(ctx context.Context, datasets []string) ([]Table5Row, error) {
+	ctx = benchCtx(ctx)
 	if datasets == nil {
 		datasets = Table5Datasets
 	}
@@ -40,6 +42,9 @@ func (h *Harness) Table5(datasets []string) ([]Table5Row, error) {
 	}
 	var rows []Table5Row
 	for _, name := range datasets {
+		if err := ctxErr(ctx, "bench.table5"); err != nil {
+			return nil, err
+		}
 		train, _, err := h.Load(name)
 		if err != nil {
 			return nil, err
@@ -49,7 +54,7 @@ func (h *Harness) Table5(datasets []string) ([]Table5Row, error) {
 
 		t0 := time.Now()
 		gsp := dsp.Child("candidate-gen")
-		pool, err := ip.GenerateSpan(train, cfg.IP, gsp)
+		pool, err := ip.GenerateSpan(ctx, train, cfg.IP, gsp)
 		gsp.End()
 		if err != nil {
 			dsp.End()
@@ -60,7 +65,7 @@ func (h *Harness) Table5(datasets []string) ([]Table5Row, error) {
 		t0 = time.Now()
 		psp := dsp.Child("prune-dabf")
 		bsp := psp.Child("dabf-build")
-		d, err := dabf.BuildSpan(pool, cfg.DABF, bsp)
+		d, err := dabf.BuildSpan(ctx, pool, cfg.DABF, bsp)
 		bsp.End()
 		if err != nil {
 			psp.End()
@@ -68,26 +73,42 @@ func (h *Harness) Table5(datasets []string) ([]Table5Row, error) {
 			return nil, err
 		}
 		qsp := psp.Child("dabf-query")
-		pruned, _ := dabf.PruneSpan(pool, d, qsp)
+		pruned, _, err := dabf.PruneSpan(ctx, pool, d, qsp)
 		qsp.End()
 		psp.End()
+		if err != nil {
+			dsp.End()
+			return nil, err
+		}
 		row.PruneDABF = time.Since(t0)
 
 		t0 = time.Now()
 		nsp := dsp.Child("prune-naive")
-		dabf.NaivePrune(pool, cfg.DABF.Dim, cfg.DABF.Sigma)
+		if _, _, err := dabf.NaivePrune(ctx, pool, cfg.DABF.Dim, cfg.DABF.Sigma); err != nil {
+			nsp.End()
+			dsp.End()
+			return nil, err
+		}
 		nsp.End()
 		row.PruneNaive = time.Since(t0)
 
 		t0 = time.Now()
 		ssp := dsp.Child("select-dtcr")
-		core.SelectTopK(pruned, train, d, core.SelectionConfig{K: cfg.K, UseDT: true, UseCR: true, Span: ssp})
+		if _, err := core.SelectTopK(ctx, pruned, train, d, core.SelectionConfig{K: cfg.K, UseDT: true, UseCR: true, Span: ssp}); err != nil {
+			ssp.End()
+			dsp.End()
+			return nil, err
+		}
 		ssp.End()
 		row.SelectOptimised = time.Since(t0)
 
 		t0 = time.Now()
 		rsp := dsp.Child("select-raw")
-		core.SelectTopK(pruned, train, d, core.SelectionConfig{K: cfg.K, UseDT: false, UseCR: false, Span: rsp})
+		if _, err := core.SelectTopK(ctx, pruned, train, d, core.SelectionConfig{K: cfg.K, UseDT: false, UseCR: false, Span: rsp}); err != nil {
+			rsp.End()
+			dsp.End()
+			return nil, err
+		}
 		rsp.End()
 		row.SelectRaw = time.Since(t0)
 		dsp.End()

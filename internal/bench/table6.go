@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -34,7 +35,8 @@ var Table6Quick = []string{
 // dataset.  The paper's full 13-method matrix (including quoted results for
 // ST, LTS, FS, SD, ELIS, ResNet, COTE, RotF) is embedded in
 // PublishedAccuracy and is what Fig11 ranks.
-func (h *Harness) Table6(datasets []string) ([]Table6Row, error) {
+func (h *Harness) Table6(ctx context.Context, datasets []string) ([]Table6Row, error) {
+	ctx = benchCtx(ctx)
 	if datasets == nil {
 		if h.Quick {
 			datasets = Table6Quick
@@ -44,6 +46,9 @@ func (h *Harness) Table6(datasets []string) ([]Table6Row, error) {
 	}
 	var rows []Table6Row
 	for _, name := range datasets {
+		if err := ctxErr(ctx, "bench.table6"); err != nil {
+			return nil, err
+		}
 		train, test, err := h.Load(name)
 		if err != nil {
 			return nil, err
@@ -51,12 +56,12 @@ func (h *Harness) Table6(datasets []string) ([]Table6Row, error) {
 		row := Table6Row{Dataset: name}
 		row.ED = h.RunNN(train, test, classify.NNConfig{Metric: classify.Euclidean}).Accuracy
 		row.DTW = h.RunNN(train, test, classify.NNConfig{Metric: classify.DTWWindowed}).Accuracy
-		ipsRes, model, err := h.RunIPS(train, test)
+		ipsRes, model, err := h.RunIPS(ctx, train, test)
 		if err != nil {
 			return nil, err
 		}
 		row.IPS = ipsRes.Accuracy
-		baseRes, err := h.RunBase(train, test, h.k())
+		baseRes, err := h.RunBase(ctx, train, test, h.k())
 		if err != nil {
 			return nil, err
 		}
@@ -68,7 +73,7 @@ func (h *Harness) Table6(datasets []string) ([]Table6Row, error) {
 		row.BSP = bspRes.Accuracy
 
 		// COTE-IPS stand-in: training-accuracy-weighted vote.
-		row.COTEIPS = h.ensembleAccuracy(train, test, model)
+		row.COTEIPS = h.ensembleAccuracy(ctx, train, test, model)
 		rows = append(rows, row)
 	}
 
@@ -99,12 +104,20 @@ func (h *Harness) Table6(datasets []string) ([]Table6Row, error) {
 }
 
 // ensembleAccuracy builds the COTE-IPS stand-in over an already-fitted IPS
-// model plus the two 1NN baselines and returns its test accuracy.
-func (h *Harness) ensembleAccuracy(train, test *ts.Dataset, model *core.Model) float64 {
+// model plus the two 1NN baselines and returns its test accuracy (0 when any
+// member fails — the stand-in is a diagnostic column, not a pipeline stage).
+func (h *Harness) ensembleAccuracy(ctx context.Context, train, test *ts.Dataset, model *core.Model) float64 {
 	nnED := classify.NewNN(train.Instances, classify.NNConfig{Metric: classify.Euclidean})
 	nnDTW := classify.NewNN(train.Instances, classify.NNConfig{Metric: classify.DTWWindowed})
+	ipsPredict := func(d *ts.Dataset) []int {
+		pred, err := model.Predict(ctx, d)
+		if err != nil {
+			return nil // Build rejects the short vote vector below.
+		}
+		return pred
+	}
 	e, err := baselines.NewEnsembleBuilder(train).
-		AddWeighted("ips", model.Predict).
+		AddWeighted("ips", ipsPredict).
 		AddWeighted("1nn-ed", func(d *ts.Dataset) []int { return nnED.PredictAll(d.Instances) }).
 		AddWeighted("1nn-dtw", func(d *ts.Dataset) []int { return nnDTW.PredictAll(d.Instances) }).
 		Build()

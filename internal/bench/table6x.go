@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"ips/internal/baselines"
@@ -24,19 +25,23 @@ type Table6ExtendedRow struct {
 // Rotation Forest, learning shapelets (LTS), and fast shapelets (FS), the
 // three Table VI columns this repository implements beyond the paper's own
 // measured set.
-func (h *Harness) Table6Extended(datasets []string) ([]Table6ExtendedRow, error) {
+func (h *Harness) Table6Extended(ctx context.Context, datasets []string) ([]Table6ExtendedRow, error) {
+	ctx = benchCtx(ctx)
 	if datasets == nil {
 		datasets = Table6Quick
 		if !h.Quick {
 			datasets = AllDatasets()
 		}
 	}
-	base, err := h.Table6(datasets)
+	base, err := h.Table6(ctx, datasets)
 	if err != nil {
 		return nil, err
 	}
 	var rows []Table6ExtendedRow
 	for i, name := range datasets {
+		if err := ctxErr(ctx, "bench.table6x"); err != nil {
+			return nil, err
+		}
 		train, test, err := h.Load(name)
 		if err != nil {
 			return nil, err
@@ -96,8 +101,8 @@ func (h *Harness) Table6Extended(datasets []string) ([]Table6ExtendedRow, error)
 // Fig11Measured re-runs the Fig. 11 statistics with the measured accuracies
 // of the methods this repository implements substituted into the published
 // matrix (quoted columns stay quoted, as in the paper itself).
-func (h *Harness) Fig11Measured(datasets []string) (*Fig11Result, error) {
-	rows, err := h.Table6Extended(datasets)
+func (h *Harness) Fig11Measured(ctx context.Context, datasets []string) (*Fig11Result, error) {
+	rows, err := h.Table6Extended(ctx, datasets)
 	if err != nil {
 		return nil, err
 	}

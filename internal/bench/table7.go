@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"ips/internal/lsh"
@@ -17,7 +18,8 @@ var Table7Datasets = Table3Datasets // the paper uses the same ten
 
 // Table7 reproduces Table VII: IPS accuracy with the Hamming, Cosine, and L2
 // LSH families.  Expectation: L2 best, Cosine close behind, Hamming worst.
-func (h *Harness) Table7(datasets []string) ([]Table7Row, error) {
+func (h *Harness) Table7(ctx context.Context, datasets []string) ([]Table7Row, error) {
+	ctx = benchCtx(ctx)
 	if datasets == nil {
 		datasets = Table7Datasets
 		if h.Quick {
@@ -27,6 +29,9 @@ func (h *Harness) Table7(datasets []string) ([]Table7Row, error) {
 	kinds := []lsh.Kind{lsh.Hamming, lsh.Cosine, lsh.L2}
 	var rows []Table7Row
 	for _, name := range datasets {
+		if err := ctxErr(ctx, "bench.table7"); err != nil {
+			return nil, err
+		}
 		train, test, err := h.Load(name)
 		if err != nil {
 			return nil, err
@@ -35,7 +40,7 @@ func (h *Harness) Table7(datasets []string) ([]Table7Row, error) {
 		for _, kind := range kinds {
 			opt := h.ipsOptions()
 			opt.DABF.LSH = kind
-			acc, _, err := evaluateWithOptions(train, test, opt)
+			acc, _, err := evaluateWithOptions(ctx, train, test, opt)
 			if err != nil {
 				return nil, err
 			}

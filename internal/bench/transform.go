@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -80,7 +81,8 @@ func (h *Harness) transformBenchCells() []struct {
 // sides run single-threaded and each cell is the best of three runs; the
 // engine's output is verified byte-identical to the naive loop before
 // timing is reported.  Snapshot with WriteJSON as BENCH_transform.json.
-func (h *Harness) TransformBench() (*TransformBenchReport, error) {
+func (h *Harness) TransformBench(ctx context.Context) (*TransformBenchReport, error) {
+	ctx = benchCtx(ctx)
 	report := &TransformBenchReport{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -88,6 +90,9 @@ func (h *Harness) TransformBench() (*TransformBenchReport, error) {
 	}
 	var rows [][]string
 	for _, cell := range h.transformBenchCells() {
+		if err := ctxErr(ctx, "bench.transform"); err != nil {
+			return nil, err
+		}
 		// Generated directly (not via Load) so the harness's MaxLength cap
 		// does not truncate the long series the fft crossover needs.
 		train, _, err := ucr.GenerateByName(cell.dataset, ucr.GenConfig{

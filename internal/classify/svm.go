@@ -1,12 +1,13 @@
 package classify
 
 import (
-	"errors"
+	"context"
 	"math"
 	"math/rand"
 	"sort"
 	"strconv"
 
+	"ips/internal/errs"
 	"ips/internal/obs"
 )
 
@@ -49,13 +50,21 @@ func TrainSVM(X [][]float64, y []int, cfg SVMConfig) (*SVM, error) {
 	return TrainSVMSpan(X, y, cfg, nil)
 }
 
-// TrainSVMSpan is TrainSVM with observability: a sub-span per one-vs-rest
-// problem annotated with the coordinate-descent passes it took to converge,
-// and a classify.svm.passes counter totalling them.  A nil span disables
-// all of it; the trained weights are identical either way.
+// TrainSVMSpan is TrainSVMCtx without cancellation (a background context).
 func TrainSVMSpan(X [][]float64, y []int, cfg SVMConfig, sp *obs.Span) (*SVM, error) {
+	return TrainSVMCtx(context.Background(), X, y, cfg, sp)
+}
+
+// TrainSVMCtx is TrainSVM with observability and cooperative cancellation:
+// a sub-span per one-vs-rest problem annotated with the coordinate-descent
+// passes it took to converge, and a classify.svm.passes counter totalling
+// them.  A nil span disables all of it; the trained weights are identical
+// either way.  Cancellation is checked per coordinate-descent pass; a
+// cancelled run returns a nil model and an error matching errs.ErrCanceled.
+func TrainSVMCtx(ctx context.Context, X [][]float64, y []int, cfg SVMConfig, sp *obs.Span) (*SVM, error) {
 	if len(X) == 0 || len(X) != len(y) {
-		return nil, errors.New("classify: bad training shape")
+		return nil, errs.BadInput(errs.StageTrain, "classify.svm", "",
+			"bad training shape: %d rows, %d labels", len(X), len(y))
 	}
 	cfg = cfg.defaults(len(X))
 	dim := len(X[0])
@@ -69,26 +78,31 @@ func TrainSVMSpan(X [][]float64, y []int, cfg SVMConfig, sp *obs.Span) (*SVM, er
 	}
 	sort.Ints(classes)
 	if len(classes) < 2 {
-		return nil, errors.New("classify: need at least two classes")
+		return nil, errs.BadInput(errs.StageTrain, "classify.svm", "",
+			"need at least two classes, have %d", len(classes))
 	}
 	passesCtr := sp.Metrics().Counter("classify.svm.passes")
 	m := &SVM{Classes: classes, W: make([][]float64, len(classes)), B: make([]float64, len(classes))}
 	for ci, class := range classes {
 		csp := sp.Child("svm.class-" + strconv.Itoa(class))
-		w, b, passes := dualCD(X, y, class, dim, cfg)
-		m.W[ci] = w
-		m.B[ci] = b
+		w, b, passes, err := dualCD(ctx, X, y, class, dim, cfg)
 		passesCtr.Add(int64(passes))
 		csp.SetInt("passes", int64(passes))
 		csp.End()
+		if err != nil {
+			return nil, err
+		}
+		m.W[ci] = w
+		m.B[ci] = b
 	}
 	return m, nil
 }
 
 // dualCD solves the binary "class vs rest" L1-loss SVM dual by coordinate
 // descent and reports how many passes it took.  The bias is handled by
-// augmenting each example with a constant feature.
-func dualCD(X [][]float64, y []int, class, dim int, cfg SVMConfig) ([]float64, float64, int) {
+// augmenting each example with a constant feature.  The context is checked
+// once per pass, bounding cancellation latency to one O(n·dim) sweep.
+func dualCD(ctx context.Context, X [][]float64, y []int, class, dim int, cfg SVMConfig) ([]float64, float64, int, error) {
 	n := len(X)
 	C := 1 / (cfg.Lambda * float64(n))
 	const biasFeature = 1.0
@@ -114,6 +128,9 @@ func dualCD(X [][]float64, y []int, class, dim int, cfg SVMConfig) ([]float64, f
 	const tol = 1e-8
 	passes := 0
 	for pass := 0; pass < cfg.Epochs; pass++ {
+		if err := errs.Ctx(ctx, errs.StageTrain, "classify.svm"); err != nil {
+			return nil, 0, passes, err
+		}
 		passes++
 		maxDelta := 0.0
 		for _, i := range order {
@@ -147,7 +164,7 @@ func dualCD(X [][]float64, y []int, class, dim int, cfg SVMConfig) ([]float64, f
 			break
 		}
 	}
-	return w, b, passes
+	return w, b, passes, nil
 }
 
 // Decision returns the decision value of each class for x, aligned with

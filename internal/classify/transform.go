@@ -5,11 +5,13 @@
 package classify
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync"
 
 	"ips/internal/dist"
+	"ips/internal/errs"
 	"ips/internal/obs"
 	"ips/internal/ts"
 )
@@ -43,16 +45,34 @@ func TransformSpan(d *ts.Dataset, shapelets []Shapelet, workers int, sp *obs.Spa
 	return TransformCached(d, shapelets, workers, sp, nil)
 }
 
-// TransformCached is TransformSpan with an optional prepared-series cache.
-// Passing a cache lets repeated transforms over the same dataset (train then
-// test splits sharing storage, cross-validation folds) reuse per-series
-// prefix statistics and padded FFTs across calls; nil prepares per call.
+// TransformCached is TransformCtx without cancellation (a background
+// context); see TransformCtx for the cache semantics.
+func TransformCached(d *ts.Dataset, shapelets []Shapelet, workers int, sp *obs.Span, cache *dist.Cache) [][]float64 {
+	X, err := TransformCtx(context.Background(), d, shapelets, workers, sp, cache)
+	if err != nil {
+		// Unreachable: a background context never cancels and the embedding
+		// has no other failure mode.
+		return nil
+	}
+	return X
+}
+
+// TransformCtx is the shapelet transform with cooperative cancellation and
+// an optional prepared-series cache.  Passing a cache lets repeated
+// transforms over the same dataset (train then test splits sharing storage,
+// cross-validation folds) reuse per-series prefix statistics and padded
+// FFTs across calls; nil prepares per call.
 //
 // Each instance's embedding row is one batched engine evaluation: the
 // shapelets are grouped by length once up front, and every row shares the
 // per-(series, length) sliding statistics.  The output is byte-identical to
 // the per-pair ts.Dist loop for any worker count and either kernel.
-func TransformCached(d *ts.Dataset, shapelets []Shapelet, workers int, sp *obs.Span, cache *dist.Cache) [][]float64 {
+//
+// Cancellation is checked per instance: once ctx is done the workers keep
+// draining the job channel (so the producer never blocks) but skip the
+// embeddings, and TransformCtx returns a nil matrix with an error matching
+// errs.ErrCanceled.  No partially-written matrix escapes.
+func TransformCtx(ctx context.Context, d *ts.Dataset, shapelets []Shapelet, workers int, sp *obs.Span, cache *dist.Cache) ([][]float64, error) {
 	sp.SetInt("instances", int64(len(d.Instances)))
 	sp.SetInt("shapelets", int64(len(shapelets)))
 	sp.SetInt("workers", int64(max(workers, 1)))
@@ -73,6 +93,9 @@ func TransformCached(d *ts.Dataset, shapelets []Shapelet, workers int, sp *obs.S
 	}
 	if workers <= 1 || len(d.Instances) < 2 {
 		for j := range d.Instances {
+			if err := errs.Ctx(ctx, errs.StageTransform, "classify.transform"); err != nil {
+				return nil, err
+			}
 			embed(j, &total)
 		}
 	} else {
@@ -85,6 +108,9 @@ func TransformCached(d *ts.Dataset, shapelets []Shapelet, workers int, sp *obs.S
 				defer wg.Done()
 				var local dist.Counts
 				for j := range ch {
+					if ctx.Err() != nil {
+						continue // drain without working
+					}
 					embed(j, &local)
 				}
 				mu.Lock()
@@ -97,10 +123,13 @@ func TransformCached(d *ts.Dataset, shapelets []Shapelet, workers int, sp *obs.S
 		}
 		close(ch)
 		wg.Wait()
+		if err := errs.Ctx(ctx, errs.StageTransform, "classify.transform"); err != nil {
+			return nil, err
+		}
 	}
 	total.Annotate(sp)
 	total.AddTo(sp.Metrics())
-	return out
+	return out, nil
 }
 
 // DefaultKernel forces the distance kernel for every transform (KernelAuto

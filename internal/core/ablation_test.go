@@ -5,6 +5,7 @@ package core
 // individually, and sequential versus parallel candidate generation.
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
@@ -16,7 +17,7 @@ import (
 func ablationPool(b *testing.B, qn int) (*ip.Pool, *dabf.DABF, *ts.Dataset) {
 	b.Helper()
 	d := plantedDataset(10, 80, 2, 40)
-	pool, err := ip.Generate(d, ip.Config{QN: qn, QS: 3, Seed: 41})
+	pool, err := ip.Generate(context.Background(), d, ip.Config{QN: qn, QS: 3, Seed: 41})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -47,7 +48,9 @@ func BenchmarkAblationPruneNaive(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				dabf.NaivePrune(pool, filt.Cfg.Dim, filt.Cfg.Sigma)
+				if _, _, err := dabf.NaivePrune(context.Background(), pool, filt.Cfg.Dim, filt.Cfg.Sigma); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
@@ -70,7 +73,9 @@ func BenchmarkAblationSelection(b *testing.B) {
 		b.Run(tc.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				SelectTopK(pruned, d, filt, SelectionConfig{K: 5, UseDT: tc.useDT, UseCR: tc.useCR})
+				if _, err := SelectTopK(context.Background(), pruned, d, filt, SelectionConfig{K: 5, UseDT: tc.useDT, UseCR: tc.useCR}); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
@@ -82,7 +87,7 @@ func BenchmarkAblationWorkers(b *testing.B) {
 		b.Run(benchName("w", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := ip.Generate(d, ip.Config{QN: 20, QS: 3, Seed: 44, Workers: workers}); err != nil {
+				if _, err := ip.Generate(context.Background(), d, ip.Config{QN: 20, QS: 3, Seed: 44, Workers: workers}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -81,15 +82,22 @@ func TestStandardise(t *testing.T) {
 
 func TestRawUtilitiesCRMatchesNoCR(t *testing.T) {
 	d := plantedDataset(6, 60, 2, 1)
-	pool, err := ip.Generate(d, ip.Config{QN: 4, QS: 2, LengthRatios: []float64{0.25}, Seed: 2})
+	pool, err := ip.Generate(context.Background(), d, ip.Config{QN: 4, QS: 2, LengthRatios: []float64{0.25}, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	motifs := pool.Motifs(0)
 	others := pool.ByClass[1]
 	instances := d.ByClass()[0]
-	withCR := rawUtilities(motifs, others, instances, true, nil)
-	without := rawUtilities(motifs, others, instances, false, nil)
+	ctx := context.Background()
+	withCR, err := rawUtilities(ctx, motifs, others, instances, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := rawUtilities(ctx, motifs, others, instances, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range withCR.intra {
 		if math.Abs(withCR.intra[i]-without.intra[i]) > 1e-9 {
 			t.Fatalf("intra[%d]: CR %v vs no-CR %v", i, withCR.intra[i], without.intra[i])
@@ -105,7 +113,7 @@ func TestRawUtilitiesCRMatchesNoCR(t *testing.T) {
 
 func TestDTUtilitiesCRMatchesNoCR(t *testing.T) {
 	d := plantedDataset(6, 60, 2, 3)
-	pool, err := ip.Generate(d, ip.Config{QN: 4, QS: 2, LengthRatios: []float64{0.25}, Seed: 4})
+	pool, err := ip.Generate(context.Background(), d, ip.Config{QN: 4, QS: 2, LengthRatios: []float64{0.25}, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,8 +125,15 @@ func TestDTUtilitiesCRMatchesNoCR(t *testing.T) {
 	others := pool.ByClass[1]
 	instances := d.ByClass()[0]
 	cf := filt.PerClass[0]
-	withCR := dtUtilities(motifs, others, instances, cf, filt.Cfg.Dim, true, nil)
-	without := dtUtilities(motifs, others, instances, cf, filt.Cfg.Dim, false, nil)
+	ctx := context.Background()
+	withCR, err := dtUtilities(ctx, motifs, others, instances, cf, filt.Cfg.Dim, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := dtUtilities(ctx, motifs, others, instances, cf, filt.Cfg.Dim, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range withCR.intra {
 		if withCR.intra[i] != without.intra[i] || withCR.inter[i] != without.inter[i] || withCR.dc[i] != without.dc[i] {
 			t.Fatalf("DT utilities differ at %d", i)
@@ -149,7 +164,10 @@ func TestUtilityScoresOrdering(t *testing.T) {
 		others = append(others, ip.Candidate{Class: 1, Kind: ip.Motif, Values: v})
 	}
 	instances := []ts.Instance{{Values: base.Clone(), Label: 0}}
-	u := rawUtilities(motifs, others, instances, true, nil)
+	u, err := rawUtilities(context.Background(), motifs, others, instances, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	scores := u.scores()
 	if scores[0] >= scores[2] {
 		t.Fatalf("good candidate score %v should beat outlier score %v", scores[0], scores[2])
@@ -158,11 +176,14 @@ func TestUtilityScoresOrdering(t *testing.T) {
 
 func TestSelectTopKCounts(t *testing.T) {
 	d := plantedDataset(8, 80, 3, 6)
-	pool, err := ip.Generate(d, ip.Config{QN: 6, QS: 3, LengthRatios: []float64{0.2}, Seed: 7})
+	pool, err := ip.Generate(context.Background(), d, ip.Config{QN: 6, QS: 3, LengthRatios: []float64{0.2}, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh := SelectTopK(pool, d, nil, SelectionConfig{K: 2})
+	sh, err := SelectTopK(context.Background(), pool, d, nil, SelectionConfig{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(sh) != 6 { // 2 per class × 3 classes
 		t.Fatalf("shapelets = %d, want 6", len(sh))
 	}
@@ -179,12 +200,18 @@ func TestSelectTopKCounts(t *testing.T) {
 		}
 	}
 	// K larger than the pool returns everything available.
-	sh = SelectTopK(pool, d, nil, SelectionConfig{K: 1000})
+	sh, err = SelectTopK(context.Background(), pool, d, nil, SelectionConfig{K: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(sh) != pool.Size()/2 { // half the pool are motifs
 		t.Fatalf("oversized K returned %d, want %d", len(sh), pool.Size()/2)
 	}
 	// Default K kicks in.
-	sh = SelectTopK(pool, d, nil, SelectionConfig{})
+	sh, err = SelectTopK(context.Background(), pool, d, nil, SelectionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(sh) == 0 {
 		t.Fatal("default K selected nothing")
 	}
@@ -192,7 +219,7 @@ func TestSelectTopKCounts(t *testing.T) {
 
 func TestDiscoverEndToEnd(t *testing.T) {
 	d := plantedDataset(10, 80, 2, 8)
-	res, err := Discover(d, smallOptions(9))
+	res, err := Discover(context.Background(), d, smallOptions(9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +251,7 @@ func TestDiscoverWithoutDABF(t *testing.T) {
 	d := plantedDataset(8, 60, 2, 10)
 	opt := smallOptions(11)
 	opt.DisableDABF = true
-	res, err := Discover(d, opt)
+	res, err := Discover(context.Background(), d, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,11 +264,11 @@ func TestDiscoverWithoutDABF(t *testing.T) {
 }
 
 func TestDiscoverErrors(t *testing.T) {
-	if _, err := Discover(&ts.Dataset{}, Options{}); err == nil {
+	if _, err := Discover(context.Background(), &ts.Dataset{}, Options{}); err == nil {
 		t.Fatal("empty dataset should error")
 	}
 	oneClass := plantedDataset(5, 40, 1, 12)
-	if _, err := Discover(oneClass, smallOptions(13)); err == nil {
+	if _, err := Discover(context.Background(), oneClass, smallOptions(13)); err == nil {
 		t.Fatal("one-class dataset should error")
 	}
 }
@@ -249,7 +276,7 @@ func TestDiscoverErrors(t *testing.T) {
 func TestFitPredictAccuracy(t *testing.T) {
 	train := plantedDataset(12, 80, 2, 14)
 	test := plantedDataset(12, 80, 2, 15)
-	acc, m, err := Evaluate(train, test, smallOptions(16))
+	acc, m, err := Evaluate(context.Background(), train, test, smallOptions(16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +287,10 @@ func TestFitPredictAccuracy(t *testing.T) {
 		t.Fatal("model incomplete")
 	}
 	// Predict shape.
-	pred := m.Predict(test)
+	pred, err := m.Predict(context.Background(), test)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pred) != test.Len() {
 		t.Fatalf("pred len = %d", len(pred))
 	}
@@ -271,13 +301,13 @@ func TestDTvsRawAccuracyComparable(t *testing.T) {
 	train := plantedDataset(10, 60, 2, 17)
 	test := plantedDataset(10, 60, 2, 18)
 	opt := smallOptions(19)
-	accDT, _, err := Evaluate(train, test, opt)
+	accDT, _, err := Evaluate(context.Background(), train, test, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opt.DisableDT = true
 	opt.DisableCR = true
-	accRaw, _, err := Evaluate(train, test, opt)
+	accRaw, _, err := Evaluate(context.Background(), train, test, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +317,10 @@ func TestDTvsRawAccuracyComparable(t *testing.T) {
 }
 
 func TestDiscoverOnGeneratedUCR(t *testing.T) {
-	m := ucr.MustLookup("ItalyPowerDemand")
+	m, err := ucr.Find("ItalyPowerDemand")
+	if err != nil {
+		t.Fatal(err)
+	}
 	train, test := ucr.Generate(m, ucr.GenConfig{MaxTest: 100, Seed: 20})
 	// Mean of three runs, matching the paper's multi-run protocol.
 	var sum float64
@@ -297,7 +330,7 @@ func TestDiscoverOnGeneratedUCR(t *testing.T) {
 			DABF: dabf.Config{Seed: seed},
 			K:    5,
 		}
-		acc, _, err := Evaluate(train, test, opt)
+		acc, _, err := Evaluate(context.Background(), train, test, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -310,11 +343,11 @@ func TestDiscoverOnGeneratedUCR(t *testing.T) {
 
 func TestDiscoverDeterministic(t *testing.T) {
 	d := plantedDataset(8, 60, 2, 22)
-	r1, err := Discover(d, smallOptions(23))
+	r1, err := Discover(context.Background(), d, smallOptions(23))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Discover(d, smallOptions(23))
+	r2, err := Discover(context.Background(), d, smallOptions(23))
 	if err != nil {
 		t.Fatal(err)
 	}

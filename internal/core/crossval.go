@@ -1,10 +1,11 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"math"
 	"math/rand"
 
+	"ips/internal/errs"
 	"ips/internal/ts"
 )
 
@@ -18,12 +19,21 @@ type CVResult struct {
 // CrossValidate runs stratified k-fold cross-validation of the IPS pipeline
 // on a single dataset — the evaluation mode for users without a train/test
 // split.  Folds are stratified by class so every fold sees every class.
-func CrossValidate(d *ts.Dataset, opt Options, folds int, seed int64) (*CVResult, error) {
+// The context is checked between folds and threaded into each fold's
+// Evaluate; cancellation returns the fold accuracies gathered so far inside
+// a partial CVResult alongside an error matching errs.ErrCanceled.
+func CrossValidate(ctx context.Context, d *ts.Dataset, opt Options, folds int, seed int64) (*CVResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d == nil {
+		return nil, errs.BadInput(errs.StageValidate, "crossval", "", "nil dataset")
+	}
 	if folds < 2 {
-		return nil, errors.New("core: need at least 2 folds")
+		return nil, errs.BadInput(errs.StageValidate, "crossval", d.Name, "need at least 2 folds, got %d", folds)
 	}
 	if err := d.Validate(true); err != nil {
-		return nil, err
+		return nil, errs.BadInputErr(errs.StageValidate, "crossval", d.Name, err)
 	}
 	// Stratified assignment: shuffle within each class, deal round-robin.
 	rng := rand.New(rand.NewSource(seed))
@@ -41,6 +51,9 @@ func CrossValidate(d *ts.Dataset, opt Options, folds int, seed int64) (*CVResult
 
 	res := &CVResult{}
 	for f := 0; f < folds; f++ {
+		if err := errs.Ctx(ctx, errs.StageValidate, "crossval"); err != nil {
+			return res, err // partial: accuracies of completed folds
+		}
 		train := &ts.Dataset{Name: d.Name}
 		test := &ts.Dataset{Name: d.Name}
 		for i, in := range d.Instances {
@@ -51,11 +64,12 @@ func CrossValidate(d *ts.Dataset, opt Options, folds int, seed int64) (*CVResult
 			}
 		}
 		if len(test.Instances) == 0 || len(train.Classes()) < 2 {
-			return nil, errors.New("core: fold without test instances or with one training class; use fewer folds")
+			return nil, errs.BadInput(errs.StageValidate, "crossval", d.Name,
+				"fold %d has no test instances or one training class; use fewer folds", f)
 		}
-		acc, _, err := Evaluate(train, test, opt)
+		acc, _, err := Evaluate(ctx, train, test, opt)
 		if err != nil {
-			return nil, err
+			return partialOn(res, err)
 		}
 		res.FoldAccuracies = append(res.FoldAccuracies, acc)
 	}

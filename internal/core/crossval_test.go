@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"ips/internal/ts"
@@ -8,7 +9,7 @@ import (
 
 func TestCrossValidateStratified(t *testing.T) {
 	d := plantedDataset(12, 50, 2, 110)
-	res, err := CrossValidate(d, smallOptions(111), 4, 112)
+	res, err := CrossValidate(context.Background(), d, smallOptions(111), 4, 112)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,21 +26,21 @@ func TestCrossValidateStratified(t *testing.T) {
 
 func TestCrossValidateErrors(t *testing.T) {
 	d := plantedDataset(6, 40, 2, 113)
-	if _, err := CrossValidate(d, smallOptions(114), 1, 115); err == nil {
+	if _, err := CrossValidate(context.Background(), d, smallOptions(114), 1, 115); err == nil {
 		t.Fatal("1 fold should error")
 	}
-	if _, err := CrossValidate(&ts.Dataset{}, smallOptions(116), 3, 117); err == nil {
+	if _, err := CrossValidate(context.Background(), &ts.Dataset{}, smallOptions(116), 3, 117); err == nil {
 		t.Fatal("empty dataset should error")
 	}
 }
 
 func TestCrossValidateDeterministic(t *testing.T) {
 	d := plantedDataset(10, 40, 2, 118)
-	r1, err := CrossValidate(d, smallOptions(119), 3, 120)
+	r1, err := CrossValidate(context.Background(), d, smallOptions(119), 3, 120)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := CrossValidate(d, smallOptions(119), 3, 120)
+	r2, err := CrossValidate(context.Background(), d, smallOptions(119), 3, 120)
 	if err != nil {
 		t.Fatal(err)
 	}

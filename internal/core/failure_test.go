@@ -4,10 +4,13 @@ package core
 // must produce errors (or sensible results), never panics.
 
 import (
+	"context"
 	"math"
 	"testing"
+	"time"
 
 	"ips/internal/dabf"
+	"ips/internal/faulty"
 	"ips/internal/ip"
 	"ips/internal/ts"
 )
@@ -15,7 +18,7 @@ import (
 func TestDiscoverRejectsNaN(t *testing.T) {
 	d := plantedDataset(6, 40, 2, 70)
 	d.Instances[3].Values[10] = math.NaN()
-	if _, err := Discover(d, smallOptions(71)); err == nil {
+	if _, err := Discover(context.Background(), d, smallOptions(71)); err == nil {
 		t.Fatal("NaN data should be rejected")
 	}
 }
@@ -23,7 +26,7 @@ func TestDiscoverRejectsNaN(t *testing.T) {
 func TestDiscoverRejectsInf(t *testing.T) {
 	d := plantedDataset(6, 40, 2, 72)
 	d.Instances[0].Values[0] = math.Inf(1)
-	if _, err := Discover(d, smallOptions(73)); err == nil {
+	if _, err := Discover(context.Background(), d, smallOptions(73)); err == nil {
 		t.Fatal("Inf data should be rejected")
 	}
 }
@@ -39,7 +42,7 @@ func TestDiscoverSingleInstancePerClass(t *testing.T) {
 		}
 		d.Instances = append(d.Instances, ts.Instance{Values: vals, Label: c})
 	}
-	res, err := Discover(d, smallOptions(74))
+	res, err := Discover(context.Background(), d, smallOptions(74))
 	if err != nil {
 		t.Skipf("single-instance classes rejected (acceptable): %v", err)
 	}
@@ -61,7 +64,7 @@ func TestDiscoverConstantSeries(t *testing.T) {
 			d.Instances = append(d.Instances, ts.Instance{Values: vals, Label: c})
 		}
 	}
-	res, err := Discover(d, smallOptions(75))
+	res, err := Discover(context.Background(), d, smallOptions(75))
 	if err != nil {
 		t.Skipf("constant series rejected (acceptable): %v", err)
 	}
@@ -83,7 +86,7 @@ func TestDiscoverVeryShortSeries(t *testing.T) {
 			d.Instances = append(d.Instances, ts.Instance{Values: vals, Label: c})
 		}
 	}
-	if _, err := Discover(d, smallOptions(76)); err != nil {
+	if _, err := Discover(context.Background(), d, smallOptions(76)); err != nil {
 		t.Logf("very short series rejected: %v (acceptable)", err)
 	}
 }
@@ -93,12 +96,15 @@ func TestFitScalerMismatchHandled(t *testing.T) {
 	// shapelet transform slides the shapelet, so any length >= shapelet
 	// length is valid.
 	train := plantedDataset(8, 60, 2, 77)
-	model, err := Fit(train, smallOptions(78))
+	model, err := Fit(context.Background(), train, smallOptions(78))
 	if err != nil {
 		t.Fatal(err)
 	}
 	longer := plantedDataset(4, 90, 2, 79)
-	pred := model.Predict(longer)
+	pred, err := model.Predict(context.Background(), longer)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pred) != longer.Len() {
 		t.Fatalf("pred len = %d", len(pred))
 	}
@@ -107,8 +113,75 @@ func TestFitScalerMismatchHandled(t *testing.T) {
 func TestSelectTopKEmptyPool(t *testing.T) {
 	d := plantedDataset(4, 40, 2, 80)
 	empty := &ip.Pool{ByClass: map[int][]ip.Candidate{}}
-	if sh := SelectTopK(empty, d, nil, SelectionConfig{K: 5}); len(sh) != 0 {
+	if sh, err := SelectTopK(context.Background(), empty, d, nil, SelectionConfig{K: 5}); err != nil || len(sh) != 0 {
 		t.Fatalf("empty pool selected %d shapelets", len(sh))
+	}
+}
+
+// TestFailureMatrix drives every faulty injector through the package-level
+// pipeline stages (the public entry points get the same treatment from
+// internal/faulty's own suite).  Contract per cell: no panic, no goroutine
+// leak, and any error is typed; WantErr faults must be rejected.
+func TestFailureMatrix(t *testing.T) {
+	clean := faulty.Planted(8, 60, 2, 83)
+	stages := map[string]func(d *ts.Dataset) error{
+		"discover": func(d *ts.Dataset) error {
+			_, err := Discover(context.Background(), d, smallOptions(84))
+			return err
+		},
+		"fit": func(d *ts.Dataset) error {
+			_, err := Fit(context.Background(), d, smallOptions(85))
+			return err
+		},
+		"evaluate": func(d *ts.Dataset) error {
+			_, _, err := Evaluate(context.Background(), d, clean, smallOptions(86))
+			return err
+		},
+	}
+	lc := faulty.NewLeakCheck()
+	for _, fault := range faulty.Faults() {
+		fault := fault
+		t.Run(fault.Name, func(t *testing.T) {
+			corrupted := fault.Apply(clean)
+			for op, run := range stages {
+				err := func() (err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							t.Fatalf("%s/%s: panic: %v", fault.Name, op, r)
+						}
+					}()
+					return run(corrupted)
+				}()
+				if fault.WantErr && err == nil {
+					t.Errorf("%s/%s: corrupted input accepted without error", fault.Name, op)
+				}
+				if msg := faulty.CheckTyped(err); msg != "" {
+					t.Errorf("%s/%s: %s", fault.Name, op, msg)
+				}
+			}
+		})
+	}
+	if msg := lc.Done(5 * time.Second); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+// TestDiscoverCancellationStorm cancels the whole discovery pipeline at 100
+// sweep points; every run must end in nil or a typed ErrCanceled with all
+// worker pools drained.  Under -race this exercises the candidate-gen,
+// pruning, and selection drain paths in one pass.
+func TestDiscoverCancellationStorm(t *testing.T) {
+	d := faulty.Planted(8, 80, 2, 87)
+	t0 := time.Now()
+	if _, err := Discover(context.Background(), d, smallOptions(88)); err != nil {
+		t.Fatal(err)
+	}
+	span := time.Since(t0) + time.Millisecond
+	if msg := faulty.Storm(100, span, func(ctx context.Context) error {
+		_, err := Discover(ctx, d, smallOptions(88))
+		return err
+	}); msg != "" {
+		t.Fatal(msg)
 	}
 }
 
@@ -121,7 +194,7 @@ func TestDiscoverManyClasses(t *testing.T) {
 		DABF: dabf.Config{Seed: 82},
 		K:    2,
 	}
-	res, err := Discover(d, opt)
+	res, err := Discover(context.Background(), d, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

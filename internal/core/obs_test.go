@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"reflect"
 	"testing"
@@ -28,7 +29,7 @@ func TestDiscoverDeterministicUnderInstrumentation(t *testing.T) {
 		opt := smallOptions(7)
 		opt.Workers = workers
 		opt.Obs = o
-		res, err := Discover(train, opt)
+		res, err := Discover(context.Background(), train, opt)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -55,7 +56,7 @@ func TestTimingsAreSpanViews(t *testing.T) {
 	o := obs.New("test")
 	opt := smallOptions(3)
 	opt.Obs = o
-	model, err := Fit(train, opt)
+	model, err := Fit(context.Background(), train, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestTimingsAreSpanViews(t *testing.T) {
 // the Timings view still reports every stage.
 func TestFitWithoutObserverStillTimes(t *testing.T) {
 	train := plantedDataset(8, 60, 2, 3)
-	model, err := Fit(train, smallOptions(3))
+	model, err := Fit(context.Background(), train, smallOptions(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func BenchmarkDiscoverObsOff(b *testing.B) {
 	opt := smallOptions(5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Discover(train, opt); err != nil {
+		if _, err := Discover(context.Background(), train, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -137,7 +138,7 @@ func BenchmarkDiscoverObsOn(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		opt := smallOptions(5)
 		opt.Obs = obs.New("bench")
-		if _, err := Discover(train, opt); err != nil {
+		if _, err := Discover(context.Background(), train, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -151,7 +152,7 @@ func TestDiscoverTraceExport(t *testing.T) {
 	o := obs.New("ips")
 	opt := smallOptions(3)
 	opt.Obs = o
-	if _, err := Discover(train, opt); err != nil {
+	if _, err := Discover(context.Background(), train, opt); err != nil {
 		t.Fatal(err)
 	}
 	o.Finish()

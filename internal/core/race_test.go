@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"runtime"
@@ -36,7 +37,7 @@ func TestWorkerPoolRaceWorkers8(t *testing.T) {
 		opt := smallOptions(11)
 		opt.Workers = workers
 		opt.Obs = o
-		res, err := Discover(train, opt)
+		res, err := Discover(context.Background(), train, opt)
 		if err != nil {
 			t.Errorf("workers=%d: %v", workers, err)
 			return nil, nil
@@ -102,7 +103,7 @@ func TestKernelDeterminismAtGOMAXPROCS(t *testing.T) {
 	run := func(w int) []classify.Shapelet {
 		opt := smallOptions(17)
 		opt.Workers = w
-		res, err := Discover(train, opt)
+		res, err := Discover(context.Background(), train, opt)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", w, err)
 		}

@@ -2,11 +2,13 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 	"strconv"
 
 	"ips/internal/classify"
 	"ips/internal/dabf"
+	"ips/internal/errs"
 	"ips/internal/ip"
 	"ips/internal/obs"
 	"ips/internal/ts"
@@ -52,10 +54,18 @@ type SelectionConfig struct {
 
 // SelectTopK runs Algorithm 4: scores every motif candidate of every class
 // with the three utilities and polls the k best per class.  d may be nil
-// only when UseDT is false.
-func SelectTopK(pool *ip.Pool, train *ts.Dataset, d *dabf.DABF, cfg SelectionConfig) []classify.Shapelet {
+// only when UseDT is false.  The context is checked between utility blocks
+// and every few candidate rows inside them; a cancelled selection returns
+// nil shapelets and an error matching errs.ErrCanceled.
+func SelectTopK(ctx context.Context, pool *ip.Pool, train *ts.Dataset, d *dabf.DABF, cfg SelectionConfig) ([]classify.Shapelet, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.K <= 0 {
 		cfg.K = 5
+	}
+	if pool == nil || train == nil {
+		return nil, errs.BadInput(errs.StageSelection, "select", "", "nil pool or dataset")
 	}
 	byClass := train.ByClass()
 	classes := make([]int, 0, len(pool.ByClass))
@@ -80,13 +90,18 @@ func SelectTopK(pool *ip.Pool, train *ts.Dataset, d *dabf.DABF, cfg SelectionCon
 		instances := byClass[class]
 
 		var u *utilities
+		var uerr error
 		if cfg.UseDT && d != nil {
 			if cf := d.PerClass[class]; cf != nil {
-				u = dtUtilities(motifs, others, instances, cf, d.Cfg.Dim, cfg.UseCR, csp)
+				u, uerr = dtUtilities(ctx, motifs, others, instances, cf, d.Cfg.Dim, cfg.UseCR, csp)
 			}
 		}
-		if u == nil {
-			u = rawUtilities(motifs, others, instances, cfg.UseCR, csp)
+		if u == nil && uerr == nil {
+			u, uerr = rawUtilities(ctx, motifs, others, instances, cfg.UseCR, csp)
+		}
+		if uerr != nil {
+			csp.End()
+			return nil, uerr
 		}
 		scores := u.scores()
 
@@ -127,7 +142,7 @@ func SelectTopK(pool *ip.Pool, train *ts.Dataset, d *dabf.DABF, cfg SelectionCon
 		csp.SetInt("picked", int64(len(picked)))
 		csp.End()
 	}
-	return out
+	return out, nil
 }
 
 // isNearDuplicate reports whether the candidate is, under the Def. 4

@@ -2,12 +2,11 @@ package core
 
 import (
 	"encoding/json"
-	"errors"
-	"fmt"
 	"io"
 	"os"
 
 	"ips/internal/classify"
+	"ips/internal/errs"
 	"ips/internal/ts"
 )
 
@@ -40,7 +39,7 @@ const currentFormat = 1
 // Save writes the model as JSON.
 func (m *Model) Save(w io.Writer) error {
 	if m.SVM == nil || m.Scaler == nil {
-		return errors.New("core: model is not trained")
+		return errs.BadInput(errs.StageData, "model.save", "", "model is not trained")
 	}
 	mf := modelFile{Format: currentFormat, Scaler: m.Scaler, Workers: m.workers}
 	for _, s := range m.Shapelets {
@@ -68,16 +67,16 @@ func (m *Model) SaveFile(path string) error {
 func LoadModel(r io.Reader) (*Model, error) {
 	var mf modelFile
 	if err := json.NewDecoder(r).Decode(&mf); err != nil {
-		return nil, fmt.Errorf("core: decoding model: %w", err)
+		return nil, errs.BadInputErr(errs.StageData, "model.load", "", err)
 	}
 	if mf.Format != currentFormat {
-		return nil, fmt.Errorf("core: unsupported model format %d", mf.Format)
+		return nil, errs.BadInput(errs.StageData, "model.load", "", "unsupported model format %d", mf.Format)
 	}
 	if mf.SVM == nil || mf.Scaler == nil || len(mf.Shapelets) == 0 {
-		return nil, errors.New("core: model file incomplete")
+		return nil, errs.BadInput(errs.StageData, "model.load", "", "model file incomplete")
 	}
 	if len(mf.SVM.W) != len(mf.SVM.Classes) || len(mf.SVM.B) != len(mf.SVM.Classes) {
-		return nil, errors.New("core: model file SVM shape inconsistent")
+		return nil, errs.BadInput(errs.StageData, "model.load", "", "model file SVM shape inconsistent")
 	}
 	m := &Model{
 		Scaler:  mf.Scaler,
@@ -92,7 +91,7 @@ func LoadModel(r io.Reader) (*Model, error) {
 		})
 	}
 	if len(m.Scaler.Mean) != len(m.Shapelets) {
-		return nil, errors.New("core: model file scaler/shapelet dimensions disagree")
+		return nil, errs.BadInput(errs.StageData, "model.load", "", "model file scaler/shapelet dimensions disagree")
 	}
 	return m, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -10,11 +11,14 @@ import (
 func TestModelSaveLoadRoundTrip(t *testing.T) {
 	train := plantedDataset(10, 60, 2, 90)
 	test := plantedDataset(10, 60, 2, 91)
-	model, err := Fit(train, smallOptions(92))
+	model, err := Fit(context.Background(), train, smallOptions(92))
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantPred := model.Predict(test)
+	wantPred, err := model.Predict(context.Background(), test)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	var buf bytes.Buffer
 	if err := model.Save(&buf); err != nil {
@@ -24,7 +28,10 @@ func TestModelSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotPred := loaded.Predict(test)
+	gotPred, err := loaded.Predict(context.Background(), test)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range wantPred {
 		if gotPred[i] != wantPred[i] {
 			t.Fatalf("prediction %d differs after round trip", i)
@@ -37,7 +44,7 @@ func TestModelSaveLoadRoundTrip(t *testing.T) {
 
 func TestModelSaveLoadFile(t *testing.T) {
 	train := plantedDataset(8, 50, 2, 93)
-	model, err := Fit(train, smallOptions(94))
+	model, err := Fit(context.Background(), train, smallOptions(94))
 	if err != nil {
 		t.Fatal(err)
 	}

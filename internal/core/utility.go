@@ -5,14 +5,22 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"ips/internal/dabf"
 	"ips/internal/dist"
+	"ips/internal/errs"
 	"ips/internal/ip"
 	"ips/internal/obs"
 	"ips/internal/ts"
 )
+
+// utilityCheckEvery bounds the utility loops' cancellation latency: the
+// context is polled once per this many outer-loop rows (each row is O(n·L²)
+// work in the raw path), so ctx.Err's runtime mutex stays off the inner
+// loops.
+const utilityCheckEvery = 16
 
 // sigmoid is the squashing function of Def. 11–13.
 func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
@@ -75,8 +83,10 @@ func (u *utilities) scores() []float64 {
 // endpoints; without it the loops recompute every pair from both sides,
 // reproducing the cost the CR optimisation removes.  Each utility gets its
 // own sub-span of sp; distance-evaluation counts are derived arithmetically
-// so the loops themselves carry no instrumentation cost.
-func rawUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.Instance, useCR bool, sp *obs.Span) *utilities {
+// so the loops themselves carry no instrumentation cost.  The context is
+// polled every utilityCheckEvery rows; cancellation returns a nil utilities
+// struct and an error matching errs.ErrCanceled.
+func rawUtilities(ctx context.Context, motifs []ip.Candidate, others []ip.Candidate, instances []ts.Instance, useCR bool, sp *obs.Span) (*utilities, error) {
 	n := len(motifs)
 	u := &utilities{
 		intra: make([]float64, n),
@@ -99,6 +109,12 @@ func rawUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.I
 	if useCR {
 		// Intra: symmetric matrix, compute the upper triangle once.
 		for i := 0; i < n; i++ {
+			if i%utilityCheckEvery == 0 {
+				if err := errs.Ctx(ctx, errs.StageSelection, "utility.intra"); err != nil {
+					intraSp.End()
+					return nil, err
+				}
+			}
 			for j := i + 1; j < n; j++ {
 				d := pair(motifs[i].Values, motifs[j].Values)
 				u.intra[i] += d
@@ -108,6 +124,12 @@ func rawUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.I
 		dists.Add(int64(n) * int64(n-1) / 2)
 	} else {
 		for i := 0; i < n; i++ {
+			if i%utilityCheckEvery == 0 {
+				if err := errs.Ctx(ctx, errs.StageSelection, "utility.intra"); err != nil {
+					intraSp.End()
+					return nil, err
+				}
+			}
 			for j := 0; j < n; j++ {
 				if i == j {
 					continue
@@ -122,6 +144,12 @@ func rawUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.I
 	// Inter: each (motif, other) pair computed once; CR has nothing to
 	// reuse here because the sums are one-sided.
 	for i := 0; i < n; i++ {
+		if i%utilityCheckEvery == 0 {
+			if err := errs.Ctx(ctx, errs.StageSelection, "utility.inter"); err != nil {
+				interSp.End()
+				return nil, err
+			}
+		}
 		for _, o := range others {
 			u.inter[i] += pair(motifs[i].Values, o.Values)
 		}
@@ -138,7 +166,13 @@ func rawUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.I
 	}
 	batch := dist.NewBatch(motifValues)
 	col := make([]float64, n)
-	for _, in := range instances {
+	for ii, in := range instances {
+		if ii%utilityCheckEvery == 0 {
+			if err := errs.Ctx(ctx, errs.StageSelection, "utility.dc"); err != nil {
+				dcSp.End()
+				return nil, err
+			}
+		}
 		p := cache.Prepared(in.Values, &counts)
 		batch.EvalInto(p, col, &counts)
 		for i := range col {
@@ -148,7 +182,7 @@ func rawUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.I
 	dists.Add(int64(n) * int64(len(instances)))
 	dcSp.End()
 	counts.AddTo(sp.Metrics())
-	return u
+	return u, nil
 }
 
 // dtUtilities computes the utility sums through the DT optimisation
@@ -156,9 +190,11 @@ func rawUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.I
 // class DABF's LSH projection space, the ‖LSH(Can_i) − LSH(Can_j)‖ lower
 // bound of Formula 15.  Each candidate is hashed once (O(Dim·NumHashes))
 // and every pairwise evaluation is then O(NumHashes) instead of O(L²).
-// useCR additionally reuses the symmetric intra sums.
-func dtUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.Instance,
-	cf *dabf.ClassFilter, dim int, useCR bool, sp *obs.Span) *utilities {
+// useCR additionally reuses the symmetric intra sums.  The context is polled
+// every utilityCheckEvery rows, as in rawUtilities; the DT rows are far
+// cheaper (O(NumHashes) per pair) so the latency bound is tighter here.
+func dtUtilities(ctx context.Context, motifs []ip.Candidate, others []ip.Candidate, instances []ts.Instance,
+	cf *dabf.ClassFilter, dim int, useCR bool, sp *obs.Span) (*utilities, error) {
 	n := len(motifs)
 	u := &utilities{
 		intra: make([]float64, n),
@@ -182,9 +218,18 @@ func dtUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.In
 	}
 	sp.Metrics().Counter("core.select.hashes").Add(int64(n + len(others) + len(instances)))
 	hashSp.End()
+	if err := errs.Ctx(ctx, errs.StageSelection, "utility.hash"); err != nil {
+		return nil, err
+	}
 	intraSp := sp.Child("utility.intra")
 	if useCR {
 		for i := 0; i < n; i++ {
+			if i%utilityCheckEvery == 0 {
+				if err := errs.Ctx(ctx, errs.StageSelection, "utility.intra"); err != nil {
+					intraSp.End()
+					return nil, err
+				}
+			}
 			for j := i + 1; j < n; j++ {
 				d := ts.EuclideanDist(mb[i], mb[j])
 				u.intra[i] += d
@@ -194,6 +239,12 @@ func dtUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.In
 		dists.Add(int64(n) * int64(n-1) / 2)
 	} else {
 		for i := 0; i < n; i++ {
+			if i%utilityCheckEvery == 0 {
+				if err := errs.Ctx(ctx, errs.StageSelection, "utility.intra"); err != nil {
+					intraSp.End()
+					return nil, err
+				}
+			}
 			for j := 0; j < n; j++ {
 				if i != j {
 					u.intra[i] += ts.EuclideanDist(mb[i], mb[j])
@@ -205,6 +256,12 @@ func dtUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.In
 	intraSp.End()
 	interSp := sp.Child("utility.inter")
 	for i := 0; i < n; i++ {
+		if i%utilityCheckEvery == 0 {
+			if err := errs.Ctx(ctx, errs.StageSelection, "utility.inter"); err != nil {
+				interSp.End()
+				return nil, err
+			}
+		}
 		for _, b := range ob {
 			u.inter[i] += ts.EuclideanDist(mb[i], b)
 		}
@@ -213,11 +270,17 @@ func dtUtilities(motifs []ip.Candidate, others []ip.Candidate, instances []ts.In
 	interSp.End()
 	dcSp := sp.Child("utility.dc")
 	for i := 0; i < n; i++ {
+		if i%utilityCheckEvery == 0 {
+			if err := errs.Ctx(ctx, errs.StageSelection, "utility.dc"); err != nil {
+				dcSp.End()
+				return nil, err
+			}
+		}
 		for _, b := range ib {
 			u.dc[i] += ts.EuclideanDist(mb[i], b)
 		}
 	}
 	dists.Add(int64(n) * int64(len(instances)))
 	dcSp.End()
-	return u
+	return u, nil
 }

@@ -1,12 +1,13 @@
 package dabf
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strconv"
 
+	"ips/internal/errs"
 	"ips/internal/ip"
 	"ips/internal/lsh"
 	"ips/internal/obs"
@@ -72,6 +73,14 @@ type ClassFilter struct {
 	Dist      stats.Distribution
 	Mu, Sigma float64
 	FitNMSE   float64
+	// Degenerate marks a class whose projected norms carry no spread —
+	// fewer than two candidates, or all norms identical — so no
+	// distribution can be fitted meaningfully.  A degenerate filter answers
+	// every CloseToMost query with false (zScore returns +Inf): it never
+	// prunes candidates of other classes, the safe direction for a filter
+	// whose statistics are fiction.  Build still records Dist/Mu/Sigma for
+	// inspection, but downstream pruning ignores them.
+	Degenerate bool
 
 	sigToRank map[string]int
 }
@@ -86,23 +95,28 @@ type DABF struct {
 // discords) into buckets, rank buckets by centre distance from the origin,
 // z-normalise the projected norms, and fit the best distribution by NMSE.
 func Build(pool *ip.Pool, cfg Config) (*DABF, error) {
-	return BuildSpan(pool, cfg, nil)
+	return BuildSpan(context.Background(), pool, cfg, nil)
 }
 
-// BuildSpan is Build with observability: a sub-span per class filter
-// (annotated with the chosen distribution, its NMSE, and the bucket count)
-// and a bucket-occupancy histogram hang off sp.  A nil span disables all of
-// it; the filter is identical either way.
-func BuildSpan(pool *ip.Pool, cfg Config, sp *obs.Span) (*DABF, error) {
+// BuildSpan is Build with observability and cooperative cancellation: a
+// sub-span per class filter (annotated with the chosen distribution, its
+// NMSE, and the bucket count) and a bucket-occupancy histogram hang off sp.
+// A nil span disables all of it; the filter is identical either way.  The
+// context is checked once per class; a cancelled build returns a nil filter
+// and an error matching errs.ErrCanceled.
+func BuildSpan(ctx context.Context, pool *ip.Pool, cfg Config, sp *obs.Span) (*DABF, error) {
 	cfg = cfg.Defaults()
 	if pool == nil || len(pool.ByClass) == 0 {
-		return nil, errors.New("dabf: empty candidate pool")
+		return nil, errs.BadInput(errs.StagePruning, "dabf.build", "", "empty candidate pool")
 	}
 	occupancy := sp.Metrics().Histogram("dabf.bucket_occupancy", []float64{1, 2, 4, 8, 16, 32, 64, 128})
 	d := &DABF{PerClass: map[int]*ClassFilter{}, Cfg: cfg}
 	classes := pool.Classes()
 	sort.Ints(classes)
 	for ci, class := range classes {
+		if err := errs.Ctx(ctx, errs.StagePruning, "dabf.build"); err != nil {
+			return nil, err
+		}
 		cands := pool.ByClass[class]
 		if len(cands) == 0 {
 			continue
@@ -170,8 +184,18 @@ func BuildSpan(pool *ip.Pool, cfg Config, sp *obs.Span) (*DABF, error) {
 		}
 
 		// Z-normalise the norms and fit the best distribution
-		// (Alg. 2 lines 8-10, Formula 10).
+		// (Alg. 2 lines 8-10, Formula 10).  A class with fewer than two
+		// candidates, or whose norms all coincide, has no spread to
+		// normalise by: the old sigma→1e-9 substitution turned the z-scores
+		// into ±1e9-scale noise that pruned (or spared) other classes'
+		// candidates on floating-point accidents.  Such a filter is marked
+		// Degenerate instead — it still exists (so FitsByClass and the DT
+		// projection keep working) but never prunes anything.
 		mu, sigma, _ := stats.Moments(norms)
+		if len(norms) < 2 || sigma == 0 {
+			cf.Degenerate = true
+			fsp.SetString("degenerate", "true")
+		}
 		if sigma == 0 {
 			sigma = 1e-9
 		}
@@ -193,7 +217,8 @@ func BuildSpan(pool *ip.Pool, cfg Config, sp *obs.Span) (*DABF, error) {
 		hist, err := stats.NewHistogram(z, bins)
 		if err != nil {
 			fsp.End()
-			return nil, fmt.Errorf("dabf: class %d distribution fit: %w", class, err)
+			return nil, errs.Wrap(errs.StagePruning, "dabf.build", "",
+				fmt.Errorf("class %d distribution fit: %w", class, err))
 		}
 		norm := stats.FitNormal(z)
 		gamma := stats.FitGamma(z)
@@ -214,14 +239,19 @@ func BuildSpan(pool *ip.Pool, cfg Config, sp *obs.Span) (*DABF, error) {
 		fsp.End()
 	}
 	if len(d.PerClass) == 0 {
-		return nil, errors.New("dabf: no class filters built")
+		return nil, errs.BadInput(errs.StagePruning, "dabf.build", "", "no class filters built")
 	}
 	return d, nil
 }
 
 // zScore returns the position of the candidate's projected norm within the
-// class's fitted distribution, in standard deviations.
+// class's fitted distribution, in standard deviations.  A degenerate filter
+// (see ClassFilter.Degenerate) places everything infinitely far away, so it
+// never claims a candidate as "close".
 func (cf *ClassFilter) zScore(values []float64, dim int) float64 {
+	if cf.Degenerate {
+		return math.Inf(1)
+	}
 	v := lsh.Resample(values, dim)
 	n := lsh.Norm(cf.Family, v)
 	z := (n - cf.Mu) / cf.Sigma
@@ -288,17 +318,25 @@ type PruneStats struct {
 // At least cfg.MinKeep motif candidates survive per class (the most
 // distinctive ones by z-score) so downstream selection never starves.
 func Prune(pool *ip.Pool, d *DABF) (*ip.Pool, PruneStats) {
-	return PruneSpan(pool, d, nil)
+	out, st, err := PruneSpan(context.Background(), pool, d, nil)
+	if err != nil {
+		// Unreachable: a background context never cancels and the queries
+		// have no other failure mode.
+		return &ip.Pool{ByClass: map[int][]ip.Candidate{}}, st
+	}
+	return out, st
 }
 
-// PruneSpan is Prune with observability.  It feeds four counters:
-// dabf.prune.examined / accepted / rejected, and
+// PruneSpan is Prune with observability and cooperative cancellation.  It
+// feeds four counters: dabf.prune.examined / accepted / rejected, and
 // dabf.prune.false_positives — candidates the filter answered "possibly
 // close" for but the MinKeep floor restored as the most distinctive of
 // their class, i.e. the measurable proxy for the filter's false-positive
 // side.  Counts are accumulated locally and published once, so the
-// per-candidate loop carries no atomic traffic.
-func PruneSpan(pool *ip.Pool, d *DABF, sp *obs.Span) (*ip.Pool, PruneStats) {
+// per-candidate loop carries no atomic traffic.  The context is checked
+// once per pruneCheckEvery candidates; a cancelled prune returns a nil pool
+// and an error matching errs.ErrCanceled.
+func PruneSpan(ctx context.Context, pool *ip.Pool, d *DABF, sp *obs.Span) (*ip.Pool, PruneStats, error) {
 	cfg := d.Cfg
 	out := &ip.Pool{ByClass: map[int][]ip.Candidate{}}
 	var st PruneStats
@@ -313,6 +351,11 @@ func PruneSpan(pool *ip.Pool, d *DABF, sp *obs.Span) (*ip.Pool, PruneStats) {
 		var rejectedMotifs []rejected
 		keptMotifs := 0
 		for i, cand := range cands {
+			if i%pruneCheckEvery == 0 {
+				if err := errs.Ctx(ctx, errs.StagePruning, "dabf.prune"); err != nil {
+					return nil, st, err
+				}
+			}
 			st.Examined++
 			worst := math.Inf(1) // smallest |z| across other classes decides pruning
 			prune := false
@@ -365,15 +408,31 @@ func PruneSpan(pool *ip.Pool, d *DABF, sp *obs.Span) (*ip.Pool, PruneStats) {
 	sp.SetInt("examined", int64(st.Examined))
 	sp.SetInt("pruned", int64(st.Pruned))
 	sp.SetInt("refilled", int64(refilled))
-	return out, st
+	return out, st, nil
 }
+
+// pruneCheckEvery bounds the pruning loops' cancellation latency: the
+// context is polled every this many candidates (ctx.Err takes a runtime
+// mutex, so per-candidate polling would add contention for nothing — a
+// single candidate's query work is microseconds).
+const pruneCheckEvery = 64
 
 // NaivePrune is the quadratic baseline the DABF replaces (§III-B): for every
 // candidate it computes the raw distance to every candidate of every other
 // class and prunes when at least the Chebyshev fraction (1 − 1/θ²) of them
 // lie below that class's closeness radius (the mean intra-class pairwise
 // distance).  Complexity O(|Φ|² · Dim) versus the DABF's O(|Φ| · Dim).
-func NaivePrune(pool *ip.Pool, dim int, theta float64) (*ip.Pool, PruneStats) {
+//
+// A class with fewer than two candidates has no intra-class pairwise
+// distances and therefore no closeness radius; such classes never prune
+// anyone (they are skipped in the per-candidate loop), mirroring the
+// Degenerate fallback of the DABF proper.  Previously a missing map entry
+// silently read as radius 0, which spuriously counted exact duplicates as
+// "close" while claiming every other candidate was not — neither direction
+// intended.  The context is checked once per pruneCheckEvery candidates;
+// as the quadratic baseline this is the pruning path that most needs
+// cancellation.
+func NaivePrune(ctx context.Context, pool *ip.Pool, dim int, theta float64) (*ip.Pool, PruneStats, error) {
 	if dim <= 0 {
 		dim = 32
 	}
@@ -391,6 +450,7 @@ func NaivePrune(pool *ip.Pool, dim int, theta float64) (*ip.Pool, PruneStats) {
 	}
 	// Closeness radius per class: mean + θ·std of the intra-class pairwise
 	// distances, mirroring the θσ tolerance the DABF applies in hash space.
+	// Classes without at least one pair get no entry — see above.
 	radius := map[int]float64{}
 	for class, vs := range resampled {
 		var ds []float64
@@ -417,6 +477,11 @@ func NaivePrune(pool *ip.Pool, dim int, theta float64) (*ip.Pool, PruneStats) {
 		}
 		var rejectedMotifs []rejected
 		for i, cand := range cands {
+			if i%pruneCheckEvery == 0 {
+				if err := errs.Ctx(ctx, errs.StagePruning, "dabf.naive-prune"); err != nil {
+					return nil, st, err
+				}
+			}
 			st.Examined++
 			v := resampled[class][i]
 			prune := false
@@ -425,7 +490,10 @@ func NaivePrune(pool *ip.Pool, dim int, theta float64) (*ip.Pool, PruneStats) {
 				if otherClass == class || len(ovs) == 0 {
 					continue
 				}
-				r := radius[otherClass]
+				r, ok := radius[otherClass]
+				if !ok {
+					continue // single-candidate class: no radius, prunes no one
+				}
 				close := 0
 				for _, ov := range ovs {
 					if euclid(v, ov) <= r {
@@ -467,7 +535,7 @@ func NaivePrune(pool *ip.Pool, dim int, theta float64) (*ip.Pool, PruneStats) {
 		}
 		out.ByClass[class] = kept
 	}
-	return out, st
+	return out, st, nil
 }
 
 func euclid(a, b []float64) float64 {

@@ -1,6 +1,7 @@
 package dabf
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -278,7 +279,10 @@ func TestNaivePruneAgreesDirectionally(t *testing.T) {
 	pool := twoClassPool(30, 13)
 	impostor := pool.ByClass[1][0].Values.Clone()
 	pool.ByClass[0] = append(pool.ByClass[0], ip.Candidate{Class: 0, Kind: ip.Motif, Values: impostor})
-	pruned, st := NaivePrune(pool, 24, 3)
+	pruned, st, err := NaivePrune(context.Background(), pool, 24, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Pruned == 0 {
 		t.Fatal("naive prune removed nothing")
 	}
@@ -288,7 +292,9 @@ func TestNaivePruneAgreesDirectionally(t *testing.T) {
 		}
 	}
 	// Defaults path.
-	_, _ = NaivePrune(pool, 0, 0)
+	if _, _, err := NaivePrune(context.Background(), pool, 0, 0); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestDABFFasterThanNaive(t *testing.T) {
@@ -304,7 +310,9 @@ func TestDABFFasterThanNaive(t *testing.T) {
 	Prune(pool, d)
 	dabfNs := nowNs() - t0
 	t0 = nowNs()
-	NaivePrune(pool, 32, 3)
+	if _, _, err := NaivePrune(context.Background(), pool, 32, 3); err != nil {
+		t.Fatal(err)
+	}
 	naiveNs := nowNs() - t0
 	// The asymptotic gap (linear vs quadratic in |Φ|) should be visible at
 	// this size; allow generous slack for timer noise.

@@ -1,9 +1,11 @@
 package dist
 
 import (
+	"context"
 	"math"
 	"sort"
 
+	"ips/internal/errs"
 	"ips/internal/fft"
 	"ips/internal/ts"
 )
@@ -83,6 +85,19 @@ func (b *Batch) Eval(p *Prepared) []float64 {
 // group from the prefix sums, and the fft kernel reuses one cached padded
 // series transform across every group whose pad size coincides.
 func (b *Batch) EvalInto(p *Prepared, out []float64, c *Counts) {
+	if err := b.EvalIntoCtx(context.Background(), p, out, c); err != nil {
+		// Unreachable: a background context never cancels and the batch has
+		// no other failure mode.  out is fully written either way.
+		return
+	}
+}
+
+// EvalIntoCtx is EvalInto with cooperative cancellation at length-group
+// granularity: between groups the context is checked, and once it is done
+// the remaining groups are skipped and an error matching errs.ErrCanceled
+// is returned.  On cancellation out holds the completed groups' values and
+// arbitrary (stale) values for the rest; callers must discard it.
+func (b *Batch) EvalIntoCtx(ctx context.Context, p *Prepared, out []float64, c *Counts) error {
 	if c == nil {
 		c = &Counts{}
 	}
@@ -91,6 +106,9 @@ func (b *Batch) EvalInto(p *Prepared, out []float64, c *Counts) {
 	var dots []float64    // fft sliding-dots / approximate-profile scratch
 	var cbuf []complex128 // fft complex scratch, reused across queries
 	for _, g := range b.groups {
+		if err := errs.Ctx(ctx, errs.StageKernel, "dist.batch"); err != nil {
+			return err
+		}
 		m := g.m
 		if m == 0 {
 			for _, qi := range g.idx {
@@ -162,6 +180,7 @@ func (b *Batch) EvalInto(p *Prepared, out []float64, c *Counts) {
 			out[qi] = b.rollingMinShared(p, qi, winSq, c)
 		}
 	}
+	return nil
 }
 
 // fftMinShared converts the sliding dots of query qi into the approximate

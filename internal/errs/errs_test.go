@@ -1,0 +1,106 @@
+package errs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestErrorFormat(t *testing.T) {
+	e := &Error{Stage: StageCandidateGen, Op: "ip.generate", Dataset: "GunPoint",
+		Err: fmt.Errorf("%w: empty pool", ErrBadInput)}
+	got := e.Error()
+	for _, want := range []string{"ips:", "candidate-gen", "ip.generate", "[GunPoint]", "bad input", "empty pool"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Error() = %q, missing %q", got, want)
+		}
+	}
+}
+
+func TestSentinelClassification(t *testing.T) {
+	cases := []struct {
+		err      error
+		sentinel error
+	}{
+		{BadInput(StageValidate, "fit", "X", "n=%d", 0), ErrBadInput},
+		{BadInputErr(StageValidate, "fit", "X", errors.New("nan at 3")), ErrBadInput},
+		{Degenerate(StagePruning, "dabf.build", "", "one candidate"), ErrDegenerate},
+		{Internal(StageKernel, "mp.selfjoin", "nil partial"), ErrInternal},
+		{Canceled(StageTransform, "transform", "", context.Canceled), ErrCanceled},
+	}
+	for _, c := range cases {
+		if !errors.Is(c.err, c.sentinel) {
+			t.Errorf("%v: errors.Is(%v) = false", c.err, c.sentinel)
+		}
+		var e *Error
+		if !errors.As(c.err, &e) {
+			t.Errorf("%v: errors.As(*Error) = false", c.err)
+		}
+	}
+}
+
+func TestCanceledMatchesContextErrors(t *testing.T) {
+	err := Canceled(StageKernel, "mp.selfjoin", "", context.Canceled)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Canceled(context.Canceled) does not match both sentinels: %v", err)
+	}
+	err = Canceled(StageKernel, "mp.selfjoin", "", context.DeadlineExceeded)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Canceled(DeadlineExceeded) does not match both sentinels: %v", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("deadline error must not match context.Canceled")
+	}
+}
+
+func TestCtx(t *testing.T) {
+	if err := Ctx(context.Background(), StageKernel, "x"); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	if err := Ctx(nil, StageKernel, "x"); err != nil { //nolint — nil ctx documented as live
+		t.Fatalf("nil context: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Ctx(ctx, StageKernel, "mp.selfjoin")
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled context: %v", err)
+	}
+	var e *Error
+	if !errors.As(err, &e) || e.Stage != StageKernel || e.Op != "mp.selfjoin" {
+		t.Fatalf("annotation lost: %+v", e)
+	}
+}
+
+func TestWrap(t *testing.T) {
+	if Wrap(StageValidate, "op", "ds", nil) != nil {
+		t.Fatal("Wrap(nil) != nil")
+	}
+	plain := errors.New("boom")
+	err := Wrap(StageSelection, "select", "GunPoint", plain)
+	var e *Error
+	if !errors.As(err, &e) || e.Stage != StageSelection || e.Dataset != "GunPoint" {
+		t.Fatalf("plain wrap: %+v", e)
+	}
+	if !errors.Is(err, plain) {
+		t.Fatal("cause lost")
+	}
+
+	// Re-wrapping keeps the inner stage/op and fills only a missing dataset.
+	inner := BadInput(StageCandidateGen, "ip.generate", "", "short series")
+	outer := Wrap(StageSelection, "discover", "Coffee", inner)
+	if !errors.As(outer, &e) {
+		t.Fatal("as failed")
+	}
+	if e.Stage != StageCandidateGen || e.Op != "ip.generate" || e.Dataset != "Coffee" {
+		t.Fatalf("re-wrap lost specificity: %+v", e)
+	}
+	// A dataset already present is never overwritten.
+	inner2 := BadInput(StageCandidateGen, "ip.generate", "Beef", "short series")
+	outer2 := Wrap(StageSelection, "discover", "Coffee", inner2)
+	if !errors.As(outer2, &e) || e.Dataset != "Beef" {
+		t.Fatalf("dataset overwritten: %+v", e)
+	}
+}

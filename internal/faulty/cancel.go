@@ -1,0 +1,39 @@
+package faulty
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"ips/internal/errs"
+)
+
+// Storm runs fn repeatedly, cancelling each run's context at a different
+// point in its lifetime, and checks the cancellation contract on every run:
+// fn returns nil (the run beat the cancel) or an error matching
+// errs.ErrCanceled, and the worker goroutines drain afterwards.
+//
+// The cancellation delay sweeps [0, max) linearly across the n runs rather
+// than being drawn at random, so a failing delay is reproducible by run
+// index while the sweep still lands cancels inside every stage of fn.
+// Storm returns a diagnostic string, "" when every run upheld the contract.
+func Storm(n int, max time.Duration, fn func(ctx context.Context) error) string {
+	lc := NewLeakCheck()
+	for i := 0; i < n; i++ {
+		delay := max * time.Duration(i) / time.Duration(n)
+		ctx, cancel := context.WithTimeout(context.Background(), delay)
+		err := fn(ctx)
+		cancel()
+		if err != nil && !errors.Is(err, errs.ErrCanceled) {
+			return fmt.Sprintf("run %d (cancel after %v): error is not ErrCanceled: %v", i, delay, err)
+		}
+		if msg := CheckTyped(err); msg != "" {
+			return fmt.Sprintf("run %d (cancel after %v): %s", i, delay, msg)
+		}
+	}
+	if msg := lc.Done(5 * time.Second); msg != "" {
+		return msg
+	}
+	return ""
+}

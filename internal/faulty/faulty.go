@@ -1,0 +1,163 @@
+// Package faulty is the fault-injection harness behind the pipeline's
+// robustness suite.  It produces the specific malformed inputs the pipeline
+// promises to survive — NaN/Inf values, empty datasets and classes,
+// zero-length and single-point instances, truncated UCR TSV files — and
+// provides the cancellation and goroutine-leak checks that turn "no panic,
+// typed error, no leak" into executable assertions.
+//
+// The package depends only on the substrate (ts, ucr, errs); the pipeline
+// packages under test import nothing from here.  The matrix tests live in
+// internal/core/failure_test.go and in this package's own test suite, which
+// drives the injectors against the public entry points.
+package faulty
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"ips/internal/errs"
+	"ips/internal/ts"
+)
+
+// Fault is one injected input corruption.  Apply returns a corrupted deep
+// copy, leaving the input dataset untouched so one clean dataset can seed
+// the whole matrix.
+type Fault struct {
+	Name string
+	// Apply corrupts a copy of d.
+	Apply func(d *ts.Dataset) *ts.Dataset
+	// WantErr is true when every pipeline entry point must reject the
+	// corrupted input with a typed error.  When false the fault is
+	// survivable: a run may succeed or fail, but must never panic and any
+	// error must still be typed.
+	WantErr bool
+	// TestSideOK marks a WantErr fault whose corruption is nonetheless
+	// legal as test-side input: Model.Predict validates without the
+	// two-class requirement, so e.g. a dataset with an emptied class is
+	// rejected at train time but accepted at predict time.
+	TestSideOK bool
+}
+
+// clone deep-copies a dataset so injectors can mutate freely.
+func clone(d *ts.Dataset) *ts.Dataset {
+	out := &ts.Dataset{Name: d.Name, Instances: make([]ts.Instance, len(d.Instances))}
+	for i, in := range d.Instances {
+		out.Instances[i] = ts.Instance{Values: in.Values.Clone(), Label: in.Label}
+	}
+	return out
+}
+
+// Faults returns the injection matrix.  Every fault is deterministic: the
+// same input dataset yields byte-identical corrupted output, so error
+// messages and pipeline behaviour are reproducible across runs.
+func Faults() []Fault {
+	return []Fault{
+		{Name: "nan-value", WantErr: true, Apply: func(d *ts.Dataset) *ts.Dataset {
+			c := clone(d)
+			in := &c.Instances[len(c.Instances)/2]
+			in.Values[len(in.Values)/2] = math.NaN()
+			return c
+		}},
+		{Name: "pos-inf-value", WantErr: true, Apply: func(d *ts.Dataset) *ts.Dataset {
+			c := clone(d)
+			c.Instances[0].Values[0] = math.Inf(1)
+			return c
+		}},
+		{Name: "neg-inf-value", WantErr: true, Apply: func(d *ts.Dataset) *ts.Dataset {
+			c := clone(d)
+			last := &c.Instances[len(c.Instances)-1]
+			last.Values[len(last.Values)-1] = math.Inf(-1)
+			return c
+		}},
+		{Name: "empty-dataset", WantErr: true, Apply: func(d *ts.Dataset) *ts.Dataset {
+			return &ts.Dataset{Name: d.Name}
+		}},
+		{Name: "empty-class", WantErr: true, TestSideOK: true, Apply: func(d *ts.Dataset) *ts.Dataset {
+			// Remove every instance of the highest class, leaving the label
+			// space with a hole and (for two-class data) a single class.
+			c := clone(d)
+			classes := c.Classes()
+			top := classes[len(classes)-1]
+			kept := c.Instances[:0]
+			for _, in := range c.Instances {
+				if in.Label != top {
+					kept = append(kept, in)
+				}
+			}
+			c.Instances = kept
+			return c
+		}},
+		{Name: "zero-length-instance", WantErr: true, Apply: func(d *ts.Dataset) *ts.Dataset {
+			c := clone(d)
+			c.Instances[len(c.Instances)/2].Values = nil
+			return c
+		}},
+		{Name: "single-point-instance", Apply: func(d *ts.Dataset) *ts.Dataset {
+			// A one-sample series among full-length ones: structurally valid,
+			// but shorter than any candidate length.  The pipeline may refuse
+			// it or work around it; it must not panic.
+			c := clone(d)
+			c.Instances[0].Values = ts.Series{1}
+			return c
+		}},
+		{Name: "all-constant", Apply: func(d *ts.Dataset) *ts.Dataset {
+			// Zero-variance series: z-normalisation and distribution fitting
+			// hit their sigma==0 guards.  Survivable.
+			c := clone(d)
+			for i := range c.Instances {
+				for j := range c.Instances[i].Values {
+					c.Instances[i].Values[j] = float64(c.Instances[i].Label)
+				}
+			}
+			return c
+		}},
+	}
+}
+
+// Planted builds the suite's clean seed dataset: classes instances carry a
+// class-specific sinusoid planted in noise, so discovery succeeds on the
+// uncorrupted input and any matrix failure is attributable to the fault.
+func Planted(nPerClass, length, classes int, seed int64) *ts.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	pl := length / 4
+	d := &ts.Dataset{Name: "faulty-planted"}
+	for c := 0; c < classes; c++ {
+		for i := 0; i < nPerClass; i++ {
+			vals := make(ts.Series, length)
+			for j := range vals {
+				vals[j] = 0.3 * rng.NormFloat64()
+			}
+			at := rng.Intn(length - pl)
+			for j := 0; j < pl; j++ {
+				vals[at+j] += 4 * math.Sin(float64(j)*math.Pi/float64(pl)+float64(c)*2)
+			}
+			d.Instances = append(d.Instances, ts.Instance{Values: vals, Label: c})
+		}
+	}
+	return d
+}
+
+// CheckTyped asserts the structured-error contract on a non-nil err: it
+// must unwrap to *errs.Error and classify under exactly the taxonomy's
+// sentinels.  It returns a diagnostic string ("" when the contract holds)
+// instead of taking testing.TB so both test packages can report it with
+// their own context.
+func CheckTyped(err error) string {
+	if err == nil {
+		return ""
+	}
+	var e *errs.Error
+	if !errors.As(err, &e) {
+		return "error does not unwrap to *errs.Error: " + err.Error()
+	}
+	for _, sentinel := range []error{
+		errs.ErrCanceled, errs.ErrBadInput, errs.ErrDegenerate,
+		errs.ErrNoShapelets, errs.ErrInternal,
+	} {
+		if errors.Is(err, sentinel) {
+			return ""
+		}
+	}
+	return "error matches no taxonomy sentinel: " + err.Error()
+}

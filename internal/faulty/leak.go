@@ -1,0 +1,42 @@
+package faulty
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// LeakCheck snapshots the goroutine count so a test can assert that a
+// (possibly cancelled) run drained its worker pools.  Cancellation returns
+// to the caller before the drained workers exit, so Done polls with a
+// deadline rather than comparing instantaneously.
+type LeakCheck struct {
+	before int
+}
+
+// NewLeakCheck records the current goroutine count as the baseline.
+// Take the baseline before starting the work under test, with no other
+// goroutine-spawning tests running concurrently.
+func NewLeakCheck() *LeakCheck {
+	return &LeakCheck{before: runtime.NumGoroutine()}
+}
+
+// Done waits up to timeout for the goroutine count to return to the
+// baseline and returns a diagnostic ("" on success) including a full stack
+// dump of the leaked goroutines on failure.
+func (lc *LeakCheck) Done(timeout time.Duration) string {
+	deadline := time.Now().Add(timeout)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= lc.before {
+			return ""
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			return fmt.Sprintf("goroutine leak: %d before, %d after %v drain\n%s",
+				lc.before, now, timeout, buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

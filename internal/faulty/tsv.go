@@ -1,0 +1,28 @@
+package faulty
+
+import (
+	"os"
+	"path/filepath"
+
+	"ips/internal/ts"
+	"ips/internal/ucr"
+)
+
+// WriteTruncatedTSV writes d in the UCR TSV format and then truncates the
+// file to two thirds of its size, cutting the tail mid-row (and usually
+// mid-number) the way an interrupted download or copy would.  It returns
+// the path of the damaged file.
+func WriteTruncatedTSV(dir string, d *ts.Dataset) (string, error) {
+	path := filepath.Join(dir, d.Name+"_TRAIN.tsv")
+	if err := ucr.WriteTSV(path, d); err != nil {
+		return "", err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return "", err
+	}
+	if err := os.Truncate(path, info.Size()*2/3); err != nil {
+		return "", err
+	}
+	return path, nil
+}

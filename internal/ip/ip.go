@@ -7,13 +7,14 @@
 package ip
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math/rand"
 	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"ips/internal/errs"
 	"ips/internal/mp"
 	"ips/internal/obs"
 	"ips/internal/ts"
@@ -155,8 +156,16 @@ func InstanceProfileOpts(ins []ts.Instance, L int, opt mp.Options) (*mp.Profile,
 }
 
 // Lengths converts the configured ratios into absolute candidate lengths for
-// instances of length n, deduplicated and floored at MinLength.
+// instances of length n, deduplicated and floored at MinLength.  A length
+// that would exceed n — which happens exactly when the series is shorter
+// than the smallest candidate length MinLength — is dropped rather than
+// clamped, so a too-short series yields nil and Generate reports the class
+// as a typed bad-input error instead of manufacturing a degenerate
+// whole-series candidate.
 func (c Config) Lengths(n int) []int {
+	if n < 1 {
+		return nil
+	}
 	c = c.Defaults()
 	seen := map[int]bool{}
 	var out []int
@@ -165,8 +174,8 @@ func (c Config) Lengths(n int) []int {
 		if l < c.MinLength {
 			l = c.MinLength
 		}
-		if l > n {
-			l = n
+		if l > n || l < 1 {
+			continue
 		}
 		if !seen[l] {
 			seen[l] = true
@@ -189,8 +198,8 @@ type job struct {
 // is sequential and seeded; the per-sample instance-profile computations fan
 // out over cfg.Workers goroutines, producing an identical pool for any
 // worker count.
-func Generate(d *ts.Dataset, cfg Config) (*Pool, error) {
-	return GenerateSpan(d, cfg, nil)
+func Generate(ctx context.Context, d *ts.Dataset, cfg Config) (*Pool, error) {
+	return GenerateSpan(ctx, d, cfg, nil)
 }
 
 // GenerateSpan is Generate with observability: sub-spans for per-class
@@ -198,10 +207,18 @@ func Generate(d *ts.Dataset, cfg Config) (*Pool, error) {
 // counters, worker-utilisation gauges, and streamed per-job progress hang
 // off sp.  A nil span disables all of it at the cost of a pointer check;
 // the candidate pool is identical either way.
-func GenerateSpan(d *ts.Dataset, cfg Config, sp *obs.Span) (*Pool, error) {
+//
+// Cancellation is cooperative at instance-profile-job granularity (and,
+// inside each job, at the STOMP kernel's tile granularity): once ctx is
+// done the fan-out drains its remaining jobs without computing them and
+// GenerateSpan returns a nil pool with an error matching errs.ErrCanceled.
+func GenerateSpan(ctx context.Context, d *ts.Dataset, cfg Config, sp *obs.Span) (*Pool, error) {
 	cfg = cfg.Defaults()
+	if d == nil {
+		return nil, errs.BadInput(errs.StageCandidateGen, "ip.generate", "", "nil dataset")
+	}
 	if err := d.Validate(false); err != nil {
-		return nil, err
+		return nil, errs.BadInputErr(errs.StageCandidateGen, "ip.generate", d.Name, err)
 	}
 	byClass := d.ByClass()
 	classes := d.Classes()
@@ -217,6 +234,11 @@ func GenerateSpan(d *ts.Dataset, cfg Config, sp *obs.Span) (*Pool, error) {
 		}
 		ssp := sp.Child("sample.class-" + strconv.Itoa(class))
 		lengths := cfg.Lengths(len(ins[0].Values))
+		if len(lengths) == 0 {
+			ssp.End()
+			return nil, errs.BadInput(errs.StageCandidateGen, "ip.generate", d.Name,
+				"class %d: series length %d admits no candidate length", class, len(ins[0].Values))
+		}
 		for s := 0; s < cfg.QN; s++ {
 			sample := ts.Sample(ins, cfg.QS, rng)
 			cat, starts := ts.ConcatenateInstances(sample)
@@ -249,7 +271,10 @@ func GenerateSpan(d *ts.Dataset, cfg Config, sp *obs.Span) (*Pool, error) {
 	run := func(ji int) {
 		j := jobs[ji]
 		valid := ts.BoundaryMask(j.starts, len(j.cat), j.length)
-		prof := mp.SelfJoinOpts(j.cat, j.length, valid, mp.Options{Workers: kernelWorkers})
+		prof, err := mp.SelfJoinCtx(ctx, j.cat, j.length, valid, mp.Options{Workers: kernelWorkers})
+		if err != nil {
+			return // cancelled mid-join; the post-fan-out ctx check reports it
+		}
 		if prof.Len() == 0 {
 			return
 		}
@@ -282,6 +307,9 @@ func GenerateSpan(d *ts.Dataset, cfg Config, sp *obs.Span) (*Pool, error) {
 			go func(w int) {
 				defer wg.Done()
 				for ji := range ch {
+					if ctx.Err() != nil {
+						continue // drain without working so the producer never blocks
+					}
 					run(ji)
 					perWorker[w]++
 					psp.Progress(int(done.Add(1)), len(jobs))
@@ -304,11 +332,17 @@ func GenerateSpan(d *ts.Dataset, cfg Config, sp *obs.Span) (*Pool, error) {
 		}
 	} else {
 		for ji := range jobs {
+			if ctx.Err() != nil {
+				break
+			}
 			run(ji)
 			psp.Progress(int(done.Add(1)), len(jobs))
 		}
 	}
 	psp.End()
+	if err := errs.Ctx(ctx, errs.StageCandidateGen, "ip.generate"); err != nil {
+		return nil, err
+	}
 
 	// Phase 3: assemble in job order (class, sample, length).
 	pool := &Pool{ByClass: map[int][]Candidate{}}
@@ -328,11 +362,12 @@ func GenerateSpan(d *ts.Dataset, cfg Config, sp *obs.Span) (*Pool, error) {
 	sp.SetInt("candidates", int64(pool.Size()))
 	for _, class := range classes {
 		if len(byClass[class]) > 0 && len(pool.ByClass[class]) == 0 {
-			return nil, fmt.Errorf("ip: class %d produced no candidates (series too short?)", class)
+			return nil, errs.BadInput(errs.StageCandidateGen, "ip.generate", d.Name,
+				"class %d produced no candidates (series too short?)", class)
 		}
 	}
 	if len(pool.ByClass) == 0 {
-		return nil, errors.New("ip: empty candidate pool")
+		return nil, errs.BadInput(errs.StageCandidateGen, "ip.generate", d.Name, "empty candidate pool")
 	}
 	return pool, nil
 }

@@ -1,6 +1,7 @@
 package ip
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -62,10 +63,11 @@ func TestLengths(t *testing.T) {
 	if len(got) != 1 || got[0] != 4 {
 		t.Fatalf("floored lengths = %v, want [4]", got)
 	}
-	// Capped at n.
+	// A series shorter than MinLength admits no candidate length at all;
+	// Generate turns the nil into a typed bad-input error.
 	got = Config{LengthRatios: []float64{0.9}, MinLength: 50}.Lengths(20)
-	if len(got) != 1 || got[0] != 20 {
-		t.Fatalf("capped lengths = %v", got)
+	if got != nil {
+		t.Fatalf("too-short series lengths = %v, want nil", got)
 	}
 }
 
@@ -100,7 +102,7 @@ func TestInstanceProfileExcludesBoundaries(t *testing.T) {
 func TestGenerateFindsPlantedPattern(t *testing.T) {
 	d := makeDataset(8, 60, 2)
 	cfg := Config{QN: 6, QS: 3, LengthRatios: []float64{0.2}, Seed: 3}
-	pool, err := Generate(d, cfg)
+	pool, err := Generate(context.Background(), d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,11 +146,11 @@ func TestGenerateFindsPlantedPattern(t *testing.T) {
 func TestGenerateDeterministic(t *testing.T) {
 	d := makeDataset(6, 50, 4)
 	cfg := Config{QN: 3, QS: 2, LengthRatios: []float64{0.3}, Seed: 99}
-	p1, err := Generate(d, cfg)
+	p1, err := Generate(context.Background(), d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := Generate(d, cfg)
+	p2, err := Generate(context.Background(), d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +169,7 @@ func TestGenerateDeterministic(t *testing.T) {
 
 func TestGenerateCandidateValuesAreCopies(t *testing.T) {
 	d := makeDataset(4, 40, 5)
-	pool, err := Generate(d, Config{QN: 2, QS: 2, LengthRatios: []float64{0.25}, Seed: 1})
+	pool, err := Generate(context.Background(), d, Config{QN: 2, QS: 2, LengthRatios: []float64{0.25}, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,14 +191,14 @@ func TestGenerateCandidateValuesAreCopies(t *testing.T) {
 func TestGenerateParallelMatchesSequential(t *testing.T) {
 	d := makeDataset(8, 60, 30)
 	base := Config{QN: 6, QS: 3, LengthRatios: []float64{0.2, 0.3}, Seed: 31}
-	seq, err := Generate(d, base)
+	seq, err := Generate(context.Background(), d, base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4, 8} {
 		cfg := base
 		cfg.Workers = workers
-		par, err := Generate(d, cfg)
+		par, err := Generate(context.Background(), d, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -221,22 +223,22 @@ func TestGenerateParallelMatchesSequential(t *testing.T) {
 }
 
 func TestGenerateErrors(t *testing.T) {
-	if _, err := Generate(&ts.Dataset{}, Config{}); err == nil {
+	if _, err := Generate(context.Background(), &ts.Dataset{}, Config{}); err == nil {
 		t.Fatal("empty dataset should error")
 	}
 }
 
 func TestGenerateShortSeries(t *testing.T) {
 	// Series shorter than twice MinLength still produce candidates because
-	// lengths are capped; a single-point series cannot and must error out
-	// or produce a valid pool — never panic.
+	// lengths are floored at MinLength; a series shorter than MinLength
+	// cannot and must error out — never panic.
 	d := &ts.Dataset{Instances: []ts.Instance{
 		{Values: ts.Series{1, 2, 1, 2, 1, 2, 1, 2}, Label: 0},
 		{Values: ts.Series{2, 1, 2, 1, 2, 1, 2, 1}, Label: 0},
 		{Values: ts.Series{5, 5, 5, 5, 6, 6, 6, 6}, Label: 1},
 		{Values: ts.Series{6, 6, 6, 6, 5, 5, 5, 5}, Label: 1},
 	}}
-	pool, err := Generate(d, Config{QN: 2, QS: 2, LengthRatios: []float64{0.5}, Seed: 2})
+	pool, err := Generate(context.Background(), d, Config{QN: 2, QS: 2, LengthRatios: []float64{0.5}, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,11 @@
 package mp
 
 import (
+	"context"
 	"math"
 	"sync"
 
+	"ips/internal/errs"
 	"ips/internal/obs"
 	"ips/internal/ts"
 )
@@ -74,11 +76,20 @@ func clampWorkers(workers, ndiags int) int {
 // partials for merging.  walk must be safe to call concurrently for
 // distinct partials; tiles are handed out dynamically, which is safe
 // because the merge order (not the schedule) defines the result.
-func runTiles(workers int, tiles []tile, n int, sp *obs.Span, walk func(pt *partial, tl tile)) []*partial {
+//
+// Cancellation is cooperative at tile granularity: once ctx is done the
+// workers keep draining the channel (so the producer never blocks on an
+// abandoned send) but skip the walks, bounding cancellation latency to one
+// in-flight tile per worker.  The caller must check ctx after runTiles and
+// discard the (incomplete) partials on cancellation.
+func runTiles(ctx context.Context, workers int, tiles []tile, n int, sp *obs.Span, walk func(pt *partial, tl tile)) []*partial {
 	parts := make([]*partial, workers)
 	if workers <= 1 {
 		pt := getPartial(n)
 		for _, tl := range tiles {
+			if ctx.Err() != nil {
+				break
+			}
 			walk(pt, tl)
 		}
 		parts[0] = pt
@@ -95,6 +106,9 @@ func runTiles(workers int, tiles []tile, n int, sp *obs.Span, walk func(pt *part
 			defer wsp.End()
 			ntiles := 0
 			for tl := range ch {
+				if ctx.Err() != nil {
+					continue // drain without working
+				}
 				walk(pt, tl)
 				ntiles++
 			}
@@ -108,6 +122,22 @@ func runTiles(workers int, tiles []tile, n int, sp *obs.Span, walk func(pt *part
 	close(ch)
 	wg.Wait()
 	return parts
+}
+
+// finishTiles either merges the partials into p or, when ctx was cancelled
+// mid-join, returns every partial to the arena unmerged and reports the
+// cancellation as a typed error.
+func finishTiles(ctx context.Context, parts []*partial, p *Profile, op string) (*Profile, error) {
+	if err := errs.Ctx(ctx, errs.StageKernel, op); err != nil {
+		for _, pt := range parts {
+			if pt != nil {
+				putPartial(pt)
+			}
+		}
+		return nil, err
+	}
+	mergePartials(parts, p)
+	return p, nil
 }
 
 // mergePartials min-reduces the partial profiles into prof (squared
@@ -137,7 +167,18 @@ func mergePartials(parts []*partial, prof *Profile) {
 	}
 }
 
-// SelfJoinOpts computes the matrix profile of t with window w under
+// SelfJoinOpts is SelfJoinCtx without cancellation (a background context).
+func SelfJoinOpts(t []float64, w int, valid []bool, opt Options) *Profile {
+	p, err := SelfJoinCtx(context.Background(), t, w, valid, opt)
+	if err != nil {
+		// Unreachable: a background context never cancels and the kernel
+		// has no other failure mode; keep the degenerate shape anyway.
+		return &Profile{W: w}
+	}
+	return p
+}
+
+// SelfJoinCtx computes the matrix profile of t with window w under
 // z-normalised Euclidean distance, using a diagonal-tiled STOMP kernel:
 // the strict upper triangle of the distance matrix (offsets k > excl) is
 // partitioned into contiguous diagonal tiles, each walked with the O(1)
@@ -149,10 +190,14 @@ func mergePartials(parts []*partial, prof *Profile) {
 // deterministically (ties on exact distance go to the lower neighbour
 // index).  Subsequences within w/2 of the query are excluded, as are
 // subsequences for which valid is false (nil means all valid).
-func SelfJoinOpts(t []float64, w int, valid []bool, opt Options) *Profile {
+//
+// Cancelling ctx stops the join at tile granularity and returns a nil
+// profile with an error matching errs.ErrCanceled; no partial profile
+// escapes, so callers never see a half-merged result.
+func SelfJoinCtx(ctx context.Context, t []float64, w int, valid []bool, opt Options) (*Profile, error) {
 	n := len(t) - w + 1
 	if n <= 0 || w <= 0 {
-		return &Profile{W: w}
+		return &Profile{W: w}, nil
 	}
 	sp := opt.Span.Child("mp.selfjoin")
 	defer sp.End()
@@ -170,7 +215,7 @@ func SelfJoinOpts(t []float64, w int, valid []bool, opt Options) *Profile {
 			p.P[i] = math.Inf(1)
 			p.I[i] = -1
 		}
-		return p
+		return p, nil
 	}
 	means, stds := ts.MovingMeanStd(t, w)
 	first := ts.SlidingDots(t[:w], t) // first[k] = dot(t[0:w], t[k:k+w])
@@ -196,23 +241,34 @@ func SelfJoinOpts(t []float64, w int, valid []bool, opt Options) *Profile {
 			}
 		}
 	}
-	parts := runTiles(workers, tiles, n, sp, walk)
-	mergePartials(parts, p)
+	parts := runTiles(ctx, workers, tiles, n, sp, walk)
+	return finishTiles(ctx, parts, p, "mp.selfjoin")
+}
+
+// ABJoinOpts is ABJoinCtx without cancellation (a background context).
+func ABJoinOpts(a, b []float64, w int, validA, validB []bool, opt Options) *Profile {
+	p, err := ABJoinCtx(context.Background(), a, b, w, validA, validB, opt)
+	if err != nil {
+		// Unreachable: a background context never cancels and the kernel
+		// has no other failure mode; keep the degenerate shape anyway.
+		return &Profile{W: w}
+	}
 	return p
 }
 
-// ABJoinOpts computes, for every length-w subsequence of a, its
+// ABJoinCtx computes, for every length-w subsequence of a, its
 // nearest-neighbour z-normalised distance among the subsequences of b (the
-// paper's P_AB), with the same diagonal-tiled kernel as SelfJoinOpts: the
+// paper's P_AB), with the same diagonal-tiled kernel as SelfJoinCtx: the
 // na×nb cross matrix is cut along its diagonals j−i = k ∈ (−na, nb), each
 // walked with the rolling dot-product recurrence into per-worker partials.
 // No exclusion zone applies because the two series are distinct.
 // validA/validB optionally mask boundary-spanning subsequences.
-func ABJoinOpts(a, b []float64, w int, validA, validB []bool, opt Options) *Profile {
+// Cancellation behaves exactly as in SelfJoinCtx.
+func ABJoinCtx(ctx context.Context, a, b []float64, w int, validA, validB []bool, opt Options) (*Profile, error) {
 	na := len(a) - w + 1
 	nb := len(b) - w + 1
 	if na <= 0 || nb <= 0 || w <= 0 {
-		return &Profile{W: w}
+		return &Profile{W: w}, nil
 	}
 	sp := opt.Span.Child("mp.abjoin")
 	defer sp.End()
@@ -270,7 +326,6 @@ func ABJoinOpts(a, b []float64, w int, validA, validB []bool, opt Options) *Prof
 			}
 		}
 	}
-	parts := runTiles(workers, tiles, na, sp, walk)
-	mergePartials(parts, p)
-	return p
+	parts := runTiles(ctx, workers, tiles, na, sp, walk)
+	return finishTiles(ctx, parts, p, "mp.abjoin")
 }

@@ -8,11 +8,13 @@
 package mts
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"ips/internal/classify"
 	"ips/internal/core"
+	"ips/internal/errs"
 	"ips/internal/ts"
 )
 
@@ -96,15 +98,26 @@ type Model struct {
 // Fit discovers shapelets on every channel and trains one SVM on the
 // concatenated per-channel shapelet transforms.  Channels on which discovery
 // fails (e.g. a constant channel) contribute no features but do not abort
-// the fit, as long as at least one channel succeeds.
-func Fit(train *Dataset, opt core.Options) (*Model, error) {
+// the fit, as long as at least one channel succeeds.  Cancellation is the
+// exception: a ctx error aborts the whole fit immediately with an error
+// matching errs.ErrCanceled, never a model trained on a channel subset.
+func Fit(ctx context.Context, train *Dataset, opt core.Options) (*Model, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if train == nil {
+		return nil, errs.BadInput(errs.StageValidate, "mts.fit", "", "nil dataset")
+	}
 	if err := train.Validate(); err != nil {
-		return nil, err
+		return nil, errs.BadInputErr(errs.StageValidate, "mts.fit", train.Name, err)
 	}
 	m := &Model{}
 	channels := train.NumChannels()
 	for c := 0; c < channels; c++ {
-		res, err := core.Discover(train.Channel(c), opt)
+		res, err := core.Discover(ctx, train.Channel(c), opt)
+		if errors.Is(err, errs.ErrCanceled) {
+			return nil, err
+		}
 		if err != nil {
 			m.ShapeletsPerChannel = append(m.ShapeletsPerChannel, nil)
 			m.Discoveries = append(m.Discoveries, nil)
@@ -113,17 +126,20 @@ func Fit(train *Dataset, opt core.Options) (*Model, error) {
 		m.ShapeletsPerChannel = append(m.ShapeletsPerChannel, res.Shapelets)
 		m.Discoveries = append(m.Discoveries, res)
 	}
-	X := m.embed(train)
+	X, err := m.embed(ctx, train)
+	if err != nil {
+		return nil, err
+	}
 	if len(X) == 0 || len(X[0]) == 0 {
-		return nil, errors.New("mts: no channel produced shapelets")
+		return nil, errs.BadInput(errs.StageSelection, "mts.fit", train.Name, "no channel produced shapelets")
 	}
 	scaler, err := classify.FitScaler(X)
 	if err != nil {
-		return nil, err
+		return nil, errs.BadInputErr(errs.StageTrain, "mts.fit", train.Name, err)
 	}
-	svm, err := classify.TrainSVM(scaler.Apply(X), train.Labels(), opt.SVM)
+	svm, err := classify.TrainSVMCtx(ctx, scaler.Apply(X), train.Labels(), opt.SVM, nil)
 	if err != nil {
-		return nil, err
+		return nil, errs.Wrap(errs.StageTrain, "mts.fit", train.Name, err)
 	}
 	m.Scaler = scaler
 	m.SVM = svm
@@ -131,7 +147,7 @@ func Fit(train *Dataset, opt core.Options) (*Model, error) {
 }
 
 // embed concatenates the per-channel shapelet transforms.
-func (m *Model) embed(d *Dataset) [][]float64 {
+func (m *Model) embed(ctx context.Context, d *Dataset) ([][]float64, error) {
 	total := 0
 	for _, sh := range m.ShapeletsPerChannel {
 		total += len(sh)
@@ -144,25 +160,46 @@ func (m *Model) embed(d *Dataset) [][]float64 {
 		if len(sh) == 0 {
 			continue
 		}
-		X := classify.Transform(d.Channel(c), sh)
+		X, err := classify.TransformCtx(ctx, d.Channel(c), sh, 0, nil, nil)
+		if err != nil {
+			return nil, errs.Wrap(errs.StageTransform, "mts.embed", d.Name, err)
+		}
 		for i := range out {
 			out[i] = append(out[i], X[i]...)
 		}
 	}
-	return out
+	return out, nil
 }
 
-// Predict classifies every instance.
-func (m *Model) Predict(d *Dataset) []int {
-	X := m.Scaler.Apply(m.embed(d))
-	return m.SVM.PredictAll(X)
+// Predict classifies every instance.  The model must be trained and the
+// dataset structurally valid; failures return typed errors instead of
+// panicking.
+func (m *Model) Predict(ctx context.Context, d *Dataset) ([]int, error) {
+	if m == nil || m.Scaler == nil || m.SVM == nil {
+		return nil, errs.BadInput(errs.StagePredict, "mts.predict", "", "model is nil or untrained")
+	}
+	if d == nil {
+		return nil, errs.BadInput(errs.StagePredict, "mts.predict", "", "nil dataset")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, errs.BadInputErr(errs.StagePredict, "mts.predict", d.Name, err)
+	}
+	X, err := m.embed(ctx, d)
+	if err != nil {
+		return nil, err
+	}
+	return m.SVM.PredictAll(m.Scaler.Apply(X)), nil
 }
 
 // Evaluate fits on train and returns accuracy (%) on test with the model.
-func Evaluate(train, test *Dataset, opt core.Options) (float64, *Model, error) {
-	m, err := Fit(train, opt)
+func Evaluate(ctx context.Context, train, test *Dataset, opt core.Options) (float64, *Model, error) {
+	m, err := Fit(ctx, train, opt)
 	if err != nil {
 		return 0, nil, err
 	}
-	return classify.Accuracy(m.Predict(test), test.Labels()), m, nil
+	pred, err := m.Predict(ctx, test)
+	if err != nil {
+		return 0, nil, err
+	}
+	return classify.Accuracy(pred, test.Labels()), m, nil
 }

@@ -1,6 +1,7 @@
 package mts
 
 import (
+	"context"
 	"testing"
 
 	"ips/internal/core"
@@ -93,7 +94,7 @@ func TestChannelProjection(t *testing.T) {
 
 func TestFitEvaluateMultivariate(t *testing.T) {
 	train, test := Generate(GenConfig{Channels: 3, Seed: 3})
-	acc, m, err := Evaluate(train, test, smallOptions(4))
+	acc, m, err := Evaluate(context.Background(), train, test, smallOptions(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,10 @@ func TestFitEvaluateMultivariate(t *testing.T) {
 	}
 	// The two informative channels produce shapelets; predictions cover the
 	// test set.
-	pred := m.Predict(test)
+	pred, err := m.Predict(context.Background(), test)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pred) != test.Len() {
 		t.Fatalf("pred len = %d", len(pred))
 	}
@@ -115,7 +119,7 @@ func TestFitSurvivesDistractorChannels(t *testing.T) {
 	// Only 1 of 4 channels is informative; the fit must still work and the
 	// classifier must still beat chance clearly.
 	train, test := Generate(GenConfig{Channels: 4, Informative: 1, Seed: 6})
-	acc, _, err := Evaluate(train, test, smallOptions(7))
+	acc, _, err := Evaluate(context.Background(), train, test, smallOptions(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,14 +129,14 @@ func TestFitSurvivesDistractorChannels(t *testing.T) {
 }
 
 func TestFitErrors(t *testing.T) {
-	if _, err := Fit(&Dataset{}, smallOptions(8)); err == nil {
+	if _, err := Fit(context.Background(), &Dataset{}, smallOptions(8)); err == nil {
 		t.Fatal("empty dataset should error")
 	}
 }
 
 func TestMultiClassMultivariate(t *testing.T) {
 	train, test := Generate(GenConfig{Channels: 2, Classes: 3, Train: 60, Test: 60, Seed: 9})
-	acc, _, err := Evaluate(train, test, smallOptions(10))
+	acc, _, err := Evaluate(context.Background(), train, test, smallOptions(10))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -35,6 +35,8 @@ func DebugMux(reg *Registry) *http.ServeMux {
 // ServeDebug starts the debug server on addr in a background goroutine and
 // returns it together with the bound address (useful with ":0").  The caller
 // owns the returned server; Close it to stop serving.
+//
+//lint:ignore ipslint/ctxfirst process-lifetime daemon: the caller stops it through http.Server.Close, not a context
 func ServeDebug(addr string, reg *Registry) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -42,7 +42,7 @@ func TestAllDatasetsGenerate(t *testing.T) {
 func TestGeneratedSeparability(t *testing.T) {
 	names := []string{"GunPoint", "Coffee", "Wafer", "SyntheticControl", "FaceFour"}
 	for _, name := range names {
-		m := MustLookup(name)
+		m := mustFind(t, name)
 		train, test := Generate(m, GenConfig{MaxTrain: 30, MaxTest: 50, MaxLength: 128, Seed: 10})
 		chance := 100.0 / float64(m.Classes)
 		acc := nn1Accuracy(train, test)

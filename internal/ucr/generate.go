@@ -1,7 +1,6 @@
 package ucr
 
 import (
-	"fmt"
 	"hash/fnv"
 	"math"
 	"math/rand"
@@ -321,11 +320,12 @@ func Generate(m Meta, cfg GenConfig) (train, test *ts.Dataset) {
 	return train, test
 }
 
-// GenerateByName is Generate for a dataset identified by name.
+// GenerateByName is Generate for a dataset identified by name.  Unknown
+// names return an error matching ErrUnknownDataset.
 func GenerateByName(name string, cfg GenConfig) (train, test *ts.Dataset, err error) {
-	m, ok := Lookup(name)
-	if !ok {
-		return nil, nil, fmt.Errorf("ucr: unknown dataset %q", name)
+	m, err := Find(name)
+	if err != nil {
+		return nil, nil, err
 	}
 	tr, te := Generate(m, cfg)
 	return tr, te, nil

@@ -7,7 +7,15 @@
 // format so genuine archive files can be used when available.
 package ucr
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnknownDataset marks a dataset name absent from both the evaluation set
+// and the extras.  Find wraps it with the offending name; callers branch
+// with errors.Is(err, ErrUnknownDataset).
+var ErrUnknownDataset = errors.New("ucr: unknown dataset")
 
 // Meta describes one UCR dataset.
 type Meta struct {
@@ -91,12 +99,14 @@ func Lookup(name string) (Meta, bool) {
 	return Meta{}, false
 }
 
-// MustLookup is Lookup that panics on unknown names; for tests and harness
-// tables whose dataset lists are compile-time constants.
-func MustLookup(name string) Meta {
+// Find is Lookup with a typed error instead of a boolean: unknown names
+// return ErrUnknownDataset (wrapped with the name) rather than panicking,
+// so harness tables and CLIs can surface a clean failure for a typo'd
+// dataset name.
+func Find(name string) (Meta, error) {
 	m, ok := Lookup(name)
 	if !ok {
-		panic(fmt.Sprintf("ucr: unknown dataset %q", name))
+		return Meta{}, fmt.Errorf("%w %q", ErrUnknownDataset, name)
 	}
-	return m
+	return m, nil
 }

@@ -1,9 +1,11 @@
 package ucr
 
 import (
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"ips/internal/classify"
@@ -24,30 +26,45 @@ func TestArchiveMetadata(t *testing.T) {
 		}
 	}
 	// Spot-check a few well-known entries.
-	ah := MustLookup("ArrowHead")
+	ah := mustFind(t, "ArrowHead")
 	if ah.Train != 36 || ah.Classes != 3 || ah.Length != 251 {
 		t.Fatalf("ArrowHead meta = %+v", ah)
 	}
-	ipd := MustLookup("ItalyPowerDemand")
+	ipd := mustFind(t, "ItalyPowerDemand")
 	if ipd.Length != 24 || ipd.Classes != 2 {
 		t.Fatalf("ItalyPowerDemand meta = %+v", ipd)
 	}
+}
+
+// mustFind is the test-side shorthand for Find on names that are
+// compile-time constants of the test tables.
+func mustFind(t testing.TB, name string) Meta {
+	t.Helper()
+	m, err := Find(name)
+	if err != nil {
+		t.Fatalf("Find(%q): %v", name, err)
+	}
+	return m
 }
 
 func TestLookup(t *testing.T) {
 	if _, ok := Lookup("NoSuchDataset"); ok {
 		t.Fatal("unknown dataset should not be found")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustLookup should panic on unknown dataset")
-		}
-	}()
-	MustLookup("NoSuchDataset")
+	_, err := Find("NoSuchDataset")
+	if err == nil {
+		t.Fatal("Find should fail on an unknown dataset")
+	}
+	if !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("Find error = %v, want ErrUnknownDataset", err)
+	}
+	if !strings.Contains(err.Error(), "NoSuchDataset") {
+		t.Fatalf("Find error %q does not name the dataset", err)
+	}
 }
 
 func TestGenerateShapes(t *testing.T) {
-	m := MustLookup("GunPoint")
+	m := mustFind(t, "GunPoint")
 	train, test := Generate(m, GenConfig{Seed: 1})
 	if train.Len() != m.Train || test.Len() != m.Test {
 		t.Fatalf("sizes = %d/%d, want %d/%d", train.Len(), test.Len(), m.Train, m.Test)
@@ -67,7 +84,7 @@ func TestGenerateShapes(t *testing.T) {
 }
 
 func TestGenerateCaps(t *testing.T) {
-	m := MustLookup("ElectricDevices") // 8926 train in the real archive
+	m := mustFind(t, "ElectricDevices") // 8926 train in the real archive
 	train, test := Generate(m, GenConfig{MaxTrain: 50, MaxTest: 60, MaxLength: 64, Seed: 2})
 	if train.Len() != 50 || test.Len() != 60 {
 		t.Fatalf("capped sizes = %d/%d", train.Len(), test.Len())
@@ -87,7 +104,7 @@ func TestGenerateCaps(t *testing.T) {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
-	m := MustLookup("Coffee")
+	m := mustFind(t, "Coffee")
 	a, _ := Generate(m, GenConfig{Seed: 7})
 	b, _ := Generate(m, GenConfig{Seed: 7})
 	for i := range a.Instances {
@@ -114,7 +131,7 @@ func TestGenerateDeterministic(t *testing.T) {
 func TestGeneratedDataIsLearnable(t *testing.T) {
 	// The whole point of the substitute: classes must be separable by their
 	// discriminative subsequences, so 1NN-ED should beat chance clearly.
-	m := MustLookup("ItalyPowerDemand")
+	m := mustFind(t, "ItalyPowerDemand")
 	train, test := Generate(m, GenConfig{MaxTest: 200, Seed: 3})
 	acc := classify.EvaluateNN(train.Instances, test.Instances, classify.NNConfig{Metric: classify.Euclidean})
 	if acc < 75 {
@@ -123,7 +140,7 @@ func TestGeneratedDataIsLearnable(t *testing.T) {
 }
 
 func TestGeneratedMultiClassLearnable(t *testing.T) {
-	m := MustLookup("CBF") // 3 classes
+	m := mustFind(t, "CBF") // 3 classes
 	train, test := Generate(m, GenConfig{MaxTest: 150, Seed: 4})
 	acc := classify.EvaluateNN(train.Instances, test.Instances, classify.NNConfig{Metric: classify.Euclidean})
 	if acc < 60 { // chance is 33%
@@ -133,7 +150,7 @@ func TestGeneratedMultiClassLearnable(t *testing.T) {
 
 func TestTSVRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	m := MustLookup("SonyAIBORobotSurface1")
+	m := mustFind(t, "SonyAIBORobotSurface1")
 	train, test := Generate(m, GenConfig{MaxTrain: 10, MaxTest: 10, MaxLength: 30, Seed: 5})
 	if err := WriteTSV(filepath.Join(dir, "Sony_TRAIN.tsv"), train); err != nil {
 		t.Fatal(err)
@@ -221,7 +238,7 @@ func TestGenerateByName(t *testing.T) {
 
 func TestSmoothWalkProperties(t *testing.T) {
 	// Patterns are tapered to zero at both ends (no step discontinuity).
-	m := MustLookup("BeetleFly")
+	m := mustFind(t, "BeetleFly")
 	g := newGenerator(m, GenConfig{Seed: 9})
 	for _, p := range g.patterns {
 		if math.Abs(p[0]) > 1e-9 || math.Abs(p[len(p)-1]) > 1e-9 {

@@ -13,8 +13,14 @@
 // Quick start:
 //
 //	train, test, _ := ips.GenerateDataset("ItalyPowerDemand", ips.GenConfig{})
-//	model, _ := ips.Fit(train, ips.DefaultOptions())
-//	pred := model.Predict(test)
+//	model, _ := ips.Fit(context.Background(), train, ips.DefaultOptions())
+//	pred, _ := model.Predict(context.Background(), test)
+//
+// Every pipeline entry point takes a context.Context first: cancelling it
+// (or letting a deadline expire) stops the run cooperatively within one
+// worker batch and returns an error matching ErrCanceled.  Failures are
+// typed — inspect them with errors.Is against the Err* sentinels or
+// errors.As against *Error.
 //
 // The internal packages implement every substrate from scratch: matrix
 // profiles (STOMP), instance profiles, LSH families, the DABF, distribution
@@ -24,11 +30,13 @@
 package ips
 
 import (
+	"context"
 	"net/http"
 
 	"ips/internal/classify"
 	"ips/internal/core"
 	"ips/internal/dabf"
+	"ips/internal/errs"
 	"ips/internal/ip"
 	"ips/internal/obs"
 	"ips/internal/ts"
@@ -69,6 +77,43 @@ type (
 	Span = obs.Span
 	// MetricsRegistry holds the run's counters, gauges, and histograms.
 	MetricsRegistry = obs.Registry
+	// Error is the structured failure type every pipeline error unwraps to:
+	// it records the stage, operation, and dataset of the failure.  Inspect
+	// with errors.As.
+	Error = errs.Error
+	// Stage identifies the pipeline stage an Error originated in.
+	Stage = errs.Stage
+)
+
+// Pipeline stages, for matching Error.Stage.
+const (
+	StageValidate     = errs.StageValidate
+	StageCandidateGen = errs.StageCandidateGen
+	StagePruning      = errs.StagePruning
+	StageSelection    = errs.StageSelection
+	StageTransform    = errs.StageTransform
+	StageTrain        = errs.StageTrain
+	StagePredict      = errs.StagePredict
+	StageKernel       = errs.StageKernel
+	StageData         = errs.StageData
+	StageBench        = errs.StageBench
+)
+
+// Sentinel errors; match with errors.Is.
+var (
+	// ErrCanceled marks a run stopped by context cancellation or deadline.
+	// A Discover/Evaluate error matching it may carry a partial *Result.
+	ErrCanceled = errs.ErrCanceled
+	// ErrBadInput marks rejected input: empty datasets, NaN/Inf values,
+	// mismatched lengths, untrained models.
+	ErrBadInput = errs.ErrBadInput
+	// ErrDegenerate marks statistically degenerate data (e.g. a class whose
+	// candidates admit no distribution fit).
+	ErrDegenerate = errs.ErrDegenerate
+	// ErrNoShapelets marks a discovery run that produced no shapelets.
+	ErrNoShapelets = errs.ErrNoShapelets
+	// ErrUnknownDataset marks a dataset name absent from the UCR archive.
+	ErrUnknownDataset = ucr.ErrUnknownDataset
 )
 
 // NewObserver returns an observer with a live metrics registry, ready to be
@@ -92,18 +137,21 @@ func DefaultOptions() Options {
 }
 
 // Discover runs shapelet discovery (Algorithms 1–4) on the training set.
-func Discover(train *Dataset, opt Options) (*Result, error) {
-	return core.Discover(train, opt)
+// Cancelling ctx returns an error matching ErrCanceled together with a
+// partial Result covering the completed stages.
+func Discover(ctx context.Context, train *Dataset, opt Options) (*Result, error) {
+	return core.Discover(ctx, train, opt)
 }
 
 // Fit discovers shapelets and trains the shapelet-transform + SVM classifier.
-func Fit(train *Dataset, opt Options) (*Model, error) {
-	return core.Fit(train, opt)
+// Cancelling ctx returns an error matching ErrCanceled.
+func Fit(ctx context.Context, train *Dataset, opt Options) (*Model, error) {
+	return core.Fit(ctx, train, opt)
 }
 
 // Evaluate fits on train and returns accuracy (%) on test with the model.
-func Evaluate(train, test *Dataset, opt Options) (float64, *Model, error) {
-	return core.Evaluate(train, test, opt)
+func Evaluate(ctx context.Context, train, test *Dataset, opt Options) (float64, *Model, error) {
+	return core.Evaluate(ctx, train, test, opt)
 }
 
 // Transform embeds every instance into shapelet-distance space (Def. 7).
@@ -140,7 +188,12 @@ type CVResult = core.CVResult
 
 // CrossValidate runs stratified k-fold cross-validation of the IPS pipeline
 // on a single dataset — the evaluation mode when there is no train/test
-// split.
-func CrossValidate(d *Dataset, opt Options, folds int, seed int64) (*CVResult, error) {
-	return core.CrossValidate(d, opt, folds, seed)
+// split.  Cancelling ctx returns the completed folds' accuracies in a
+// partial CVResult alongside an error matching ErrCanceled.
+func CrossValidate(ctx context.Context, d *Dataset, opt Options, folds int, seed int64) (*CVResult, error) {
+	return core.CrossValidate(ctx, d, opt, folds, seed)
 }
+
+// LookupDataset returns the archive metadata for a UCR dataset name; an
+// unknown name yields an error matching ErrUnknownDataset.
+func LookupDataset(name string) (DatasetMeta, error) { return ucr.Find(name) }

@@ -1,6 +1,7 @@
 package ips
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 )
@@ -37,7 +38,7 @@ func TestEndToEndPublicAPI(t *testing.T) {
 	opt.IP.Seed = 2
 	opt.DABF.Seed = 2
 
-	res, err := Discover(train, opt)
+	res, err := Discover(context.Background(), train, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestEndToEndPublicAPI(t *testing.T) {
 		t.Fatal("no shapelets")
 	}
 
-	acc, model, err := Evaluate(train, test, opt)
+	acc, model, err := Evaluate(context.Background(), train, test, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

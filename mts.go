@@ -1,6 +1,8 @@
 package ips
 
 import (
+	"context"
+
 	"ips/internal/mts"
 )
 
@@ -19,14 +21,15 @@ type (
 )
 
 // FitMTS discovers shapelets on every channel of the multivariate training
-// set and trains the joint classifier.
-func FitMTS(train *MTSDataset, opt Options) (*MTSModel, error) {
-	return mts.Fit(train, opt)
+// set and trains the joint classifier.  Cancelling ctx returns an error
+// matching ErrCanceled.
+func FitMTS(ctx context.Context, train *MTSDataset, opt Options) (*MTSModel, error) {
+	return mts.Fit(ctx, train, opt)
 }
 
 // EvaluateMTS fits on train and returns accuracy (%) on test with the model.
-func EvaluateMTS(train, test *MTSDataset, opt Options) (float64, *MTSModel, error) {
-	return mts.Evaluate(train, test, opt)
+func EvaluateMTS(ctx context.Context, train, test *MTSDataset, opt Options) (float64, *MTSModel, error) {
+	return mts.Evaluate(ctx, train, test, opt)
 }
 
 // GenerateMTS synthesises a multivariate train/test pair for experimentation.

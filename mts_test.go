@@ -1,6 +1,9 @@
 package ips
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestPublicMTSAPI(t *testing.T) {
 	train, test := GenerateMTS(MTSGenConfig{Channels: 3, Seed: 1})
@@ -12,7 +15,7 @@ func TestPublicMTSAPI(t *testing.T) {
 	opt.IP.QN = 5
 	opt.IP.Seed, opt.DABF.Seed, opt.SVM.Seed = 2, 2, 2
 
-	acc, model, err := EvaluateMTS(train, test, opt)
+	acc, model, err := EvaluateMTS(context.Background(), train, test, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,11 +26,15 @@ func TestPublicMTSAPI(t *testing.T) {
 		t.Fatalf("per-channel shapelets = %d", len(model.ShapeletsPerChannel))
 	}
 	// FitMTS path.
-	m2, err := FitMTS(train, opt)
+	m2, err := FitMTS(context.Background(), train, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := m2.Predict(test); len(got) != test.Len() {
+	got, err := m2.Predict(context.Background(), test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != test.Len() {
 		t.Fatalf("pred len = %d", len(got))
 	}
 }
@@ -41,12 +48,12 @@ func TestPublicWorkersDeterminism(t *testing.T) {
 	opt.IP.QN = 5
 	opt.IP.Seed, opt.DABF.Seed, opt.SVM.Seed = 4, 4, 4
 
-	accSeq, _, err := Evaluate(train, test, opt)
+	accSeq, _, err := Evaluate(context.Background(), train, test, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opt.Workers = 4
-	accPar, _, err := Evaluate(train, test, opt)
+	accPar, _, err := Evaluate(context.Background(), train, test, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
