@@ -25,12 +25,21 @@
 //
 // Observability (see internal/obs):
 //
+//	-log-level L      structured logging to stderr: off (default), debug,
+//	                  info, warn, or error; the library is silent at off
+//	-log-json         emit structured logs as JSON instead of text
+//	-manifest FILE    write a run manifest: config, seed, environment,
+//	                  dataset hash, span tree with wall times, metrics with
+//	                  p50/p95/p99 summaries, accuracy, flight-recorder
+//	                  samples, and the typed error if the run failed.
+//	                  Inspect/compare with cmd/ipsobs.  (Training runs only;
+//	                  ignored with -load.)
 //	-trace FILE       write the run's span tree as Chrome trace_event JSON
 //	                  (open in chrome://tracing or Perfetto)
 //	-spans            print the span tree after the run
 //	-progress         stream stage progress to stderr
-//	-debug-addr ADDR  serve net/http/pprof, expvar, and /metrics on ADDR
-//	                  (e.g. :6060) for live profiling during the run
+//	-debug-addr ADDR  serve net/http/pprof, expvar, /metrics, and the
+//	                  flight recorder at /debug/flight on ADDR (e.g. :6060)
 package main
 
 import (
@@ -42,10 +51,13 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	ips "ips"
 	"ips/internal/classify"
 	"ips/internal/dist"
+	"ips/internal/obs"
+	"ips/internal/ucr"
 )
 
 func main() {
@@ -61,15 +73,24 @@ func main() {
 	show := flag.Int("show", 3, "print the first N shapelets as sparklines")
 	savePath := flag.String("save", "", "write the trained model to this JSON file")
 	loadPath := flag.String("load", "", "classify with a previously saved model instead of training")
+	logLevel := flag.String("log-level", "off", "structured log level: off, debug, info, warn, or error")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+	manifestPath := flag.String("manifest", "", "write a run manifest (JSON) to this file; inspect with ipsobs")
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON of the run to this file")
 	spans := flag.Bool("spans", false, "print the span tree after the run")
 	progress := flag.Bool("progress", false, "stream stage progress to stderr")
-	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof, expvar, and /metrics on this address (e.g. :6060)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof, expvar, /metrics, and /debug/flight on this address (e.g. :6060)")
 	distKernel := flag.String("dist-kernel", "auto", "force the transform's distance kernel: auto, rolling, or fft (output identical)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long, e.g. 30s or 5m (0 = no limit)")
 	flag.Parse()
 
-	ctx := context.Background()
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ips:", err)
+		os.Exit(2)
+	}
+
+	ctx := obs.WithLogger(context.Background(), logger)
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -83,8 +104,9 @@ func main() {
 		classify.DefaultKernel = k
 	}
 
-	train, test, err := loadData(*dataset, *data, *trainPath, *testPath, *seed)
+	train, test, err := loadData(ctx, *dataset, *data, *trainPath, *testPath, *seed)
 	if err != nil {
+		obs.Log(ctx).Error("loading data failed", obs.ErrAttrs(err)...)
 		fmt.Fprintln(os.Stderr, "ips:", err)
 		os.Exit(1)
 	}
@@ -97,8 +119,9 @@ func main() {
 	// Observability: a full observer (spans + metrics) when any hook is
 	// requested; nil otherwise, which keeps the hot loops no-op.
 	var o *ips.Observer
-	if *tracePath != "" || *spans || *progress || *debugAddr != "" {
+	if *tracePath != "" || *spans || *progress || *debugAddr != "" || *manifestPath != "" {
 		o = ips.NewObserver("ips")
+		o.Metrics().SetLogger(obs.Log(ctx))
 	}
 	if *progress {
 		o.OnProgress(func(stage string, done, total int) {
@@ -108,13 +131,21 @@ func main() {
 			}
 		})
 	}
+
+	// Flight recorder: sample runtime health for the manifest and the
+	// /debug/flight endpoint whenever either consumer exists.
+	var flight *obs.FlightRecorder
+	if *manifestPath != "" || *debugAddr != "" {
+		flight = obs.StartFlight(ctx, 5*time.Millisecond, 1024)
+	}
+
 	if *debugAddr != "" {
-		_, addr, err := ips.ServeDebug(*debugAddr, o)
+		_, addr, err := obs.ServeDebug(*debugAddr, o.Metrics(), flight)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ips: debug server:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "debug server on http://%s (pprof /debug/pprof/, metrics /metrics)\n", addr)
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (pprof /debug/pprof/, metrics /metrics, flight /debug/flight)\n", addr)
 	}
 
 	opt := ips.DefaultOptions()
@@ -127,8 +158,37 @@ func main() {
 	opt.Workers = *workers
 	opt.Obs = o
 
+	config := map[string]any{
+		"k": *k, "qn": *qn, "qs": *qs, "workers": *workers,
+		"dist_kernel": *distKernel, "dataset": *dataset,
+		"train": *trainPath, "test": *testPath,
+	}
+	writeManifest := func(acc *float64, runErr error) {
+		if *manifestPath == "" {
+			return
+		}
+		flight.Stop()
+		man := obs.BuildManifest(o, obs.RunInfo{
+			Tool: "ips", Seed: *seed, Config: config,
+			Dataset: &obs.DatasetInfo{
+				Name: train.Name, Hash: train.ContentHash(),
+				Train: train.Len(), Test: test.Len(),
+				Length: train.SeriesLen(), Classes: len(train.Classes()),
+			},
+			Accuracy: acc, Err: runErr, Flight: flight,
+		})
+		if err := man.WriteFile(*manifestPath); err != nil {
+			fmt.Fprintln(os.Stderr, "ips: writing manifest:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "manifest written to %s\n", *manifestPath)
+	}
+
 	acc, model, err := ips.Evaluate(ctx, train, test, opt)
 	if err != nil {
+		o.Finish()
+		obs.Log(ctx).Error("run failed", obs.ErrAttrs(err)...)
+		writeManifest(nil, err)
 		if errors.Is(err, ips.ErrCanceled) {
 			fmt.Fprintf(os.Stderr, "ips: run canceled (timeout %v): %v\n", *timeout, err)
 		} else {
@@ -137,6 +197,7 @@ func main() {
 		os.Exit(1)
 	}
 	o.Finish()
+	writeManifest(&acc, nil)
 	d := model.Discovery
 	fmt.Printf("dataset            %s (%d train / %d test, length %d, %d classes)\n",
 		train.Name, train.Len(), test.Len(), train.SeriesLen(), len(train.Classes()))
@@ -187,6 +248,7 @@ func main() {
 			shown++
 		}
 	}
+	flight.Stop()
 }
 
 // classifyWithSavedModel loads a serialized model and reports its accuracy
@@ -199,6 +261,7 @@ func classifyWithSavedModel(ctx context.Context, path string, test *ips.Dataset)
 	}
 	pred, err := model.Predict(ctx, test)
 	if err != nil {
+		obs.Log(ctx).Error("prediction failed", obs.ErrAttrs(err)...)
 		fmt.Fprintln(os.Stderr, "ips: predicting:", err)
 		os.Exit(1)
 	}
@@ -213,19 +276,19 @@ func classifyWithSavedModel(ctx context.Context, path string, test *ips.Dataset)
 		100*float64(correct)/float64(test.Len()), test.Len())
 }
 
-func loadData(dataset, dataDir, trainPath, testPath string, seed int64) (train, test *ips.Dataset, err error) {
+func loadData(ctx context.Context, dataset, dataDir, trainPath, testPath string, seed int64) (train, test *ips.Dataset, err error) {
 	switch {
 	case trainPath != "" && testPath != "":
-		train, err = ips.LoadTSV(trainPath)
+		train, err = ucr.LoadTSVCtx(ctx, trainPath)
 		if err != nil {
 			return nil, nil, err
 		}
-		test, err = ips.LoadTSV(testPath)
+		test, err = ucr.LoadTSVCtx(ctx, testPath)
 		return train, test, err
 	case dataset != "" && dataDir != "":
-		return ips.LoadSplit(dataDir, dataset)
+		return ucr.LoadSplitCtx(ctx, dataDir, dataset)
 	case dataset != "":
-		return ips.GenerateDataset(dataset, ips.GenConfig{Seed: seed})
+		return ucr.GenerateByNameCtx(ctx, dataset, ips.GenConfig{Seed: seed})
 	default:
 		return nil, nil, fmt.Errorf("need -dataset, or -train and -test")
 	}

@@ -39,10 +39,16 @@
 //
 // Observability (see internal/obs):
 //
+//	-log-level L      structured logging to stderr: off (default), debug,
+//	                  info, warn, or error
+//	-log-json         emit structured logs as JSON instead of text
+//	-manifest FILE    write a run manifest (config, environment, span tree,
+//	                  metrics with quantiles, flight-recorder samples) when
+//	                  the suite finishes; inspect/compare with cmd/ipsobs
 //	-trace FILE       write every IPS run's span tree as Chrome trace_event
 //	                  JSON to FILE when the suite finishes
-//	-debug-addr ADDR  serve net/http/pprof, expvar, and /metrics on ADDR
-//	                  (e.g. :6060) for live profiling while the suite runs
+//	-debug-addr ADDR  serve net/http/pprof, expvar, /metrics, and the flight
+//	                  recorder at /debug/flight on ADDR (e.g. :6060)
 package main
 
 import (
@@ -51,6 +57,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"ips/internal/bench"
 	"ips/internal/classify"
@@ -82,12 +90,21 @@ func main() {
 	mpOut := flag.String("mpout", "", "write the mp experiment's kernel report as JSON to this file")
 	tfOut := flag.String("tfout", "", "write the transform experiment's report as JSON to this file")
 	distKernel := flag.String("dist-kernel", "auto", "force the transform's distance kernel: auto, rolling, or fft (results identical)")
+	logLevel := flag.String("log-level", "off", "structured log level: off, debug, info, warn, or error")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+	manifestPath := flag.String("manifest", "", "write a run manifest (JSON) to this file; inspect with ipsobs")
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON of all IPS runs to this file")
-	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof, expvar, and /metrics on this address (e.g. :6060)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof, expvar, /metrics, and /debug/flight on this address (e.g. :6060)")
 	timeout := flag.Duration("timeout", 0, "abort the suite after this long, e.g. 10m (0 = no limit)")
 	flag.Parse()
 
-	ctx := context.Background()
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipsbench:", err)
+		os.Exit(2)
+	}
+
+	ctx := obs.WithLogger(context.Background(), logger)
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -106,16 +123,21 @@ func main() {
 	}
 
 	var o *obs.Observer
-	if *tracePath != "" || *debugAddr != "" {
+	if *tracePath != "" || *debugAddr != "" || *manifestPath != "" {
 		o = obs.New("ipsbench")
+		o.Metrics().SetLogger(obs.Log(ctx))
+	}
+	var flight *obs.FlightRecorder
+	if *manifestPath != "" || *debugAddr != "" {
+		flight = obs.StartFlight(ctx, 10*time.Millisecond, 1024)
 	}
 	if *debugAddr != "" {
-		_, addr, err := obs.ServeDebug(*debugAddr, o.Metrics())
+		_, addr, err := obs.ServeDebug(*debugAddr, o.Metrics(), flight)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ipsbench: debug server:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "debug server on http://%s (pprof /debug/pprof/, metrics /metrics)\n", addr)
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (pprof /debug/pprof/, metrics /metrics, flight /debug/flight)\n", addr)
 	}
 
 	h := &bench.Harness{
@@ -187,13 +209,40 @@ func main() {
 		}
 		names = append(names, arg)
 	}
+
+	writeManifest := func(runErr error) {
+		if *manifestPath == "" {
+			return
+		}
+		flight.Stop()
+		o.Finish()
+		man := obs.BuildManifest(o, obs.RunInfo{
+			Tool: "ipsbench", Seed: *seed,
+			Config: map[string]any{
+				"experiments": strings.Join(names, ","),
+				"quick":       *quick && !*full, "k": *k, "runs": *runs,
+				"workers": *workers, "dist_kernel": *distKernel,
+			},
+			Err: runErr, Flight: flight,
+		})
+		if err := man.WriteFile(*manifestPath); err != nil {
+			fmt.Fprintf(os.Stderr, "ipsbench: writing manifest: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "manifest written to %s\n", *manifestPath)
+	}
+
 	for _, name := range names {
 		run, ok := experiments[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "ipsbench: unknown experiment %q\n", name)
 			os.Exit(2)
 		}
+		obs.Log(ctx).Info("experiment starting", "experiment", name)
+		start := time.Now()
 		if err := run(); err != nil {
+			obs.Log(ctx).Error("experiment failed", obs.ErrAttrs(err)...)
+			writeManifest(err)
 			if errors.Is(err, errs.ErrCanceled) {
 				fmt.Fprintf(os.Stderr, "ipsbench: %s: suite canceled (timeout %v): %v\n", name, *timeout, err)
 			} else {
@@ -201,9 +250,12 @@ func main() {
 			}
 			os.Exit(1)
 		}
+		obs.Log(ctx).Info("experiment done",
+			"experiment", name, "elapsed", time.Since(start))
 		fmt.Println()
 	}
 
+	writeManifest(nil)
 	if *tracePath != "" {
 		o.Finish()
 		if err := o.WriteTraceFile(*tracePath); err != nil {
@@ -212,4 +264,5 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "trace written to %s\n", *tracePath)
 	}
+	flight.Stop()
 }

@@ -33,6 +33,7 @@ var analyzers = []*Analyzer{
 	nakedGoroutineAnalyzer,
 	errswallowAnalyzer,
 	ctxfirstAnalyzer,
+	nostdlogAnalyzer,
 }
 
 func analyzerByName(name string) *Analyzer {

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// nostdlogAnalyzer keeps library diagnostics on the structured path: code
+// under internal/ must not print to stdout/stderr via fmt.Print*, the
+// process-global log.Print*/Fatal*/Panic* logger, or the println/print
+// builtins.  Those bypass the context logger (obs.Log) — they cannot be
+// silenced, levelled, JSON-encoded, or correlated with the active span, and
+// they corrupt the CLIs' stdout protocol.  Writer-directed formatting
+// (fmt.Fprintf to an io.Writer, fmt.Sprintf) is fine; so are tests.
+// Deliberate terminal output in library code takes a
+// "//lint:ignore ipslint/nostdlog <reason>" directive.
+var nostdlogAnalyzer = &Analyzer{
+	Name: "nostdlog",
+	Doc:  "fmt.Print*/log.Print*/println in internal packages bypass obs structured logging",
+	Run:  runNoStdLog,
+}
+
+// stdlogBanned maps package path to its banned top-level function names.
+var stdlogBanned = map[string]map[string]bool{
+	"fmt": {
+		"Print": true, "Printf": true, "Println": true,
+	},
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	},
+}
+
+func runNoStdLog(pass *Pass) {
+	// Library scope only: the CLIs under cmd/ own their stdout.  Corpus
+	// packages live under testdata/src/ (no /internal/ segment) but stand in
+	// for library code, so they are scanned too.
+	path := pass.Pkg.Path()
+	if !strings.Contains(path, "/internal/") && !strings.Contains(path, "testdata/src/") {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				pkgName := pkgOf(pass, fun.X)
+				if pkgName == nil {
+					return true
+				}
+				banned := stdlogBanned[pkgName.Imported().Path()]
+				if banned == nil || !banned[fun.Sel.Name] {
+					return true
+				}
+				pass.Reportf(fun.Pos(), "%s.%s in library code bypasses structured logging; use obs.Log(ctx) (or write to an injected io.Writer)",
+					pkgName.Imported().Path(), fun.Sel.Name)
+			case *ast.Ident:
+				if fun.Name != "println" && fun.Name != "print" {
+					return true
+				}
+				if _, isBuiltin := pass.Info.Uses[fun].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				pass.Reportf(fun.Pos(), "builtin %s in library code bypasses structured logging; use obs.Log(ctx)", fun.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,56 @@
+// Package nostdlog is ipslint test corpus: stdout/stderr printing from
+// library code that should route through obs structured logging.
+package nostdlog
+
+import (
+	"fmt"
+	"io"
+	"log"
+)
+
+func printsToStdout(v int) {
+	fmt.Println("value:", v)        // want "fmt.Println in library code bypasses structured logging"
+	fmt.Printf("value: %d\n", v)    // want "fmt.Printf in library code bypasses structured logging"
+	fmt.Print("value\n")            // want "fmt.Print in library code bypasses structured logging"
+}
+
+func usesGlobalLogger(err error) {
+	log.Println("failed:", err) // want "log.Println in library code bypasses structured logging"
+	log.Printf("failed: %v", err) // want "log.Printf in library code bypasses structured logging"
+	if err != nil {
+		log.Fatalf("fatal: %v", err) // want "log.Fatalf in library code bypasses structured logging"
+	}
+}
+
+func usesBuiltin(v int) {
+	println("debugging", v) // want "builtin println in library code bypasses structured logging"
+}
+
+// Writer-directed formatting is the sanctioned escape hatch: the caller
+// chooses the destination, so nothing leaks to the process's stdout.
+func writerOK(w io.Writer, v int) {
+	fmt.Fprintf(w, "value: %d\n", v)
+	fmt.Fprintln(w, "done")
+}
+
+func sprintfOK(v int) string {
+	return fmt.Sprintf("value: %d", v)
+}
+
+// A shadowing local function named like the builtin is not the builtin.
+func shadowOK() {
+	println := func(args ...any) {}
+	println("not the builtin")
+}
+
+// An injected *log.Logger is fine: only the package-level default logger
+// is process-global.
+func injectedLoggerOK(lg *log.Logger) {
+	lg.Println("scoped to the injected logger")
+}
+
+// Deliberate terminal output carries a justified suppression.
+func suppressedOK(v int) {
+	//lint:ignore ipslint/nostdlog corpus example of a justified terminal print
+	fmt.Println("intentional:", v)
+}

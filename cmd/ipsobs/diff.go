@@ -1,0 +1,170 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ips/internal/obs"
+)
+
+// Diff is the outcome of comparing two manifests: flagged regressions (which
+// fail the exit status), informational notes, and the per-stage wall-time
+// deltas behind them.
+type Diff struct {
+	Threshold   float64
+	Regressions []string
+	Notes       []string
+	Stages      []StageDelta
+}
+
+// StageDelta is one span path's wall time in both runs.
+type StageDelta struct {
+	Path         string
+	OldNS, NewNS int64
+	Rel          float64 // (new-old)/old; 0 when old is 0
+	Flagged      bool
+}
+
+// stageFloor keeps micro-spans out of the gate: a stage is only eligible for
+// flagging when it accounted for at least this fraction of the old run's
+// total wall time.  Tiny stages jitter by whole multiples between runs
+// without meaning anything.
+const stageFloor = 0.01
+
+// compare diffs two manifests.  A regression is: total wall time grown by
+// more than threshold, a non-trivial stage grown by more than threshold,
+// accuracy dropped by more than threshold relative, or a run error the old
+// manifest did not have.  Improvements and structural changes become notes.
+func compare(old, fresh *obs.Manifest, threshold float64) *Diff {
+	d := &Diff{Threshold: threshold}
+
+	if old.Dataset != nil && fresh.Dataset != nil &&
+		old.Dataset.Hash != "" && fresh.Dataset.Hash != "" &&
+		old.Dataset.Hash != fresh.Dataset.Hash {
+		d.Notes = append(d.Notes,
+			fmt.Sprintf("dataset content changed (%s -> %s): timings are not comparable",
+				old.Dataset.Hash, fresh.Dataset.Hash))
+	}
+	if old.GoVersion != fresh.GoVersion {
+		d.Notes = append(d.Notes,
+			fmt.Sprintf("go version changed (%s -> %s)", old.GoVersion, fresh.GoVersion))
+	}
+	if old.GoMaxProcs != fresh.GoMaxProcs {
+		d.Notes = append(d.Notes,
+			fmt.Sprintf("GOMAXPROCS changed (%d -> %d)", old.GoMaxProcs, fresh.GoMaxProcs))
+	}
+
+	switch {
+	case fresh.Error != nil && old.Error == nil:
+		d.Regressions = append(d.Regressions,
+			fmt.Sprintf("new run failed: [%s] %s", fresh.Error.Class, fresh.Error.Message))
+	case fresh.Error != nil && old.Error != nil:
+		d.Notes = append(d.Notes, "both runs failed")
+	case fresh.Error == nil && old.Error != nil:
+		d.Notes = append(d.Notes, "old run failed, new run succeeded")
+	}
+
+	oldTimes := flattenSpans(old.Spans)
+	newTimes := flattenSpans(fresh.Spans)
+	var rootOld int64
+	if old.Spans != nil {
+		rootOld = old.Spans.DurationNS
+	}
+	paths := make([]string, 0, len(oldTimes))
+	for p := range oldTimes {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		o := oldTimes[p]
+		n, ok := newTimes[p]
+		if !ok {
+			d.Notes = append(d.Notes, fmt.Sprintf("stage %s missing from new run", p))
+			continue
+		}
+		sd := StageDelta{Path: p, OldNS: o, NewNS: n}
+		if o > 0 {
+			sd.Rel = float64(n-o) / float64(o)
+		}
+		isRoot := old.Spans != nil && p == old.Spans.Name
+		bigEnough := isRoot || (rootOld > 0 && float64(o) >= stageFloor*float64(rootOld))
+		if sd.Rel > threshold && bigEnough {
+			sd.Flagged = true
+			d.Regressions = append(d.Regressions,
+				fmt.Sprintf("wall time of %s grew %.1f%% (%s -> %s, threshold %.0f%%)",
+					p, 100*sd.Rel, fmtDur(o), fmtDur(n), 100*threshold))
+		}
+		d.Stages = append(d.Stages, sd)
+	}
+	for p := range newTimes {
+		if _, ok := oldTimes[p]; !ok {
+			d.Notes = append(d.Notes, fmt.Sprintf("stage %s new in new run", p))
+		}
+	}
+
+	if old.Accuracy != nil && fresh.Accuracy != nil {
+		oa, na := *old.Accuracy, *fresh.Accuracy
+		if oa > 0 && (oa-na)/oa > threshold {
+			d.Regressions = append(d.Regressions,
+				fmt.Sprintf("accuracy dropped %.1f%% relative (%.2f%% -> %.2f%%, threshold %.0f%%)",
+					100*(oa-na)/oa, oa, na, 100*threshold))
+		} else if na > oa {
+			d.Notes = append(d.Notes,
+				fmt.Sprintf("accuracy improved (%.2f%% -> %.2f%%)", oa, na))
+		}
+	}
+	return d
+}
+
+// flattenSpans maps every span path ("root/child/grandchild") to its
+// duration.  Duplicate paths (repeated child names, e.g. per-fold spans)
+// accumulate.
+func flattenSpans(root *obs.SpanNode) map[string]int64 {
+	out := map[string]int64{}
+	var walk func(n *obs.SpanNode, prefix string)
+	walk = func(n *obs.SpanNode, prefix string) {
+		if n == nil {
+			return
+		}
+		path := n.Name
+		if prefix != "" {
+			path = prefix + "/" + n.Name
+		}
+		out[path] += n.DurationNS
+		for _, c := range n.Children {
+			walk(c, path)
+		}
+	}
+	walk(root, "")
+	return out
+}
+
+// writeDiff renders a comparison.  Terse mode (check) prints only the
+// verdict and any regressions; full mode adds the stage table and notes.
+func writeDiff(w io.Writer, d *Diff, terse bool) {
+	if !terse && len(d.Stages) > 0 {
+		fmt.Fprintf(w, "%-40s %14s %14s %8s\n", "stage", "old", "new", "delta")
+		for _, s := range d.Stages {
+			mark := ""
+			if s.Flagged {
+				mark = "  <-- regression"
+			}
+			fmt.Fprintf(w, "%-40s %14s %14s %+7.1f%%%s\n",
+				s.Path, fmtDur(s.OldNS), fmtDur(s.NewNS), 100*s.Rel, mark)
+		}
+	}
+	if !terse {
+		for _, n := range d.Notes {
+			fmt.Fprintf(w, "note: %s\n", n)
+		}
+	}
+	for _, r := range d.Regressions {
+		fmt.Fprintf(w, "REGRESSION: %s\n", r)
+	}
+	if len(d.Regressions) == 0 {
+		fmt.Fprintf(w, "ok: no regressions beyond %.0f%% threshold\n", 100*d.Threshold)
+	} else {
+		fmt.Fprintf(w, "%d regression(s) flagged\n", len(d.Regressions))
+	}
+}

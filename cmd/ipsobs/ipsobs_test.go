@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ips/internal/obs"
+)
+
+// fixture builds a plausible run manifest; scale multiplies every span
+// duration, so scale 1.2 is a 20% across-the-board wall-time regression.
+func fixture(scale float64, acc float64) *obs.Manifest {
+	ns := func(ms float64) int64 { return int64(ms * scale * 1e6) }
+	a := acc
+	return &obs.Manifest{
+		Schema: obs.ManifestSchema, Tool: "ips",
+		GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", GoMaxProcs: 8,
+		Seed:    1,
+		Config:  map[string]any{"k": 5, "workers": 4},
+		Dataset: &obs.DatasetInfo{Name: "GunPoint", Hash: "sha256:abc", Train: 50, Test: 150, Length: 150, Classes: 2},
+		Spans: &obs.SpanNode{
+			Name: "ips", DurationNS: ns(1000),
+			Children: []*obs.SpanNode{
+				{Name: "discover", DurationNS: ns(800), Children: []*obs.SpanNode{
+					{Name: "candidate-gen", DurationNS: ns(500)},
+					{Name: "pruning", DurationNS: ns(200)},
+					{Name: "selection", DurationNS: ns(100)},
+				}},
+				{Name: "transform", DurationNS: ns(150)},
+				{Name: "train", DurationNS: ns(50)},
+			},
+		},
+		Metrics: &obs.MetricsDump{
+			Counters: map[string]int64{"classify.transform.dists": 1500},
+			Histograms: map[string]obs.HistSnapshot{
+				"dabf.bucket_occupancy": {
+					Bounds: []float64{1, 2, 4}, Counts: []int64{3, 2, 1, 0},
+					Count: 6, Sum: 12,
+					Quantiles: map[string]float64{"p50": 2, "p95": 4, "p99": 4},
+				},
+			},
+		},
+		Accuracy: &a,
+	}
+}
+
+func writeFixture(t *testing.T, name string, m *obs.Manifest) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffIdenticalPairPasses(t *testing.T) {
+	a := writeFixture(t, "a.json", fixture(1, 90))
+	b := writeFixture(t, "b.json", fixture(1, 90))
+	if code := run([]string{"diff", a, b}); code != 0 {
+		t.Fatalf("identical pair: exit %d, want 0", code)
+	}
+	if code := run([]string{"check", a, b}); code != 0 {
+		t.Fatalf("identical pair (check): exit %d, want 0", code)
+	}
+}
+
+func TestDiffFlagsWallTimeRegression(t *testing.T) {
+	a := writeFixture(t, "a.json", fixture(1, 90))
+	b := writeFixture(t, "b.json", fixture(1.2, 90)) // +20% everywhere
+	if code := run([]string{"diff", a, b}); code != 1 {
+		t.Fatalf("20%% regression at 10%% threshold: exit %d, want 1", code)
+	}
+	// Above the threshold the same pair must pass.
+	if code := run([]string{"diff", "-threshold", "0.5", a, b}); code != 0 {
+		t.Fatalf("20%% regression at 50%% threshold: exit %d, want 0", code)
+	}
+	// check's CI default (25%) tolerates 20% noise...
+	if code := run([]string{"check", a, b}); code != 0 {
+		t.Fatalf("20%% regression at check's 25%% threshold: exit %d, want 0", code)
+	}
+	// ...but not a 40% cliff.
+	c := writeFixture(t, "c.json", fixture(1.4, 90))
+	if code := run([]string{"check", a, c}); code != 1 {
+		t.Fatalf("40%% regression at check's 25%% threshold: exit %d, want 1", code)
+	}
+}
+
+func TestDiffFlagsAccuracyDrop(t *testing.T) {
+	a := writeFixture(t, "a.json", fixture(1, 90))
+	b := writeFixture(t, "b.json", fixture(1, 60)) // -33% relative
+	if code := run([]string{"diff", a, b}); code != 1 {
+		t.Fatalf("accuracy drop: exit %d, want 1", code)
+	}
+}
+
+func TestCompareDetails(t *testing.T) {
+	old := fixture(1, 90)
+	fresh := fixture(1.2, 90)
+	d := compare(old, fresh, 0.10)
+	if len(d.Regressions) == 0 {
+		t.Fatal("no regressions flagged for +20% wall time")
+	}
+	foundRoot := false
+	for _, s := range d.Stages {
+		if s.Path == "ips" && s.Flagged {
+			foundRoot = true
+		}
+	}
+	if !foundRoot {
+		t.Fatalf("root span not flagged: %+v", d.Stages)
+	}
+
+	// A new error is a regression even with identical timings.
+	bad := fixture(1, 90)
+	bad.Error = &obs.ErrorInfo{Message: "boom", Class: "internal"}
+	d = compare(fixture(1, 90), bad, 0.10)
+	if len(d.Regressions) != 1 || !strings.Contains(d.Regressions[0], "new run failed") {
+		t.Fatalf("error regression = %v", d.Regressions)
+	}
+
+	// Micro-spans below the floor never flag: 3x growth on a span worth
+	// 0.1% of the run is noise, not a regression.
+	o2 := fixture(1, 90)
+	n2 := fixture(1, 90)
+	o2.Spans.Children = append(o2.Spans.Children, &obs.SpanNode{Name: "tiny", DurationNS: 1000})
+	n2.Spans.Children = append(n2.Spans.Children, &obs.SpanNode{Name: "tiny", DurationNS: 3000})
+	d = compare(o2, n2, 0.10)
+	if len(d.Regressions) != 0 {
+		t.Fatalf("micro-span flagged: %v", d.Regressions)
+	}
+
+	// Changed dataset hash is a note, not a regression.
+	h2 := fixture(1, 90)
+	h2.Dataset.Hash = "sha256:def"
+	d = compare(fixture(1, 90), h2, 0.10)
+	if len(d.Regressions) != 0 {
+		t.Fatalf("hash change treated as regression: %v", d.Regressions)
+	}
+	if len(d.Notes) == 0 || !strings.Contains(d.Notes[0], "dataset content changed") {
+		t.Fatalf("hash change note missing: %v", d.Notes)
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	m := fixture(1, 90)
+	m.Flight = []obs.FlightSample{
+		{OffsetNS: 0, Goroutines: 4, HeapAllocBytes: 1 << 20, NumGC: 0},
+		{OffsetNS: 5e6, Goroutines: 9, HeapAllocBytes: 3 << 20, NumGC: 2, GCPauseTotalNS: 40000},
+	}
+	var buf bytes.Buffer
+	writeReport(&buf, m)
+	out := buf.String()
+	for _, want := range []string{
+		"tool        ips", "GunPoint", "sha256:abc", "accuracy    90.00%",
+		"candidate-gen", "p95=4", "flight      2 samples",
+		"peak heap 3.0MiB", "peak goroutines 9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code := run([]string{}); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"bogus"}); code != 2 {
+		t.Fatalf("unknown command: exit %d, want 2", code)
+	}
+	if code := run([]string{"report", "/nonexistent.json"}); code != 2 {
+		t.Fatalf("missing file: exit %d, want 2", code)
+	}
+	if code := run([]string{"diff", "-threshold", "-1", "a", "b"}); code != 2 {
+		t.Fatalf("bad threshold: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"ips/internal/obs"
+)
+
+// writeReport renders one manifest as a text report.
+func writeReport(w io.Writer, m *obs.Manifest) {
+	fmt.Fprintf(w, "tool        %s (%s %s/%s, GOMAXPROCS %d)\n",
+		m.Tool, m.GoVersion, m.GOOS, m.GOARCH, m.GoMaxProcs)
+	fmt.Fprintf(w, "seed        %d\n", m.Seed)
+	if len(m.Config) > 0 {
+		keys := make([]string, 0, len(m.Config))
+		for k := range m.Config {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s=%v", k, m.Config[k]))
+		}
+		fmt.Fprintf(w, "config      %s\n", strings.Join(parts, " "))
+	}
+	if d := m.Dataset; d != nil {
+		fmt.Fprintf(w, "dataset     %s (%d train / %d test, length %d, %d classes)\n",
+			d.Name, d.Train, d.Test, d.Length, d.Classes)
+		if d.Hash != "" {
+			fmt.Fprintf(w, "data hash   %s\n", d.Hash)
+		}
+	}
+	if m.Accuracy != nil {
+		fmt.Fprintf(w, "accuracy    %.2f%%\n", *m.Accuracy)
+	}
+	if e := m.Error; e != nil {
+		fmt.Fprintf(w, "error       [%s] %s\n", e.Class, e.Message)
+		if e.Stage != "" {
+			fmt.Fprintf(w, "            stage=%s op=%s dataset=%s\n", e.Stage, e.Op, e.Dataset)
+		}
+	}
+
+	if m.Spans != nil {
+		fmt.Fprintf(w, "\nspans (total %s):\n", fmtDur(m.Spans.DurationNS))
+		writeSpanTree(w, m.Spans, "  ", m.Spans.DurationNS)
+	}
+
+	if mt := m.Metrics; mt != nil {
+		if len(mt.Counters) > 0 {
+			fmt.Fprintf(w, "\ncounters:\n")
+			for _, k := range sortedKeys(mt.Counters) {
+				fmt.Fprintf(w, "  %-40s %d\n", k, mt.Counters[k])
+			}
+		}
+		if len(mt.Histograms) > 0 {
+			fmt.Fprintf(w, "\nhistograms:\n")
+			for _, k := range sortedKeys(mt.Histograms) {
+				h := mt.Histograms[k]
+				line := fmt.Sprintf("  %-40s n=%d sum=%g", k, h.Count, h.Sum)
+				for _, q := range []string{"p50", "p95", "p99"} {
+					if v, ok := h.Quantiles[q]; ok {
+						line += fmt.Sprintf(" %s=%g", q, v)
+					}
+				}
+				fmt.Fprintln(w, line)
+			}
+		}
+	}
+
+	if len(m.Flight) > 0 {
+		var peakHeap, peakGoroutines uint64
+		last := m.Flight[len(m.Flight)-1]
+		for _, s := range m.Flight {
+			if s.HeapAllocBytes > peakHeap {
+				peakHeap = s.HeapAllocBytes
+			}
+			if uint64(s.Goroutines) > peakGoroutines {
+				peakGoroutines = uint64(s.Goroutines)
+			}
+		}
+		fmt.Fprintf(w, "\nflight      %d samples over %s\n",
+			len(m.Flight), fmtDur(last.OffsetNS))
+		fmt.Fprintf(w, "            peak heap %s, peak goroutines %d, GC cycles %d, GC pause total %s\n",
+			fmtBytes(peakHeap), peakGoroutines, last.NumGC, fmtDur(int64(last.GCPauseTotalNS)))
+	}
+}
+
+// writeSpanTree prints the span hierarchy with durations and percentages of
+// the root's wall time.
+func writeSpanTree(w io.Writer, n *obs.SpanNode, indent string, total int64) {
+	pct := ""
+	if total > 0 {
+		pct = fmt.Sprintf(" (%.1f%%)", 100*float64(n.DurationNS)/float64(total))
+	}
+	fmt.Fprintf(w, "%s%-24s %s%s\n", indent, n.Name, fmtDur(n.DurationNS), pct)
+	for _, c := range n.Children {
+		writeSpanTree(w, c, indent+"  ", total)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fmtDur(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -155,6 +155,9 @@ func (h *Harness) RunIPS(ctx context.Context, train, test *ts.Dataset) (MethodRe
 		sumAcc += acc
 		model = m
 	}
+	obs.Log(ctx).Info("IPS runs measured", "op", "bench.run-ips",
+		"dataset", train.Name, "runs", n,
+		"accuracy", sumAcc/float64(n), "avg_runtime", sumRT/time.Duration(n))
 	return MethodResult{
 		Accuracy: sumAcc / float64(n),
 		Runtime:  sumRT / time.Duration(n),

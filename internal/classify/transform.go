@@ -129,6 +129,9 @@ func TransformCtx(ctx context.Context, d *ts.Dataset, shapelets []Shapelet, work
 	}
 	total.Annotate(sp)
 	total.AddTo(sp.Metrics())
+	obs.Log(ctx).Debug("shapelet transform done", "op", "classify.transform",
+		"instances", len(d.Instances), "shapelets", len(shapelets),
+		"workers", max(workers, 1), "rolling", total.Rolling, "fft", total.FFT)
 	return out, nil
 }
 

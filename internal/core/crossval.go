@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"ips/internal/errs"
+	"ips/internal/obs"
 	"ips/internal/ts"
 )
 
@@ -71,6 +72,8 @@ func CrossValidate(ctx context.Context, d *ts.Dataset, opt Options, folds int, s
 		if err != nil {
 			return partialOn(res, err)
 		}
+		obs.Log(ctx).Info("fold done", "op", "crossval", "dataset", d.Name,
+			"fold", f, "folds", folds, "accuracy", acc)
 		res.FoldAccuracies = append(res.FoldAccuracies, acc)
 	}
 	var sum float64

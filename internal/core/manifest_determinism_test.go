@@ -1,0 +1,63 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"ips/internal/obs"
+	"ips/internal/ucr"
+)
+
+// evaluateManifest runs the full pipeline at a fixed seed under a live
+// observer and builds the run's manifest, exactly as cmd/ips -manifest does.
+func evaluateManifest(t *testing.T) *obs.Manifest {
+	t.Helper()
+	train, test, err := ucr.GenerateByName("ItalyPowerDemand", ucr.GenConfig{Seed: 1, MaxTrain: 20, MaxTest: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New("ips")
+	opt := Options{K: 3, Workers: 2, Obs: o}.WithDefaults()
+	opt.IP.Seed, opt.DABF.Seed, opt.SVM.Seed = 1, 1, 1
+	acc, _, err := Evaluate(context.Background(), train, test, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Finish()
+	return obs.BuildManifest(o, obs.RunInfo{
+		Tool: "ips", Seed: 1,
+		Config: map[string]any{"k": 3, "workers": 2},
+		Dataset: &obs.DatasetInfo{
+			Name: train.Name, Hash: train.ContentHash(),
+			Train: train.Len(), Test: test.Len(),
+			Length: train.SeriesLen(), Classes: len(train.Classes()),
+		},
+		Accuracy: &acc,
+	})
+}
+
+// TestManifestCrossRunDeterminism is the end-to-end byte-determinism pin:
+// two full pipeline runs at the same seed must produce byte-identical
+// manifests once Normalize strips the fields that legitimately vary between
+// runs (wall times and timing-derived metric values).  Everything else —
+// span tree shape, attribute values, counter values, accuracy, dataset
+// hash — is covered by the byte comparison, so any nondeterminism sneaking
+// into the pipeline shows up here as a diff.
+func TestManifestCrossRunDeterminism(t *testing.T) {
+	m1 := evaluateManifest(t)
+	m2 := evaluateManifest(t)
+	m1.Normalize()
+	m2.Normalize()
+	b1, err := m1.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := m2.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("normalized manifests of two same-seed runs differ:\n--- run 1\n%s\n--- run 2\n%s", b1, b2)
+	}
+}

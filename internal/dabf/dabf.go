@@ -237,6 +237,10 @@ func BuildSpan(ctx context.Context, pool *ip.Pool, cfg Config, sp *obs.Span) (*D
 		fsp.SetString("dist", cf.Dist.Name())
 		fsp.SetFloat("nmse", cf.FitNMSE)
 		fsp.End()
+		obs.Log(ctx).Debug("class filter fitted", "op", "dabf.build",
+			"class", class, "candidates", len(cands),
+			"buckets", len(cf.Buckets), "dist", cf.Dist.Name(),
+			"nmse", cf.FitNMSE, "degenerate", cf.Degenerate)
 	}
 	if len(d.PerClass) == 0 {
 		return nil, errs.BadInput(errs.StagePruning, "dabf.build", "", "no class filters built")
@@ -408,6 +412,8 @@ func PruneSpan(ctx context.Context, pool *ip.Pool, d *DABF, sp *obs.Span) (*ip.P
 	sp.SetInt("examined", int64(st.Examined))
 	sp.SetInt("pruned", int64(st.Pruned))
 	sp.SetInt("refilled", int64(refilled))
+	obs.Log(ctx).Debug("pruning stats", "op", "dabf.prune",
+		"examined", st.Examined, "pruned", st.Pruned, "refilled", refilled)
 	return out, st, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"ips/internal/errs"
 	"ips/internal/fft"
+	"ips/internal/obs"
 	"ips/internal/ts"
 )
 
@@ -107,6 +108,8 @@ func (b *Batch) EvalIntoCtx(ctx context.Context, p *Prepared, out []float64, c *
 	var cbuf []complex128 // fft complex scratch, reused across queries
 	for _, g := range b.groups {
 		if err := errs.Ctx(ctx, errs.StageKernel, "dist.batch"); err != nil {
+			obs.Log(ctx).Debug("batch evaluation canceled",
+				"op", "dist.batch", "queries", len(b.queries))
 			return err
 		}
 		m := g.m
@@ -118,6 +121,9 @@ func (b *Batch) EvalIntoCtx(ctx context.Context, p *Prepared, out []float64, c *
 			continue
 		}
 		if n == 0 || m > n || !p.finite {
+			obs.Log(ctx).Debug("batch group fell back to exact distances",
+				"op", "dist.batch", "query_len", m, "series_len", n,
+				"finite", p.finite, "queries", len(g.idx))
 			for _, qi := range g.idx {
 				out[qi] = ts.Dist(b.queries[qi], p.t)
 				c.Exact++

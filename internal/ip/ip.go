@@ -263,6 +263,9 @@ func GenerateSpan(ctx context.Context, d *ts.Dataset, cfg Config, sp *obs.Span) 
 	if cfg.Workers > 1 && len(jobs) > 0 && len(jobs) < cfg.Workers {
 		kernelWorkers = (cfg.Workers + len(jobs) - 1) / len(jobs)
 	}
+	obs.Log(ctx).Debug("profile fan-out scheduled",
+		"op", "ip.generate", "dataset", d.Name, "jobs", len(jobs),
+		"workers", cfg.Workers, "kernel_workers", kernelWorkers)
 	psp := sp.Child("profiles")
 	psp.SetInt("jobs", int64(len(jobs)))
 	psp.SetInt("kernel_workers", int64(kernelWorkers))

@@ -224,6 +224,8 @@ func SelfJoinCtx(ctx context.Context, t []float64, w int, valid []bool, opt Opti
 	tiles := cutTiles(lo, n, workers, func(k int) int { return n - k })
 	sp.SetInt("workers", int64(workers))
 	sp.SetInt("tiles", int64(len(tiles)))
+	obs.Log(ctx).Debug("stomp self-join", "op", "mp.selfjoin",
+		"n", n, "w", w, "workers", workers, "tiles", len(tiles))
 
 	walk := func(pt *partial, tl tile) {
 		for k := tl.lo; k < tl.hi; k++ {
@@ -300,6 +302,8 @@ func ABJoinCtx(ctx context.Context, a, b []float64, w int, validA, validB []bool
 	tiles := cutTiles(0, nd, workers, diagLen)
 	sp.SetInt("workers", int64(workers))
 	sp.SetInt("tiles", int64(len(tiles)))
+	obs.Log(ctx).Debug("stomp ab-join", "op", "mp.abjoin",
+		"na", na, "nb", nb, "w", w, "workers", workers, "tiles", len(tiles))
 
 	walk := func(pt *partial, tl tile) {
 		for s := tl.lo; s < tl.hi; s++ {

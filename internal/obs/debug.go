@@ -9,10 +9,11 @@ import (
 
 // DebugMux returns an http.ServeMux exposing live-profiling hooks:
 // net/http/pprof under /debug/pprof/, expvar under /debug/vars, the
-// registry's text exposition at /metrics, and its JSON form at
-// /metrics.json.  reg may be nil (the metric endpoints then serve empty
+// registry's text exposition at /metrics, its JSON form at /metrics.json,
+// and — when fr is non-nil — the flight recorder's ring buffer at
+// /debug/flight.  reg may be nil (the metric endpoints then serve empty
 // bodies).
-func DebugMux(reg *Registry) *http.ServeMux {
+func DebugMux(reg *Registry, fr *FlightRecorder) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -29,20 +30,24 @@ func DebugMux(reg *Registry) *http.ServeMux {
 		}
 		w.Write([]byte(reg.String()))
 	})
+	if fr != nil {
+		mux.Handle("/debug/flight", fr)
+	}
 	return mux
 }
 
 // ServeDebug starts the debug server on addr in a background goroutine and
-// returns it together with the bound address (useful with ":0").  The caller
-// owns the returned server; Close it to stop serving.
+// returns it together with the bound address (useful with ":0").  fr may be
+// nil (no /debug/flight endpoint).  The caller owns the returned server;
+// Close it to stop serving.
 //
 //lint:ignore ipslint/ctxfirst process-lifetime daemon: the caller stops it through http.Server.Close, not a context
-func ServeDebug(addr string, reg *Registry) (*http.Server, string, error) {
+func ServeDebug(addr string, reg *Registry, fr *FlightRecorder) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: DebugMux(reg)}
+	srv := &http.Server{Handler: DebugMux(reg, fr)}
 	go srv.Serve(ln)
 	return srv, ln.Addr().String(), nil
 }

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// FlightSample is one runtime snapshot captured by the flight recorder.
+// Offsets are relative to the recorder's start so samples carry no absolute
+// timestamps (manifests stay timestamp-free).
+type FlightSample struct {
+	OffsetNS       int64  `json:"offset_ns"`
+	Goroutines     int    `json:"goroutines"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
+	HeapObjects    uint64 `json:"heap_objects"`
+	NumGC          uint32 `json:"num_gc"`
+	GCPauseTotalNS uint64 `json:"gc_pause_total_ns"`
+	LastGCPauseNS  uint64 `json:"last_gc_pause_ns"`
+}
+
+// FlightRecorder samples runtime health — heap, goroutine count, GC pauses —
+// into a fixed-capacity ring buffer from a background goroutine: a black box
+// for the run that costs one ReadMemStats per interval and a bounded slice,
+// whatever the run length.  It serves its contents at /debug/flight on the
+// debug mux and is embedded into run manifests.
+//
+// The sampler goroutine exits when the context passed to StartFlight is
+// cancelled or when Stop is called, whichever comes first; Stop (and Wait)
+// block until it has drained, so a leak check bracketing Start/Stop sees the
+// goroutine gone.
+type FlightRecorder struct {
+	interval time.Duration
+	start    time.Time
+
+	mu    sync.Mutex
+	ring  []FlightSample
+	next  int
+	total int64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartFlight begins sampling every interval into a ring of the given
+// capacity and returns the running recorder.  Non-positive arguments fall
+// back to 10ms and 512 samples.  The sampler takes one sample immediately so
+// even a short run records at least one.
+func StartFlight(ctx context.Context, interval time.Duration, capacity int) *FlightRecorder {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	if capacity <= 0 {
+		capacity = 512
+	}
+	fr := &FlightRecorder{
+		interval: interval,
+		start:    time.Now(),
+		ring:     make([]FlightSample, 0, capacity),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	var cancel <-chan struct{}
+	if ctx != nil {
+		cancel = ctx.Done()
+	}
+	go fr.run(cancel)
+	return fr
+}
+
+// run is the sampler loop.  It records one final sample on the way out so
+// the buffer always covers the run's end state.
+func (fr *FlightRecorder) run(cancel <-chan struct{}) {
+	defer close(fr.done)
+	ticker := time.NewTicker(fr.interval)
+	defer ticker.Stop()
+	fr.sample()
+	for {
+		select {
+		case <-ticker.C:
+			fr.sample()
+		case <-cancel:
+			fr.sample()
+			return
+		case <-fr.stop:
+			fr.sample()
+			return
+		}
+	}
+}
+
+// sample appends one snapshot to the ring, overwriting the oldest once full.
+func (fr *FlightRecorder) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := FlightSample{
+		OffsetNS:       int64(time.Since(fr.start)),
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		HeapObjects:    ms.HeapObjects,
+		NumGC:          ms.NumGC,
+		GCPauseTotalNS: ms.PauseTotalNs,
+	}
+	if ms.NumGC > 0 {
+		s.LastGCPauseNS = ms.PauseNs[(ms.NumGC+255)%256]
+	}
+	fr.mu.Lock()
+	if len(fr.ring) < cap(fr.ring) {
+		fr.ring = append(fr.ring, s)
+	} else {
+		fr.ring[fr.next] = s
+		fr.next = (fr.next + 1) % len(fr.ring)
+	}
+	fr.total++
+	fr.mu.Unlock()
+}
+
+// Stop ends sampling and blocks until the sampler goroutine has exited.
+// Idempotent, safe on nil, and safe to call after the start context was
+// cancelled.
+func (fr *FlightRecorder) Stop() {
+	if fr == nil {
+		return
+	}
+	fr.stopOnce.Do(func() { close(fr.stop) })
+	<-fr.done
+}
+
+// Wait blocks until the sampler goroutine has exited (after Stop or context
+// cancellation).  Safe on nil.
+func (fr *FlightRecorder) Wait() {
+	if fr == nil {
+		return
+	}
+	<-fr.done
+}
+
+// Samples returns the buffered samples in chronological order (nil for a
+// nil recorder).
+func (fr *FlightRecorder) Samples() []FlightSample {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	out := make([]FlightSample, 0, len(fr.ring))
+	out = append(out, fr.ring[fr.next:]...)
+	out = append(out, fr.ring[:fr.next]...)
+	return out
+}
+
+// Total returns how many samples were taken over the recorder's lifetime,
+// including ones the ring has since overwritten.
+func (fr *FlightRecorder) Total() int64 {
+	if fr == nil {
+		return 0
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.total
+}
+
+// flightSnapshot is the JSON body served at /debug/flight.
+type flightSnapshot struct {
+	IntervalNS int64          `json:"interval_ns"`
+	Total      int64          `json:"total_samples"`
+	Samples    []FlightSample `json:"samples"`
+}
+
+// ServeHTTP serves the current ring as JSON, making the recorder mountable
+// at /debug/flight.
+func (fr *FlightRecorder) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if fr == nil {
+		if _, err := w.Write([]byte("{}")); err != nil {
+			return
+		}
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(flightSnapshot{
+		IntervalNS: int64(fr.interval),
+		Total:      fr.Total(),
+		Samples:    fr.Samples(),
+	}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,32 @@
+// The leak check lives in an external test package: internal/faulty imports
+// internal/ucr, which logs through obs, so an in-package test importing
+// faulty would close an import cycle.
+package obs_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ips/internal/faulty"
+	"ips/internal/obs"
+)
+
+// TestFlightRecorderDrainsOnCancel is the leak check: cancelling the context
+// (without calling Stop) must terminate the sampler goroutine.
+func TestFlightRecorderDrainsOnCancel(t *testing.T) {
+	lc := faulty.NewLeakCheck()
+	ctx, cancel := context.WithCancel(context.Background())
+	fr := obs.StartFlight(ctx, time.Millisecond, 64)
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	fr.Wait()
+	if diag := lc.Done(2 * time.Second); diag != "" {
+		t.Fatalf("sampler leaked after context cancellation:\n%s", diag)
+	}
+	// Stop after cancellation must not hang or panic.
+	fr.Stop()
+	if len(fr.Samples()) == 0 {
+		t.Fatal("no samples despite running before cancellation")
+	}
+}

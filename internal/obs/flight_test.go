@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderSamples(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fr := StartFlight(ctx, time.Millisecond, 64)
+	time.Sleep(20 * time.Millisecond)
+	fr.Stop()
+
+	samples := fr.Samples()
+	if len(samples) < 2 {
+		t.Fatalf("got %d samples, want at least 2", len(samples))
+	}
+	if fr.Total() < int64(len(samples)) {
+		t.Fatalf("total %d < returned %d", fr.Total(), len(samples))
+	}
+	prev := int64(-1)
+	for i, s := range samples {
+		if s.OffsetNS < prev {
+			t.Fatalf("sample %d offset %d < previous %d: not chronological", i, s.OffsetNS, prev)
+		}
+		prev = s.OffsetNS
+		if s.Goroutines <= 0 {
+			t.Fatalf("sample %d has %d goroutines", i, s.Goroutines)
+		}
+		if s.HeapAllocBytes == 0 {
+			t.Fatalf("sample %d has zero heap", i)
+		}
+	}
+	// Stop is idempotent and Samples stays stable after it.
+	fr.Stop()
+	if got := len(fr.Samples()); got != len(samples) {
+		t.Fatalf("samples changed after second Stop: %d != %d", got, len(samples))
+	}
+}
+
+func TestFlightRecorderRingOverwrite(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fr := StartFlight(ctx, 100*time.Microsecond, 4)
+	deadline := time.Now().Add(time.Second)
+	for fr.Total() < 10 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	fr.Stop()
+	if fr.Total() < 10 {
+		t.Skipf("sampler too slow on this machine: %d samples", fr.Total())
+	}
+	if got := len(fr.Samples()); got != 4 {
+		t.Fatalf("ring holds %d samples, want capacity 4", got)
+	}
+	// The ring keeps the newest samples: offsets must be the largest seen.
+	samples := fr.Samples()
+	if samples[0].OffsetNS == 0 {
+		t.Fatal("oldest retained sample is the very first: ring never overwrote")
+	}
+}
+
+func TestFlightRecorderNilSafety(t *testing.T) {
+	var fr *FlightRecorder
+	fr.Stop()
+	fr.Wait()
+	if fr.Samples() != nil || fr.Total() != 0 {
+		t.Fatal("nil recorder returned data")
+	}
+}
+
+func TestFlightEndpoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fr := StartFlight(ctx, time.Millisecond, 64)
+	time.Sleep(5 * time.Millisecond)
+	fr.Stop()
+
+	srv := httptest.NewServer(DebugMux(NewRegistry(), fr))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		IntervalNS int64          `json:"interval_ns"`
+		Total      int64          `json:"total_samples"`
+		Samples    []FlightSample `json:"samples"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("flight endpoint is not JSON: %v", err)
+	}
+	if snap.IntervalNS != int64(time.Millisecond) {
+		t.Fatalf("interval = %d, want %d", snap.IntervalNS, time.Millisecond)
+	}
+	if len(snap.Samples) == 0 || snap.Total == 0 {
+		t.Fatalf("flight endpoint empty: %+v", snap)
+	}
+}

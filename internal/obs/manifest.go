@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+
+	"ips/internal/errs"
+)
+
+// ManifestSchema versions the manifest JSON format; ipsobs refuses schemas
+// it does not understand.
+const ManifestSchema = 1
+
+// Manifest is the durable record of one run: what was run (tool, config,
+// seed, environment), on what (dataset name and content hash), what happened
+// (the span tree with wall times, metrics with quantile summaries, accuracy,
+// the typed error if any), and how the runtime behaved (flight-recorder
+// samples).  It is the artifact ipsobs reports on, diffs, and gates CI with.
+//
+// Encoding is deterministic: EncodeJSON serialises the same Manifest value
+// to identical bytes on every call (maps encode key-sorted, attributes are
+// pre-sorted, floats round-trip via strconv), and nothing in the manifest is
+// an absolute timestamp — spans carry durations, flight samples carry
+// offsets — so two runs at a fixed seed differ only where the runs
+// themselves did (wall times, runtime samples, environment).
+type Manifest struct {
+	Schema     int            `json:"schema"`
+	Tool       string         `json:"tool"`
+	GoVersion  string         `json:"go_version"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Seed       int64          `json:"seed"`
+	Config     map[string]any `json:"config,omitempty"`
+	Dataset    *DatasetInfo   `json:"dataset,omitempty"`
+	Spans      *SpanNode      `json:"spans,omitempty"`
+	Metrics    *MetricsDump   `json:"metrics,omitempty"`
+	Accuracy   *float64       `json:"accuracy,omitempty"`
+	Error      *ErrorInfo     `json:"error,omitempty"`
+	Flight     []FlightSample `json:"flight,omitempty"`
+}
+
+// DatasetInfo identifies the data a run consumed.  Hash is the dataset's
+// content hash (ts.Dataset.ContentHash), so a manifest diff can tell "code
+// got slower" apart from "data changed".
+type DatasetInfo struct {
+	Name    string `json:"name"`
+	Hash    string `json:"hash,omitempty"`
+	Train   int    `json:"train,omitempty"`
+	Test    int    `json:"test,omitempty"`
+	Length  int    `json:"length,omitempty"`
+	Classes int    `json:"classes,omitempty"`
+}
+
+// SpanNode is one span of the run's tree, durations only (no absolute
+// times).  Attrs are key-sorted at build time.
+type SpanNode struct {
+	Name       string      `json:"name"`
+	DurationNS int64       `json:"duration_ns"`
+	Attrs      []AttrPair  `json:"attrs,omitempty"`
+	Children   []*SpanNode `json:"children,omitempty"`
+}
+
+// AttrPair is one span attribute in the manifest.  Values are stringified so
+// the encoding never depends on the dynamic type's JSON behaviour.
+type AttrPair struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// MetricsDump is the manifest form of a registry snapshot.
+type MetricsDump struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// ErrorInfo records a run's typed failure: the errs.Error annotation plus
+// the sentinel class, so a manifest consumer can classify without parsing
+// the message.
+type ErrorInfo struct {
+	Message string `json:"message"`
+	Class   string `json:"class,omitempty"`
+	Stage   string `json:"stage,omitempty"`
+	Op      string `json:"op,omitempty"`
+	Dataset string `json:"dataset,omitempty"`
+}
+
+// RunInfo is the caller-supplied half of a manifest: everything BuildManifest
+// cannot read off the observer.
+type RunInfo struct {
+	Tool     string
+	Seed     int64
+	Config   map[string]any
+	Dataset  *DatasetInfo
+	Accuracy *float64 // nil when the run produced none
+	Err      error    // the run's failure, if any
+	Flight   *FlightRecorder
+}
+
+// BuildManifest assembles the manifest of a finished run from the observer's
+// span tree and metrics registry plus the caller's RunInfo.  The observer
+// may be nil (a failed run that never started one); so may every RunInfo
+// field.
+func BuildManifest(o *Observer, info RunInfo) *Manifest {
+	m := &Manifest{
+		Schema:     ManifestSchema,
+		Tool:       info.Tool,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Seed:       info.Seed,
+		Config:     info.Config,
+		Dataset:    info.Dataset,
+		Accuracy:   info.Accuracy,
+	}
+	if root := o.Root(); root != nil {
+		m.Spans = spanNode(root)
+	}
+	if reg := o.Metrics(); reg != nil {
+		m.Metrics = metricsDump(reg)
+	}
+	if info.Err != nil {
+		m.Error = errorInfo(info.Err)
+	}
+	if info.Flight != nil {
+		m.Flight = info.Flight.Samples()
+	}
+	return m
+}
+
+// spanNode converts a span subtree into its manifest form.
+func spanNode(s *Span) *SpanNode {
+	n := &SpanNode{Name: s.Name(), DurationNS: int64(s.Duration())}
+	attrs := s.Attrs()
+	if len(attrs) > 0 {
+		n.Attrs = make([]AttrPair, len(attrs))
+		for i, a := range attrs {
+			n.Attrs[i] = AttrPair{Key: a.Key, Value: fmt.Sprint(a.Value)}
+		}
+		sort.Slice(n.Attrs, func(i, j int) bool {
+			if n.Attrs[i].Key != n.Attrs[j].Key {
+				return n.Attrs[i].Key < n.Attrs[j].Key
+			}
+			return n.Attrs[i].Value < n.Attrs[j].Value
+		})
+	}
+	for _, c := range s.Children() {
+		n.Children = append(n.Children, spanNode(c))
+	}
+	return n
+}
+
+// metricsDump snapshots a registry into plain maps.
+func metricsDump(r *Registry) *MetricsDump {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d := &MetricsDump{}
+	if len(r.counters) > 0 {
+		d.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			d.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		d.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			d.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		d.Histograms = make(map[string]HistSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			d.Histograms[name] = h.Snapshot()
+		}
+	}
+	return d
+}
+
+// errorInfo flattens a run error into its manifest record.
+func errorInfo(err error) *ErrorInfo {
+	ei := &ErrorInfo{Message: err.Error(), Class: ErrClass(err)}
+	var e *errs.Error
+	if errors.As(err, &e) {
+		ei.Stage = string(e.Stage)
+		ei.Op = e.Op
+		ei.Dataset = e.Dataset
+	}
+	return ei
+}
+
+// EncodeJSON serialises the manifest with stable formatting: indented,
+// key-sorted maps (encoding/json's map behaviour), trailing newline.  The
+// same value encodes to identical bytes on every call.
+func (m *Manifest) EncodeJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteTo writes the JSON encoding to w.
+func (m *Manifest) WriteTo(w io.Writer) (int64, error) {
+	b, err := m.EncodeJSON()
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// WriteFile writes the manifest to path.
+func (m *Manifest) WriteFile(path string) error {
+	b, err := m.EncodeJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Normalize zeroes every field that legitimately varies between two runs of
+// the same configuration — span durations, flight samples, quantile
+// estimates and metric values that depend on timing — leaving the run's
+// structure: span tree shape, attribute sets, counter names, config,
+// dataset identity.  Two runs at the same seed must produce byte-identical
+// normalized manifests; the determinism test pins exactly that.
+func (m *Manifest) Normalize() {
+	if m == nil {
+		return
+	}
+	var walk func(n *SpanNode)
+	walk = func(n *SpanNode) {
+		if n == nil {
+			return
+		}
+		n.DurationNS = 0
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(m.Spans)
+	m.Flight = nil
+	if m.Metrics != nil {
+		for name, h := range m.Metrics.Histograms {
+			h.Sum = 0
+			h.Quantiles = nil
+			m.Metrics.Histograms[name] = h
+		}
+		for name := range m.Metrics.Gauges {
+			m.Metrics.Gauges[name] = 0
+		}
+	}
+}
+
+// ReadManifest parses a manifest file, rejecting unknown schemas.
+func ReadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("%s: unsupported manifest schema %d (want %d)", path, m.Schema, ManifestSchema)
+	}
+	return &m, nil
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ips/internal/errs"
+)
+
+// buildRun exercises one synthetic "run" against an observer and returns its
+// manifest — called twice by the determinism test.
+func buildRun() *Manifest {
+	o := New("ips")
+	sp := o.Root().Child("discover")
+	gen := sp.Child("candidate-gen")
+	gen.SetInt("candidates", 420)
+	gen.SetString("kind", "motif")
+	gen.End()
+	sp.End()
+	o.Finish()
+	o.Metrics().Counter("dists").Add(1234)
+	o.Metrics().Gauge("load").Set(1.5)
+	h := o.Metrics().Histogram("lat", []float64{1, 10, 100})
+	for i := 1; i <= 50; i++ {
+		h.Observe(float64(i))
+	}
+	acc := 93.25
+	return BuildManifest(o, RunInfo{
+		Tool: "ips", Seed: 7,
+		Config:   map[string]any{"k": 5, "workers": 2, "dataset": "GunPoint"},
+		Dataset:  &DatasetInfo{Name: "GunPoint", Hash: "sha256:abc", Train: 50, Test: 150, Length: 150, Classes: 2},
+		Accuracy: &acc,
+	})
+}
+
+// TestManifestEncodeDeterministic pins byte-determinism at both layers: the
+// same value encodes identically twice, and two fresh runs of the same
+// deterministic work encode identically after Normalize strips what
+// legitimately varies (durations, timing-derived metric values).
+func TestManifestEncodeDeterministic(t *testing.T) {
+	m := buildRun()
+	b1, err := m.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := m.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same manifest encoded to different bytes")
+	}
+
+	ma, mb := buildRun(), buildRun()
+	ma.Normalize()
+	mb.Normalize()
+	ba, err := ma.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := mb.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba, bb) {
+		t.Fatalf("normalized manifests of identical runs differ:\n--- a\n%s\n--- b\n%s", ba, bb)
+	}
+	if strings.Contains(string(ba), "duration_ns\": ") && !strings.Contains(string(ba), "\"duration_ns\": 0") {
+		t.Fatal("Normalize left a nonzero duration")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := buildRun()
+	m.Error = errorInfo(errs.BadInput(errs.StageSelection, "discover", "GunPoint", "no shapelets"))
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "ips" || got.Seed != 7 || got.Dataset.Hash != "sha256:abc" {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if got.Spans == nil || got.Spans.Name != "ips" || len(got.Spans.Children) != 1 {
+		t.Fatalf("span tree lost: %+v", got.Spans)
+	}
+	if got.Error == nil || got.Error.Stage != "selection" || got.Error.Class != "bad-input" {
+		t.Fatalf("error info lost: %+v", got.Error)
+	}
+	if got.Metrics.Counters["dists"] != 1234 {
+		t.Fatalf("metrics lost: %+v", got.Metrics)
+	}
+	if q := got.Metrics.Histograms["lat"].Quantiles; q == nil || q["p50"] == 0 {
+		t.Fatalf("histogram quantiles lost: %+v", got.Metrics.Histograms["lat"])
+	}
+
+	// Unknown schema is rejected.
+	bad := buildRun()
+	bad.Schema = 99
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	if err := bad.WriteFile(badPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(badPath); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}
+
+// TestManifestSpanAttrsSorted guards the determinism of attribute encoding:
+// attrs come out key-sorted and stringified regardless of set order.
+func TestManifestSpanAttrsSorted(t *testing.T) {
+	o := New("run")
+	sp := o.Root().Child("stage")
+	sp.SetString("zeta", "last")
+	sp.SetInt("alpha", 1)
+	sp.SetFloat("mid", 2.5)
+	sp.End()
+	o.Finish()
+	m := BuildManifest(o, RunInfo{Tool: "t"})
+	attrs := m.Spans.Children[0].Attrs
+	if len(attrs) != 3 || attrs[0].Key != "alpha" || attrs[1].Key != "mid" || attrs[2].Key != "zeta" {
+		t.Fatalf("attrs not sorted: %+v", attrs)
+	}
+	if attrs[0].Value != "1" || attrs[1].Value != "2.5" {
+		t.Fatalf("attrs not stringified: %+v", attrs)
+	}
+}
+
+func TestBuildManifestNilObserver(t *testing.T) {
+	m := BuildManifest(nil, RunInfo{Tool: "ips", Err: errors.New("boom")})
+	if m.Spans != nil || m.Metrics != nil {
+		t.Fatal("nil observer produced spans/metrics")
+	}
+	if m.Error == nil || m.Error.Message != "boom" {
+		t.Fatalf("error lost: %+v", m.Error)
+	}
+	if _, err := m.EncodeJSON(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -20,6 +22,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	log      atomic.Pointer[slog.Logger]
 }
 
 // NewRegistry returns an empty registry.
@@ -73,10 +76,40 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// SetLogger installs the logger the registry reports misuse through (the
+// bounds-mismatch warning of Histogram).  Nil restores the silent default.
+// Safe on a nil registry and from any goroutine.
+func (r *Registry) SetLogger(l *slog.Logger) {
+	if r == nil {
+		return
+	}
+	if l == nil {
+		r.log.Store(nil)
+		return
+	}
+	r.log.Store(l)
+}
+
+func (r *Registry) logger() *slog.Logger {
+	if l := r.log.Load(); l != nil {
+		return l
+	}
+	return nopLogger
+}
+
 // Histogram returns the named fixed-bucket histogram, creating it with the
-// given upper bounds on first use (later calls reuse the existing buckets;
-// nil for a nil registry).  Bounds must be sorted ascending; an implicit
-// +Inf bucket catches the overflow.
+// given upper bounds on first use.  Bounds must be sorted ascending; an
+// implicit +Inf bucket catches the overflow.
+//
+// Deduplication is by name alone: later calls reuse the first histogram
+// as-is, whatever bounds they pass.  A later call whose bounds differ from
+// the registered ones therefore observes into the original buckets — that
+// call's bounds are dropped, and the mismatch is reported as a warning
+// through the registry's logger (SetLogger) so the misconfiguration cannot
+// stay silent.  Nil for a nil registry.
+//
+// Every histogram also feeds a fixed-memory P² quantile summary (p50, p95,
+// p99), exposed by Snapshot and both expositions.
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
@@ -85,17 +118,33 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	h := r.hists[name]
 	r.mu.RUnlock()
 	if h != nil {
+		h.warnBoundsMismatch(r, name, bounds)
 		return h
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if h = r.hists[name]; h == nil {
 		b := make([]float64, len(bounds))
 		copy(b, bounds)
-		h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1), quants: newQuantileSet()}
 		r.hists[name] = h
+		r.mu.Unlock()
+		return h
 	}
+	r.mu.Unlock()
+	h.warnBoundsMismatch(r, name, bounds)
 	return h
+}
+
+// warnBoundsMismatch logs when a Histogram call asked for bounds that differ
+// from the ones the named histogram was registered with.
+func (h *Histogram) warnBoundsMismatch(r *Registry, name string, bounds []float64) {
+	if slices.Equal(h.bounds, bounds) {
+		return
+	}
+	r.logger().Warn("histogram bounds mismatch: reusing first registration, new bounds dropped",
+		slog.String("histogram", name),
+		slog.Any("registered_bounds", h.bounds),
+		slog.Any("requested_bounds", bounds))
 }
 
 // Counter is a monotone atomic counter.
@@ -155,11 +204,16 @@ func (g *Gauge) Value() float64 {
 
 // Histogram counts observations into fixed buckets: bucket i counts values
 // v ≤ bounds[i] (and > bounds[i-1]); the final bucket is the +Inf overflow.
+// Alongside the buckets it maintains a streaming P² quantile summary (p50,
+// p95, p99) in constant memory.
 type Histogram struct {
 	bounds  []float64
 	counts  []atomic.Int64
 	count   atomic.Int64
 	sumBits atomic.Uint64
+
+	qmu    sync.Mutex
+	quants *quantileSet
 }
 
 // Observe records one value (no-op on nil).
@@ -170,6 +224,11 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.counts[i].Add(1)
 	h.count.Add(1)
+	if h.quants != nil {
+		h.qmu.Lock()
+		h.quants.observe(v)
+		h.qmu.Unlock()
+	}
 	for {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -185,9 +244,13 @@ type HistSnapshot struct {
 	Counts []int64   `json:"counts"` // len(Bounds)+1; last is +Inf overflow
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
+	// Quantiles carries the streaming P² estimates keyed "p50", "p95",
+	// "p99"; nil before the first observation.
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
 }
 
-// Snapshot returns the current bucket counts (zero value for nil).
+// Snapshot returns the current bucket counts and quantile estimates (zero
+// value for nil).
 func (h *Histogram) Snapshot() HistSnapshot {
 	if h == nil {
 		return HistSnapshot{}
@@ -200,6 +263,11 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+	}
+	if h.quants != nil {
+		h.qmu.Lock()
+		s.Quantiles = h.quants.snapshot()
+		h.qmu.Unlock()
 	}
 	return s
 }
@@ -216,7 +284,8 @@ func sortedKeys[V any](m map[string]V) []string {
 
 // WriteText writes a Prometheus-flavoured plain-text exposition: one
 // `name value` line per counter/gauge, and `name_bucket{le="..."}` /
-// `name_sum` / `name_count` lines per histogram.  No-op on nil.
+// `name{quantile="..."}` / `name_sum` / `name_count` lines per histogram.
+// No-op on nil.
 func (r *Registry) WriteText(w io.Writer) {
 	if r == nil {
 		return
@@ -238,6 +307,11 @@ func (r *Registry) WriteText(w io.Writer) {
 		}
 		cum += s.Counts[len(s.Counts)-1]
 		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		if s.Quantiles != nil {
+			for qi, q := range histQuantiles {
+				fmt.Fprintf(w, "%s{quantile=%q} %g\n", name, fmt.Sprintf("%g", q), s.Quantiles[histQuantileNames[qi]])
+			}
+		}
 		fmt.Fprintf(w, "%s_sum %g\n", name, s.Sum)
 		fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
 	}

@@ -193,7 +193,7 @@ func TestRegistryExposition(t *testing.T) {
 func TestDebugMux(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("x").Inc()
-	srv := httptest.NewServer(DebugMux(r))
+	srv := httptest.NewServer(DebugMux(r, nil))
 	defer srv.Close()
 	for path, want := range map[string]string{
 		"/metrics":                     "x 1",

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// P2 is a streaming quantile estimator after Jain & Chlamtac's P² algorithm:
+// five markers track the running minimum, the target quantile, the two
+// mid-quantiles flanking it, and the maximum, adjusting marker heights by a
+// piecewise-parabolic interpolation as observations arrive.  Memory is
+// constant (five heights, five positions) regardless of stream length, and
+// the estimate is exact until the sixth observation.
+//
+// P2 is not concurrency-safe; Histogram serialises access for the registry
+// path.  Given the same observation sequence the estimate is deterministic.
+type P2 struct {
+	p    float64    // target quantile in (0, 1)
+	n    int        // observations seen
+	q    [5]float64 // marker heights
+	pos  [5]float64 // actual marker positions (1-based)
+	want [5]float64 // desired marker positions
+	dn   [5]float64 // desired-position increments per observation
+}
+
+// NewP2 returns an estimator for the p-quantile, 0 < p < 1.
+func NewP2(p float64) *P2 {
+	e := &P2{p: p}
+	e.dn = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e
+}
+
+// Observe feeds one value into the estimator.
+func (e *P2) Observe(v float64) {
+	if e.n < 5 {
+		e.q[e.n] = v
+		e.n++
+		if e.n == 5 {
+			sort.Float64s(e.q[:])
+			for i := range e.pos {
+				e.pos[i] = float64(i + 1)
+				e.want[i] = 1 + 4*e.dn[i]
+			}
+		}
+		return
+	}
+
+	// Locate the cell containing v and clamp the extreme markers.
+	var k int
+	switch {
+	case v < e.q[0]:
+		e.q[0] = v
+		k = 0
+	case v >= e.q[4]:
+		e.q[4] = v
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if v < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := range e.want {
+		e.want[i] += e.dn[i]
+	}
+
+	// Nudge the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			q := e.parabolic(i, s)
+			if e.q[i-1] < q && q < e.q[i+1] {
+				e.q[i] = q
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+	e.n++
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for moving
+// marker i by d ∈ {−1, +1}.
+func (e *P2) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+d)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-d)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+// linear is the fallback height prediction when the parabola overshoots a
+// neighbouring marker.
+func (e *P2) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// Count returns the number of observations fed so far.
+func (e *P2) Count() int { return e.n }
+
+// Quantile returns the current estimate: NaN before the first observation,
+// the exact sample quantile while n ≤ 5, the P² marker height afterwards.
+func (e *P2) Quantile() float64 {
+	switch {
+	case e.n == 0:
+		return math.NaN()
+	case e.n < 5:
+		s := append([]float64(nil), e.q[:e.n]...)
+		sort.Float64s(s)
+		idx := int(math.Ceil(e.p*float64(e.n))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= e.n {
+			idx = e.n - 1
+		}
+		return s[idx]
+	}
+	return e.q[2]
+}
+
+// histQuantiles are the summary quantiles every registry histogram tracks.
+var histQuantiles = []float64{0.5, 0.95, 0.99}
+
+// histQuantileNames label histQuantiles in snapshots and reports.
+var histQuantileNames = []string{"p50", "p95", "p99"}
+
+// quantileSet bundles one P2 estimator per summary quantile.  Access is
+// serialised by the owning Histogram.
+type quantileSet struct {
+	est [3]*P2
+}
+
+func newQuantileSet() *quantileSet {
+	qs := &quantileSet{}
+	for i, p := range histQuantiles {
+		qs.est[i] = NewP2(p)
+	}
+	return qs
+}
+
+func (qs *quantileSet) observe(v float64) {
+	for _, e := range qs.est {
+		e.Observe(v)
+	}
+}
+
+// snapshot returns the current estimates keyed p50/p95/p99, or nil before
+// the first observation.
+func (qs *quantileSet) snapshot() map[string]float64 {
+	if qs.est[0].Count() == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(qs.est))
+	for i, e := range qs.est {
+		out[histQuantileNames[i]] = e.Quantile()
+	}
+	return out
+}

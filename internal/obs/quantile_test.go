@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// exactQuantile returns the same ceil(p·n) order statistic the P² estimator
+// reports exactly for small n.
+func exactQuantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// rankError measures estimator quality on the rank scale: the fraction of
+// observations between the estimate and the true quantile.  Rank error is
+// the right yardstick for P² — on heavy-tailed data a value-scale error can
+// be huge while the estimate is only a handful of ranks off.
+func rankError(sorted []float64, estimate float64, p float64) float64 {
+	below := sort.SearchFloat64s(sorted, estimate)
+	return math.Abs(float64(below)/float64(len(sorted)) - p)
+}
+
+// TestP2AgainstExactQuantiles is the property test of the streaming
+// estimator: over seeded uniform, normal, and heavy-tailed distributions,
+// every tracked quantile must land within a small rank distance of the
+// exact sort-based quantile.
+func TestP2AgainstExactQuantiles(t *testing.T) {
+	distributions := map[string]func(r *rand.Rand) float64{
+		"uniform": func(r *rand.Rand) float64 { return r.Float64() },
+		"normal":  func(r *rand.Rand) float64 { return r.NormFloat64() },
+		"heavy-tail": func(r *rand.Rand) float64 {
+			// Pareto-like: x = u^{-1/alpha} with alpha 1.2 has infinite
+			// variance — the stress case for any moment-based summary.
+			u := r.Float64()
+			if u < 1e-12 {
+				u = 1e-12
+			}
+			return math.Pow(u, -1/1.2)
+		},
+		"bimodal": func(r *rand.Rand) float64 {
+			if r.Intn(2) == 0 {
+				return r.NormFloat64()
+			}
+			return 100 + r.NormFloat64()
+		},
+	}
+	quantiles := []float64{0.5, 0.95, 0.99}
+	const n = 20000
+	const maxRankErr = 0.02
+
+	for name, draw := range distributions {
+		for qi, p := range quantiles {
+			for seed := int64(1); seed <= 3; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				est := NewP2(p)
+				values := make([]float64, 0, n)
+				for i := 0; i < n; i++ {
+					v := draw(rng)
+					est.Observe(v)
+					values = append(values, v)
+				}
+				sort.Float64s(values)
+				got := est.Quantile()
+				if math.IsNaN(got) {
+					t.Fatalf("%s p%v seed %d: estimate is NaN", name, p, seed)
+				}
+				if re := rankError(values, got, p); re > maxRankErr {
+					t.Errorf("%s p%v seed %d: rank error %.4f > %.4f (est %v, exact %v)",
+						name, p, seed, re, maxRankErr, got, exactQuantile(values, p))
+				}
+				if est.Count() != n {
+					t.Fatalf("count = %d, want %d", est.Count(), n)
+				}
+				_ = qi
+			}
+		}
+	}
+}
+
+// TestP2SmallSamples pins the exact-mode contract: for fewer than five
+// observations the estimator returns the exact order statistic.
+func TestP2SmallSamples(t *testing.T) {
+	est := NewP2(0.5)
+	if !math.IsNaN(est.Quantile()) {
+		t.Fatal("empty estimator did not return NaN")
+	}
+	for _, v := range []float64{5, 1, 3} {
+		est.Observe(v)
+	}
+	if got := est.Quantile(); got != 3 {
+		t.Fatalf("median of {1,3,5} = %v, want 3", got)
+	}
+	est99 := NewP2(0.99)
+	est99.Observe(2)
+	est99.Observe(7)
+	if got := est99.Quantile(); got != 7 {
+		t.Fatalf("p99 of {2,7} = %v, want 7", got)
+	}
+}
+
+// TestP2Monotone feeds a monotone stream: the p-quantile estimate must stay
+// within the observed range and increase with p.
+func TestP2Monotone(t *testing.T) {
+	ests := []*P2{NewP2(0.5), NewP2(0.95), NewP2(0.99)}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		for _, e := range ests {
+			e.Observe(float64(i))
+		}
+	}
+	prev := math.Inf(-1)
+	for _, e := range ests {
+		q := e.Quantile()
+		if q < 0 || q > n-1 {
+			t.Fatalf("p%v estimate %v outside observed range", e.p, q)
+		}
+		if q < prev {
+			t.Fatalf("quantile estimates not monotone in p: %v after %v", q, prev)
+		}
+		prev = q
+	}
+}
+
+// TestHistogramQuantiles verifies the registry plumbing: a histogram's
+// snapshot and text exposition both carry the streaming quantiles.
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{10, 100})
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.Quantiles == nil {
+		t.Fatal("snapshot has no quantiles")
+	}
+	for q, want := range map[string]float64{"p50": 500, "p95": 950, "p99": 990} {
+		got, ok := s.Quantiles[q]
+		if !ok {
+			t.Fatalf("snapshot missing %s: %v", q, s.Quantiles)
+		}
+		if math.Abs(got-want) > 25 {
+			t.Fatalf("%s = %v, want ~%v", q, got, want)
+		}
+	}
+
+	var sb strings.Builder
+	r.WriteText(&sb)
+	text := sb.String()
+	for _, want := range []string{`lat{quantile="0.5"}`, `lat{quantile="0.95"}`, `lat{quantile="0.99"}`} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// A histogram with no observations exposes no quantile lines.
+	r2 := NewRegistry()
+	r2.Histogram("empty", nil)
+	var sb2 strings.Builder
+	r2.WriteText(&sb2)
+	if strings.Contains(sb2.String(), "quantile") {
+		t.Fatalf("empty histogram emitted quantiles:\n%s", sb2.String())
+	}
+}

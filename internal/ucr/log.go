@@ -1,0 +1,62 @@
+package ucr
+
+import (
+	"context"
+	"log/slog"
+
+	"ips/internal/obs"
+	"ips/internal/ts"
+)
+
+// The Ctx variants log what was loaded — name, shape, and content hash —
+// through the context logger at debug level.  The hash walks the whole
+// dataset, so it is computed only when a debug record would actually be
+// emitted; with logging off the variants cost one context lookup over their
+// plain counterparts.
+
+// logDataset emits one debug record describing a loaded or generated split.
+func logDataset(ctx context.Context, op string, d *ts.Dataset) {
+	lg := obs.Log(ctx)
+	if !lg.Enabled(ctx, slog.LevelDebug) {
+		return
+	}
+	lg.Debug("dataset ready",
+		slog.String("op", op),
+		slog.String("dataset", d.Name),
+		slog.Int("instances", d.Len()),
+		slog.Int("length", d.SeriesLen()),
+		slog.Int("classes", len(d.Classes())),
+		slog.String("hash", d.ContentHash()))
+}
+
+// LoadTSVCtx is LoadTSV with a debug log record on success.
+func LoadTSVCtx(ctx context.Context, path string) (*ts.Dataset, error) {
+	d, err := LoadTSV(path)
+	if err != nil {
+		return nil, err
+	}
+	logDataset(ctx, "ucr.load-tsv", d)
+	return d, nil
+}
+
+// LoadSplitCtx is LoadSplit with debug log records on success.
+func LoadSplitCtx(ctx context.Context, dir, name string) (train, test *ts.Dataset, err error) {
+	train, test, err = LoadSplit(dir, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	logDataset(ctx, "ucr.load-split", train)
+	logDataset(ctx, "ucr.load-split", test)
+	return train, test, nil
+}
+
+// GenerateByNameCtx is GenerateByName with debug log records on success.
+func GenerateByNameCtx(ctx context.Context, name string, cfg GenConfig) (train, test *ts.Dataset, err error) {
+	train, test, err = GenerateByName(name, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	logDataset(ctx, "ucr.generate", train)
+	logDataset(ctx, "ucr.generate", test)
+	return train, test, nil
+}

@@ -126,7 +126,7 @@ func NewObserver(name string) *Observer { return obs.New(name) }
 // /metrics (text) and /metrics.json.  It returns the server and the bound
 // address (useful with ":0"); o may be nil to expose profiling only.
 func ServeDebug(addr string, o *Observer) (*http.Server, string, error) {
-	return obs.ServeDebug(addr, o.Metrics())
+	return obs.ServeDebug(addr, o.Metrics(), nil)
 }
 
 // DefaultOptions returns the paper's default parameters: k = 5 shapelets per
