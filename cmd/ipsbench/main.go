@@ -239,7 +239,7 @@ func main() {
 			os.Exit(2)
 		}
 		obs.Log(ctx).Info("experiment starting", "experiment", name)
-		start := time.Now()
+		sw := obs.NewStopwatch()
 		if err := run(); err != nil {
 			obs.Log(ctx).Error("experiment failed", obs.ErrAttrs(err)...)
 			writeManifest(err)
@@ -251,7 +251,7 @@ func main() {
 			os.Exit(1)
 		}
 		obs.Log(ctx).Info("experiment done",
-			"experiment", name, "elapsed", time.Since(start))
+			"experiment", name, "elapsed", sw.Elapsed())
 		fmt.Println()
 	}
 

@@ -10,17 +10,22 @@ import (
 	"strings"
 )
 
-// Analyzer is one named invariant check.  Run inspects a fully type-checked
-// package (a Pass) and reports findings through pass.Reportf; the driver
-// handles suppression, sorting, and printing.
+// Analyzer is one named invariant check.  Per-package analyzers set Run,
+// which inspects a fully type-checked package (a Pass) and reports findings
+// through pass.Reportf.  Cross-function analyzers set RunModule instead,
+// which sees the whole module call graph at once.  The driver handles
+// suppression, sorting, and printing.
 type Analyzer struct {
 	// Name is the short identifier used in output lines and in
 	// "//lint:ignore ipslint/<name> reason" suppression directives.
 	Name string
 	// Doc is a one-line description shown by -list.
 	Doc string
-	// Run inspects the pass and reports findings.
+	// Run inspects one package.  Nil for module-level analyzers.
 	Run func(pass *Pass)
+	// RunModule inspects the whole module (call graph included).  Nil for
+	// per-package analyzers.
+	RunModule func(pass *ModulePass)
 }
 
 // analyzers is the registry, in the order checks run within a package.
@@ -34,6 +39,10 @@ var analyzers = []*Analyzer{
 	errswallowAnalyzer,
 	ctxfirstAnalyzer,
 	nostdlogAnalyzer,
+	maporderAnalyzer,
+	wallclockAnalyzer,
+	hotallocAnalyzer,
+	ctxflowAnalyzer,
 }
 
 func analyzerByName(name string) *Analyzer {
@@ -128,8 +137,14 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) []*ignoreDirective {
 
 // applyIgnores drops findings covered by a directive and reports misuse:
 // reason-less directives and directives that suppress nothing both become
-// findings themselves, so suppressions cannot rot silently.
-func applyIgnores(findings []Finding, directives []*ignoreDirective) []Finding {
+// findings themselves, so suppressions cannot rot silently.  Directives for
+// analyzers outside the enabled set are left alone — a -checks subset must
+// not condemn suppressions it never gave a chance to fire.
+func applyIgnores(findings []Finding, directives []*ignoreDirective, enabled []*Analyzer) []Finding {
+	on := map[string]bool{}
+	for _, a := range enabled {
+		on[a.Name] = true
+	}
 	var kept []Finding
 	for _, f := range findings {
 		suppressed := false
@@ -149,6 +164,9 @@ func applyIgnores(findings []Finding, directives []*ignoreDirective) []Finding {
 		}
 	}
 	for _, d := range directives {
+		if !on[d.analyzer] {
+			continue
+		}
 		if d.reason == "" {
 			kept = append(kept, Finding{
 				Analyzer: "ignore",
@@ -166,11 +184,16 @@ func applyIgnores(findings []Finding, directives []*ignoreDirective) []Finding {
 	return kept
 }
 
-// runAnalyzers runs every registered analyzer over one type-checked package
-// and returns the surviving, position-sorted findings.
+// runAnalyzers runs every enabled per-package analyzer over one type-checked
+// package and returns the raw findings.  Suppression directives are applied
+// by the driver after module-level analyzers have run, so one directive set
+// covers both kinds of findings.
 func runAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, enabled []*Analyzer) []Finding {
 	var findings []Finding
 	for _, a := range enabled {
+		if a.Run == nil {
+			continue
+		}
 		pass := &Pass{
 			Fset:     fset,
 			Files:    files,
@@ -181,8 +204,6 @@ func runAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 		}
 		a.Run(pass)
 	}
-	findings = applyIgnores(findings, collectIgnores(fset, files))
-	sortFindings(findings)
 	return findings
 }
 
@@ -198,6 +219,9 @@ func sortFindings(fs []Finding) {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return fs[i].Analyzer < fs[j].Analyzer
+		if fs[i].Analyzer != fs[j].Analyzer {
+			return fs[i].Analyzer < fs[j].Analyzer
+		}
+		return fs[i].Message < fs[j].Message
 	})
 }

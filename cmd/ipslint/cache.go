@@ -1,0 +1,206 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// cacheVersion invalidates every cached result when the finding schema or
+// analyzer semantics change; bump it alongside analyzer edits that alter
+// output without touching repo sources.
+const cacheVersion = "ipslint-cache-v1"
+
+// jsonFinding is the machine-readable finding schema shared by the -json
+// flag and the result cache.  File paths are module-relative with forward
+// slashes so cache entries and CI annotations are machine-independent.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+type cacheFile struct {
+	Version  string        `json:"version"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+// toJSONFindings converts findings to the portable schema, relativising
+// paths against the module root where possible.
+func toJSONFindings(modRoot string, findings []Finding) []jsonFinding {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		file := f.Pos.Filename
+		if rel, err := filepath.Rel(modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		out = append(out, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     file,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	return out
+}
+
+// fromJSONFindings restores absolute positions against the module root.
+func fromJSONFindings(modRoot string, jfs []jsonFinding) []Finding {
+	out := make([]Finding, 0, len(jfs))
+	for _, jf := range jfs {
+		file := jf.File
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(modRoot, filepath.FromSlash(file))
+		}
+		out = append(out, Finding{
+			Analyzer: jf.Analyzer,
+			Pos:      token.Position{Filename: file, Line: jf.Line, Column: jf.Col},
+			Message:  jf.Message,
+		})
+	}
+	return out
+}
+
+// cacheDir resolves where results are stored: IPSLINT_CACHE_DIR when set
+// (tests use this for hermetic runs), else os.UserCacheDir()/ipslint.
+func cacheDir() (string, error) {
+	if dir := os.Getenv("IPSLINT_CACHE_DIR"); dir != "" {
+		return dir, nil
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(base, "ipslint"), nil
+}
+
+// cacheKey content-hashes everything a run's findings depend on: the cache
+// schema version, the toolchain, the enabled analyzer set, the resolved
+// directory list, and the content of go.mod plus every .go file in the
+// module tree (testdata included — corpus sources feed the linter's own
+// tests).  Over-invalidation is fine; a stale hit never is.
+func cacheKey(modRoot string, dirs []string, enabled []*Analyzer, goVersion string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintln(h, cacheVersion)
+	fmt.Fprintln(h, goVersion)
+
+	names := make([]string, 0, len(enabled))
+	for _, a := range enabled {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(h, strings.Join(names, ","))
+
+	rels := make([]string, 0, len(dirs))
+	for _, d := range dirs {
+		rel, err := filepath.Rel(modRoot, d)
+		if err != nil {
+			rel = d
+		}
+		rels = append(rels, filepath.ToSlash(rel))
+	}
+	sort.Strings(rels)
+	fmt.Fprintln(h, strings.Join(rels, ","))
+
+	var files []string
+	err := filepath.WalkDir(modRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != modRoot && (name == "vendor" || strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") || name == "go.mod" {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(files)
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return "", err
+		}
+		rel, rerr := filepath.Rel(modRoot, path)
+		if rerr != nil {
+			rel = path
+		}
+		fmt.Fprintln(h, filepath.ToSlash(rel))
+		if _, err := io.Copy(h, f); err != nil {
+			f.Close()
+			return "", err
+		}
+		if err := f.Close(); err != nil {
+			return "", err
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// cacheLoad returns the cached findings for key, or ok=false on any miss,
+// decode failure, or version skew.
+func cacheLoad(modRoot, key string) ([]Finding, bool) {
+	dir, err := cacheDir()
+	if err != nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var cf cacheFile
+	if err := json.Unmarshal(data, &cf); err != nil || cf.Version != cacheVersion {
+		return nil, false
+	}
+	return fromJSONFindings(modRoot, cf.Findings), true
+}
+
+// cacheStore persists findings for key.  Failures are non-fatal: a cold
+// cache only costs time.
+func cacheStore(modRoot, key string, findings []Finding) error {
+	dir, err := cacheDir()
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(cacheFile{
+		Version:  cacheVersion,
+		Findings: toJSONFindings(modRoot, findings),
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, key+".json"))
+}

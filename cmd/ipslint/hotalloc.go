@@ -1,0 +1,306 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotallocAnalyzer is the tooling teeth behind the ROADMAP's allocation-free
+// hot path goal.  A function marked with a //ips:hotpath doc directive — and
+// every module function it statically calls, transitively — must not
+// allocate inside its loops.  Flagged patterns, all scoped to loop bodies:
+//
+//   - make with no cap()/len() growth guard (a guarded grow-once arena
+//     refill is the blessed idiom and exempt)
+//   - append whose destination was not preallocated with an explicit
+//     capacity in the same function
+//   - fmt.Sprintf / Sprint / Sprintln / Errorf (always allocate)
+//   - non-constant string concatenation
+//   - function literals (each iteration allocates a fresh closure)
+//   - interface boxing at call sites: a concrete value passed where the
+//     callee takes an interface forces a heap conversion per iteration
+//
+// Findings name the //ips:hotpath root that pulled the function into the hot
+// set, so a report deep in a callee is traceable to its annotation.
+var hotallocAnalyzer = &Analyzer{
+	Name:      "hotalloc",
+	Doc:       "allocation inside a loop of an //ips:hotpath function or anything it calls",
+	RunModule: runHotalloc,
+}
+
+func runHotalloc(pass *ModulePass) {
+	mod := pass.Mod
+	// BFS from each annotated root in declaration order; the first root to
+	// reach a function claims the attribution, deterministically.
+	rootOf := map[string]string{}
+	var order []string
+	for _, key := range mod.Order {
+		if !mod.Funcs[key].Hot {
+			continue
+		}
+		queue := []string{key}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if _, seen := rootOf[cur]; seen {
+				continue
+			}
+			rootOf[cur] = key
+			order = append(order, cur)
+			for _, c := range mod.Funcs[cur].Calls {
+				if _, seen := rootOf[c.Callee]; !seen {
+					queue = append(queue, c.Callee)
+				}
+			}
+		}
+	}
+	for _, key := range order {
+		checkHotFunc(pass, mod.Funcs[key], rootOf[key])
+	}
+}
+
+// checkHotFunc flags allocation patterns inside the loops of one hot-set
+// function.
+func checkHotFunc(pass *ModulePass, fi *FuncInfo, root string) {
+	info := fi.Info
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(fi.Decl, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	via := ""
+	if fi.Key != root {
+		via = " (hot via //ips:hotpath " + shortFuncName(root) + ")"
+	}
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		loop, enclosed := enclosingLoop(parents, n)
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !enclosed {
+				return true
+			}
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if builtinName(info, fun) == "make" && !capGuarded(parents, loop, n) {
+					pass.Reportf(n.Pos(), "make inside a hot loop%s; hoist the allocation or guard a grow-once refill with cap()/len()", via)
+				}
+				if builtinName(info, fun) == "append" && !preallocated(info, fi.Decl, n) {
+					pass.Reportf(n.Pos(), "append inside a hot loop to a destination without preallocated capacity%s", via)
+				}
+			case *ast.SelectorExpr:
+				if pn, ok := selectorPkg(info, fun); ok && pn == "fmt" {
+					switch fun.Sel.Name {
+					case "Sprintf", "Sprint", "Sprintln", "Errorf":
+						pass.Reportf(n.Pos(), "fmt.%s inside a hot loop allocates%s; format outside the loop or use a preallocated buffer", fun.Sel.Name, via)
+						return true
+					}
+				}
+			}
+			reportBoxing(pass, info, n, via)
+		case *ast.BinaryExpr:
+			if enclosed && n.Op == token.ADD && isNonConstString(info, n) {
+				pass.Reportf(n.Pos(), "string concatenation inside a hot loop allocates%s", via)
+			}
+		case *ast.AssignStmt:
+			if enclosed && n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info, n.Lhs[0]) {
+				pass.Reportf(n.Pos(), "string concatenation inside a hot loop allocates%s", via)
+			}
+		case *ast.FuncLit:
+			if enclosed {
+				pass.Reportf(n.Pos(), "function literal inside a hot loop allocates a closure per iteration%s; hoist it", via)
+			}
+		}
+		return true
+	})
+}
+
+// reportBoxing flags concrete values passed to interface parameters inside
+// hot loops — each such argument is an interface conversion that may heap-
+// allocate per iteration.
+func reportBoxing(pass *ModulePass, info *types.Info, call *ast.CallExpr, via string) {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Params() == nil {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis != token.NoPos {
+				continue // spreading a slice: no per-element boxing here
+			}
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "interface boxing inside a hot loop: %s argument converted to %s%s", at.String(), pt.String(), via)
+	}
+}
+
+// enclosingLoop reports whether n sits inside a for/range statement within
+// the current function (walking up stops at function boundaries, so a loop
+// in the enclosing function does not taint a nested function literal's
+// straight-line body — the literal itself is already flagged).
+func enclosingLoop(parents map[ast.Node]ast.Node, n ast.Node) (ast.Stmt, bool) {
+	for p := parents[n]; p != nil; p = parents[p] {
+		switch p := p.(type) {
+		case *ast.ForStmt:
+			return p, true
+		case *ast.RangeStmt:
+			return p, true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// capGuarded reports whether the make call sits under an if statement (still
+// inside the loop) whose condition consults cap() or len() — the grow-once
+// arena refill idiom: `if cap(buf) < n { buf = make(...) }`.
+func capGuarded(parents map[ast.Node]ast.Node, loop ast.Stmt, n ast.Node) bool {
+	for p := parents[n]; p != nil && p != loop; p = parents[p] {
+		ifs, ok := p.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		guarded := false
+		ast.Inspect(ifs.Cond, func(cn ast.Node) bool {
+			if call, ok := cn.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+					guarded = true
+				}
+			}
+			return !guarded
+		})
+		if guarded {
+			return true
+		}
+	}
+	return false
+}
+
+// preallocated reports whether the append destination was created with an
+// explicit capacity (3-arg make) somewhere in the same declaration, so
+// steady-state appends stay in place.
+func preallocated(info *types.Info, decl *ast.FuncDecl, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return false // appending to a field or index: can't track, give it the benefit
+	}
+	obj := info.Uses[dst]
+	if obj == nil {
+		obj = info.Defs[dst]
+	}
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(decl, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			if info.Defs[id] != obj && info.Uses[id] != obj {
+				continue
+			}
+			if mk, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok {
+				if fn, ok := ast.Unparen(mk.Fun).(*ast.Ident); ok && builtinName(info, fn) == "make" && len(mk.Args) == 3 {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isNonConstString reports whether e is a string-typed expression that is
+// not a compile-time constant (constant folding costs nothing at runtime).
+func isNonConstString(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	return isStringTV(tv.Type)
+}
+
+func isStringType(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	return t != nil && isStringTV(t)
+}
+
+func isStringTV(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// builtinName returns the universe builtin the identifier resolves to, or "".
+func builtinName(info *types.Info, id *ast.Ident) string {
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// selectorPkg resolves sel.X to a package name.
+func selectorPkg(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path(), true
+	}
+	return "", false
+}
+
+// shortFuncName trims the package path off a FullName key for messages:
+// "(pkg/path.Recv).Name" → "(pkg.Recv).Name", "pkg/path.Name" → "path.Name".
+func shortFuncName(key string) string {
+	i := strings.LastIndexByte(key, '/')
+	if i < 0 {
+		return key
+	}
+	s := key[i+1:]
+	if strings.HasPrefix(key, "(") && !strings.HasPrefix(s, "(") {
+		s = "(" + s
+	}
+	return s
+}

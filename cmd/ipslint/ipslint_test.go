@@ -1,10 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -196,4 +198,75 @@ func TestFindingSortOrder(t *testing.T) {
 func pos(file string, line, col int) (p token.Position) {
 	p.Filename, p.Line, p.Column = file, line, col
 	return p
+}
+
+// TestJSONStableAndCached pins the machine-readable output contract: two
+// fresh runs over the same corpus produce byte-identical JSON, and a cache
+// round trip reproduces exactly the findings of the run that stored it.
+func TestJSONStableAndCached(t *testing.T) {
+	modRoot, modPath, err := findModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, name := range []string{"maporder", "wallclock"} {
+		abs, err := filepath.Abs(filepath.Join("testdata", "src", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirs = append(dirs, abs)
+	}
+
+	run := func() []Finding {
+		t.Helper()
+		findings, err := lintDirs(newLoader(modRoot, modPath), dirs, analyzers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return findings
+	}
+	encode := func(fs []Finding) string {
+		t.Helper()
+		data, err := json.MarshalIndent(toJSONFindings(modRoot, fs), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+
+	first, second := run(), run()
+	if encode(first) != encode(second) {
+		t.Fatalf("two fresh runs diverged:\n%s\nvs\n%s", encode(first), encode(second))
+	}
+	if len(first) == 0 {
+		t.Fatal("corpus run produced no findings; the stability check is vacuous")
+	}
+
+	t.Setenv("IPSLINT_CACHE_DIR", t.TempDir())
+	key, err := cacheKey(modRoot, dirs, analyzers, runtime.Version())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cacheLoad(modRoot, key); ok {
+		t.Fatal("cache hit before anything was stored")
+	}
+	if err := cacheStore(modRoot, key, first); err != nil {
+		t.Fatal(err)
+	}
+	cached, ok := cacheLoad(modRoot, key)
+	if !ok {
+		t.Fatal("cache miss immediately after store")
+	}
+	if encode(cached) != encode(first) {
+		t.Fatalf("cached findings diverge from the run that stored them:\n%s\nvs\n%s", encode(cached), encode(first))
+	}
+	// A different enabled set must key differently, or -checks runs would
+	// poison full runs.
+	subsetKey, err := cacheKey(modRoot, dirs, analyzers[:1], runtime.Version())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subsetKey == key {
+		t.Fatal("cache key ignores the enabled analyzer set")
+	}
 }

@@ -12,18 +12,28 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // loader parses and type-checks module packages with nothing but the
-// standard library: intra-module imports are resolved recursively against
-// the module tree, everything else is handed to the stdlib source importer.
+// standard library: intra-module imports are resolved against the module
+// tree, everything else is handed to the stdlib source importer.
+//
+// The loader is safe for concurrent unit type-checks once preload has run:
+// preload walks the module-local import DAG bottom-up and fills the import
+// cache in dependency order (parallel within each wave), so the recursive
+// ImportFrom calls issued by concurrent conf.Check runs only ever hit the
+// cache or the (serialised) stdlib source importer.
 type loader struct {
 	fset    *token.FileSet
 	modRoot string
 	modPath string
-	std     types.ImporterFrom
-	cache   map[string]*types.Package // import view: no test files
-	loading map[string]bool           // cycle detection
+
+	std   types.ImporterFrom
+	stdMu sync.Mutex // the source importer is not safe for concurrent use
+
+	mu    sync.Mutex
+	cache map[string]*types.Package // import view: no test files
 }
 
 func newLoader(modRoot, modPath string) *loader {
@@ -37,7 +47,6 @@ func newLoader(modRoot, modPath string) *loader {
 		modPath: modPath,
 		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
 		cache:   map[string]*types.Package{},
-		loading: map[string]bool{},
 	}
 }
 
@@ -67,6 +76,19 @@ func findModule(dir string) (root, path string, err error) {
 	}
 }
 
+// moduleLocal reports whether path names a package inside this module.
+func (l *loader) moduleLocal(path string) bool {
+	return path == l.modPath || strings.HasPrefix(path, l.modPath+"/")
+}
+
+// dirFor maps a module-local import path onto its directory.
+func (l *loader) dirFor(path string) string {
+	if path == l.modPath {
+		return l.modRoot
+	}
+	return filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(path, l.modPath+"/")))
+}
+
 // Import implements types.Importer.
 func (l *loader) Import(path string) (*types.Package, error) {
 	return l.ImportFrom(path, l.modRoot, 0)
@@ -79,27 +101,153 @@ func (l *loader) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package,
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
-	if path != l.modPath && !strings.HasPrefix(path, l.modPath+"/") {
+	if !l.moduleLocal(path) {
+		l.stdMu.Lock()
+		defer l.stdMu.Unlock()
 		return l.std.ImportFrom(path, l.modRoot, 0)
 	}
-	if pkg, ok := l.cache[path]; ok {
+	l.mu.Lock()
+	pkg, ok := l.cache[path]
+	l.mu.Unlock()
+	if ok {
 		return pkg, nil
 	}
-	if l.loading[path] {
-		return nil, fmt.Errorf("import cycle through %q", path)
-	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
-	dir := l.modRoot
-	if path != l.modPath {
-		dir = filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(path, l.modPath+"/")))
-	}
-	pkg, _, _, err := l.check(dir, path, false)
+	// Cache miss outside preload order: load serially.  preload fills the
+	// cache for every dependency of the linted dirs, so this path only runs
+	// for single-goroutine callers (tests driving the loader directly).
+	pkg, _, _, err := l.check(l.dirFor(path), path, false)
 	if err != nil {
 		return nil, err
 	}
+	l.mu.Lock()
 	l.cache[path] = pkg
+	l.mu.Unlock()
 	return pkg, nil
+}
+
+// moduleImportsOf parses just the import clauses of every .go file in dir
+// and returns the module-local dependencies, split into the import-view
+// edges (non-test files — these order the preload waves) and test-only
+// extras (test files may import packages that import this one, e.g. from an
+// external _test package, so they expand the load set but must not create
+// readiness edges).  The package's own path is excluded.
+func (l *loader) moduleImportsOf(dir, selfPath string) (nonTest, testOnly []string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	seenNonTest := map[string]bool{}
+	seenTest := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(token.NewFileSet(), filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, nil, err
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if !l.moduleLocal(p) || p == selfPath {
+				continue
+			}
+			if isTest {
+				if !seenTest[p] {
+					seenTest[p] = true
+					testOnly = append(testOnly, p)
+				}
+			} else if !seenNonTest[p] {
+				seenNonTest[p] = true
+				nonTest = append(nonTest, p)
+			}
+		}
+	}
+	sort.Strings(nonTest)
+	sort.Strings(testOnly)
+	return nonTest, testOnly, nil
+}
+
+// preload fills the import cache with every module-local package the given
+// directories depend on, loading independent packages in parallel.  The
+// import graph is walked transitively with cheap imports-only parses, cycle
+// errors are reported up front, and packages are then type-checked in
+// dependency waves: a package only starts once all of its module-local
+// dependencies are cached, so concurrent ImportFrom calls never race on an
+// in-flight load.
+func (l *loader) preload(dirs []string, workers int) error {
+	// Discover the transitive module-local import set.
+	deps := map[string][]string{}
+	var visit func(path, dir string) error
+	visit = func(path, dir string) error {
+		if _, ok := deps[path]; ok {
+			return nil
+		}
+		imps, testImps, err := l.moduleImportsOf(dir, path)
+		if err != nil {
+			return err
+		}
+		deps[path] = imps
+		for _, p := range append(imps, testImps...) {
+			if err := visit(p, l.dirFor(p)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, dir := range dirs {
+		path, err := l.importPathFor(dir)
+		if err != nil {
+			return err
+		}
+		if err := visit(path, dir); err != nil {
+			return err
+		}
+	}
+
+	// Topologically order into waves; a non-empty remainder with no ready
+	// package is an import cycle.
+	loaded := map[string]bool{}
+	remaining := make([]string, 0, len(deps))
+	for p := range deps {
+		remaining = append(remaining, p)
+	}
+	sort.Strings(remaining)
+	for len(remaining) > 0 {
+		var wave, rest []string
+		for _, p := range remaining {
+			ready := true
+			for _, d := range deps[p] {
+				if !loaded[d] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				wave = append(wave, p)
+			} else {
+				rest = append(rest, p)
+			}
+		}
+		if len(wave) == 0 {
+			return fmt.Errorf("import cycle among %s", strings.Join(rest, ", "))
+		}
+		errs := make([]error, len(wave))
+		runPool(workers, len(wave), func(i int) {
+			_, errs[i] = l.ImportFrom(wave[i], l.modRoot, 0)
+		})
+		for i, err := range errs {
+			if err != nil {
+				return fmt.Errorf("loading %s: %w", wave[i], err)
+			}
+		}
+		for _, p := range wave {
+			loaded[p] = true
+		}
+		remaining = rest
+	}
+	return nil
 }
 
 // importPathFor derives the module-relative import path of dir.
@@ -306,32 +454,4 @@ func hasGoFiles(dir string) bool {
 		}
 	}
 	return false
-}
-
-// lintDirs loads, type-checks, and analyzes every directory, returning all
-// surviving findings position-sorted.  Each directory contributes up to two
-// units: the package with its in-package tests, and the external _test
-// package when present.
-func lintDirs(ldr *loader, dirs []string, enabled []*Analyzer) ([]Finding, error) {
-	var all []Finding
-	for _, dir := range dirs {
-		importPath, err := ldr.importPathFor(dir)
-		if err != nil {
-			return nil, err
-		}
-		pkg, files, info, err := ldr.check(dir, importPath, true)
-		if err != nil {
-			return nil, err
-		}
-		all = append(all, runAnalyzers(ldr.fset, files, pkg, info, enabled)...)
-		xpkg, xfiles, xinfo, err := ldr.checkExternalTest(dir, importPath)
-		if err != nil {
-			return nil, err
-		}
-		if xpkg != nil {
-			all = append(all, runAnalyzers(ldr.fset, xfiles, xpkg, xinfo, enabled)...)
-		}
-	}
-	sortFindings(all)
-	return all, nil
 }

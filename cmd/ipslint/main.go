@@ -1,17 +1,26 @@
 // Command ipslint is the project's static-analysis pass.  It enforces the
 // invariants the compiler cannot see and the IPS pipeline's correctness
 // rests on: determinism (all randomness flows from injected, explicitly
-// seeded *rand.Rand values), concurrency hygiene (goroutines joined, locks
-// never copied, obs spans ended on every return path), and numeric care
-// (no naive float equality).
+// seeded *rand.Rand values; no map-ordered output), concurrency hygiene
+// (goroutines joined, locks never copied, obs spans ended on every return
+// path, ctx flowing into blocking calls), numeric care (no naive float
+// equality), and hot-path discipline (//ips:hotpath functions stay
+// allocation-free inside loops; wall-clock reads live in internal/obs only).
 //
 // Usage:
 //
-//	ipslint [-list] [-checks a,b,...] [packages]
+//	ipslint [-list] [-checks a,b,...] [-json] [-stats] [-nocache] [packages]
 //
 // Package patterns follow the go tool: "./..." walks the module, a plain
 // directory lints just that package.  Exit status is 0 when clean, 1 when
 // findings were reported, 2 on usage or load errors.
+//
+// -json prints findings as a JSON array (analyzer/file/line/col/message,
+// module-relative paths) for machine consumption — CI turns it into inline
+// annotations.  -stats appends per-analyzer finding counts to stderr.
+// Results are cached under os.UserCacheDir()/ipslint (override with
+// IPSLINT_CACHE_DIR) keyed by a content hash of the module's sources, the
+// toolchain, and the enabled checks; -nocache forces a fresh run.
 //
 // A finding is suppressed by a directive on the offending line or the line
 // above it, with a mandatory reason:
@@ -19,28 +28,40 @@
 //	//lint:ignore ipslint/<analyzer> reason
 //
 // The driver is stdlib-only: go/parser + go/ast + go/types, with the source
-// importer standing in for compiled export data.
+// importer standing in for compiled export data.  The module is loaded once
+// into a shared type-checked package graph and analyzed with a bounded
+// parallel worker pool; output is byte-identical for any worker count.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"strings"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list registered analyzers and exit")
 	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "print findings as a JSON array on stdout")
+	stats := flag.Bool("stats", false, "print per-analyzer finding counts to stderr after a run")
+	noCache := flag.Bool("nocache", false, "skip the result cache and force a fresh analysis")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ipslint [-list] [-checks a,b,...] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: ipslint [-list] [-checks a,b,...] [-json] [-stats] [-nocache] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			kind := "package"
+			if a.RunModule != nil {
+				kind = "module"
+			}
+			fmt.Printf("%-16s [%s] %s\n", a.Name, kind, a.Doc)
 		}
 		return
 	}
@@ -78,16 +99,64 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ipslint:", err)
 		os.Exit(2)
 	}
-	findings, err := lintDirs(newLoader(modRoot, modPath), dirs, enabled)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ipslint:", err)
-		os.Exit(2)
+
+	var findings []Finding
+	fromCache := false
+	key := ""
+	if !*noCache {
+		key, err = cacheKey(modRoot, dirs, enabled, runtime.Version())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipslint: cache key:", err)
+			key = ""
+		}
+		if key != "" {
+			findings, fromCache = cacheLoad(modRoot, key)
+		}
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if !fromCache {
+		findings, err = lintDirs(newLoader(modRoot, modPath), dirs, enabled)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipslint:", err)
+			os.Exit(2)
+		}
+		if key != "" {
+			if err := cacheStore(modRoot, key, findings); err != nil {
+				fmt.Fprintln(os.Stderr, "ipslint: cache store:", err)
+			}
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(toJSONFindings(modRoot, findings)); err != nil {
+			fmt.Fprintln(os.Stderr, "ipslint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if *stats {
+		counts := map[string]int{}
+		for _, f := range findings {
+			counts[f.Analyzer]++
+		}
+		names := make([]string, 0, len(counts))
+		for name := range counts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "ipslint: %d finding(s) across %d analyzer(s)\n", len(findings), len(counts))
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "  %-16s %d\n", name, counts[name])
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "ipslint: %d finding(s)\n", len(findings))
+		if !*stats {
+			fmt.Fprintf(os.Stderr, "ipslint: %d finding(s)\n", len(findings))
+		}
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,93 @@
+// Package hotalloc is ipslint test corpus: allocation patterns inside the
+// loops of //ips:hotpath functions and everything they statically call.
+package hotalloc
+
+import "fmt"
+
+// hotKernel is the canonical hot scoring loop: every allocation pattern in
+// here costs once per candidate.
+//
+//ips:hotpath
+func hotKernel(xs []float64, out []float64) {
+	var spill []float64
+	for i, x := range xs {
+		tmp := make([]float64, 4)     // want "make inside a hot loop"
+		spill = append(spill, x)      // want "append inside a hot loop"
+		msg := fmt.Sprintf("x=%v", x) // want "fmt.Sprintf inside a hot loop"
+		tmp[0] = x + float64(len(msg))
+		out[i] = tmp[0]
+	}
+	_ = spill
+	hotHelper(xs)
+}
+
+// hotHelper is not annotated itself: it inherits hotness through the static
+// call from hotKernel, and the finding names that root.
+func hotHelper(xs []float64) {
+	for range xs {
+		_ = make([]int, 8) // want "make inside a hot loop"
+	}
+}
+
+//ips:hotpath
+func hotConcat(names []string) string {
+	s := ""
+	for _, n := range names {
+		s += n // want "string concatenation inside a hot loop"
+	}
+	return s
+}
+
+//ips:hotpath
+func hotClosure(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		f := func() float64 { return 2 * x } // want "function literal inside a hot loop"
+		total += f()
+	}
+	return total
+}
+
+func sinkAny(v any) {}
+
+//ips:hotpath
+func hotBox(xs []int) {
+	for _, x := range xs {
+		sinkAny(x) // want "interface boxing inside a hot loop"
+	}
+}
+
+// The grow-once arena refill is the blessed idiom: a make guarded by a
+// cap()/len() check amortises to zero.
+//
+//ips:hotpath
+func hotGuarded(xs []float64, buf []float64) []float64 {
+	for i := range xs {
+		if cap(buf) < len(xs) {
+			buf = make([]float64, len(xs), 2*len(xs))
+		}
+		buf[i] = xs[i]
+	}
+	return buf
+}
+
+// Appending into a destination preallocated with explicit capacity stays in
+// place in steady state.
+//
+//ips:hotpath
+func hotPrealloc(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, 2*x)
+	}
+	return out
+}
+
+// Unannotated and unreachable from any hot root: the same patterns are fine.
+func coldAlloc(xs []float64) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, fmt.Sprintf("%v", x))
+	}
+	return out
+}

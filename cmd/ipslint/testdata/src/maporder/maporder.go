@@ -1,0 +1,83 @@
+// Package maporder is ipslint test corpus: map iteration order reaching
+// ordered sinks (output, JSON, obs attributes, unsorted appends).
+package maporder
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+type span struct{ attrs []string }
+
+func (s *span) SetAttr(k, v string) { s.attrs = append(s.attrs, k+"="+v) }
+
+func printDirect(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "fmt.Printf inside map iteration" // want "fmt.Printf in library code"
+	}
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside map iteration without a later sort"
+	}
+	return keys
+}
+
+func attrsFromMap(sp *span, m map[string]string) {
+	for k, v := range m {
+		sp.SetAttr(k, v) // want "SetAttr inside map iteration"
+	}
+}
+
+func encodeEach(m map[string]int) ([][]byte, error) {
+	var out [][]byte
+	for k := range m {
+		b, err := json.Marshal(k) // want "json.Marshal inside map iteration"
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b) // want "append to out inside map iteration without a later sort"
+	}
+	return out, nil
+}
+
+// The blessed idiom — collect keys, sort, then iterate — is exempt.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Map-to-map accumulation carries no order.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Commutative reduction carries no order.
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Ranging over a slice may append and print freely.
+func printSlice(xs []string) {
+	var seen []string
+	for _, x := range xs {
+		fmt.Println(x) // want "fmt.Println in library code"
+		seen = append(seen, x)
+	}
+	_ = seen
+}

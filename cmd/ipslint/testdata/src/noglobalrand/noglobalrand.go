@@ -20,11 +20,11 @@ func globalFloat() float64 {
 }
 
 func clockSeed() *rand.Rand {
-	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from the clock"
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from the clock" // want "time.Now reads the wall clock"
 }
 
 func clockSeedDirect() rand.Source {
-	return rand.NewSource(int64(time.Now().Nanosecond())) // want "seeded from the clock"
+	return rand.NewSource(int64(time.Now().Nanosecond())) // want "seeded from the clock" // want "time.Now reads the wall clock"
 }
 
 func injectedOK(seed int64) *rand.Rand {

@@ -9,13 +9,13 @@ import (
 )
 
 func printsToStdout(v int) {
-	fmt.Println("value:", v)        // want "fmt.Println in library code bypasses structured logging"
-	fmt.Printf("value: %d\n", v)    // want "fmt.Printf in library code bypasses structured logging"
-	fmt.Print("value\n")            // want "fmt.Print in library code bypasses structured logging"
+	fmt.Println("value:", v)     // want "fmt.Println in library code bypasses structured logging"
+	fmt.Printf("value: %d\n", v) // want "fmt.Printf in library code bypasses structured logging"
+	fmt.Print("value\n")         // want "fmt.Print in library code bypasses structured logging"
 }
 
 func usesGlobalLogger(err error) {
-	log.Println("failed:", err) // want "log.Println in library code bypasses structured logging"
+	log.Println("failed:", err)   // want "log.Println in library code bypasses structured logging"
 	log.Printf("failed: %v", err) // want "log.Printf in library code bypasses structured logging"
 	if err != nil {
 		log.Fatalf("fatal: %v", err) // want "log.Fatalf in library code bypasses structured logging"

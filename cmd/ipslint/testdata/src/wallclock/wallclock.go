@@ -1,0 +1,29 @@
+// Package wallclock is ipslint test corpus: wall-clock reads outside
+// internal/obs (manifests are durations-only by contract).
+package wallclock
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "time.Until reads the wall clock"
+}
+
+// Duration arithmetic and construction never read the clock.
+func scale(d time.Duration) time.Duration {
+	return 2*d + 5*time.Millisecond
+}
+
+// A local type's Now method is not time.Now.
+type fakeClock struct{ t time.Time }
+
+func (c fakeClock) Now() time.Time { return c.t }
+
+func viaFake(c fakeClock) time.Time { return c.Now() }

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// wallclockAnalyzer forbids wall-clock reads outside internal/obs.  Run
+// manifests are durations-only by contract (PR 6): every timestamp flows
+// through the obs span clock so two runs of the same work diff cleanly in
+// `ipsobs check`.  A stray time.Now anywhere upstream smuggles wall-clock
+// state into the pipeline and breaks cross-run comparison.  Test files are
+// exempt — they do not feed manifests.
+var wallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "time.Now/Since/Until outside internal/obs (manifests are durations-only by contract)",
+	Run:  runWallclock,
+}
+
+// wallclockFuncs are the time package functions that read the wall clock.
+var wallclockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runWallclock(pass *Pass) {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/obs") {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !wallclockFuncs[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock outside internal/obs; route timing through an obs span or obs.Stopwatch", sel.Sel.Name)
+			return true
+		})
+	}
+}

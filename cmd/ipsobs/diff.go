@@ -97,10 +97,15 @@ func compare(old, fresh *obs.Manifest, threshold float64) *Diff {
 		}
 		d.Stages = append(d.Stages, sd)
 	}
+	newPaths := make([]string, 0, len(newTimes))
 	for p := range newTimes {
 		if _, ok := oldTimes[p]; !ok {
-			d.Notes = append(d.Notes, fmt.Sprintf("stage %s new in new run", p))
+			newPaths = append(newPaths, p)
 		}
+	}
+	sort.Strings(newPaths)
+	for _, p := range newPaths {
+		d.Notes = append(d.Notes, fmt.Sprintf("stage %s new in new run", p))
 	}
 
 	if old.Accuracy != nil && fresh.Accuracy != nil {

@@ -134,19 +134,29 @@ func BaseDiscoverCtx(ctx context.Context, train *ts.Dataset, cfg BaseConfig) ([]
 	return out, nil
 }
 
-// TrainShapeletClassifier builds the shapelet-transform + linear-SVM
-// classifier used by every shapelet method in this repository, so accuracy
-// comparisons isolate the discovery step.
+// TrainShapeletClassifier builds the common classifier with a background
+// context; see TrainShapeletClassifierCtx.
 func TrainShapeletClassifier(train *ts.Dataset, shapelets []classify.Shapelet, svmCfg classify.SVMConfig) (*ShapeletModel, error) {
+	return TrainShapeletClassifierCtx(context.Background(), train, shapelets, svmCfg)
+}
+
+// TrainShapeletClassifierCtx builds the shapelet-transform + linear-SVM
+// classifier used by every shapelet method in this repository, so accuracy
+// comparisons isolate the discovery step.  Cancellation reaches both the
+// transform's distance engine and the SVM training epochs.
+func TrainShapeletClassifierCtx(ctx context.Context, train *ts.Dataset, shapelets []classify.Shapelet, svmCfg classify.SVMConfig) (*ShapeletModel, error) {
 	if len(shapelets) == 0 {
 		return nil, errors.New("baselines: no shapelets")
 	}
-	X := classify.Transform(train, shapelets)
+	X, err := classify.TransformCtx(ctx, train, shapelets, 1, nil, nil)
+	if err != nil {
+		return nil, err
+	}
 	scaler, err := classify.FitScaler(X)
 	if err != nil {
 		return nil, err
 	}
-	svm, err := classify.TrainSVM(scaler.Apply(X), train.Labels(), svmCfg)
+	svm, err := classify.TrainSVMCtx(ctx, scaler.Apply(X), train.Labels(), svmCfg, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -160,15 +170,45 @@ type ShapeletModel struct {
 	SVM       *classify.SVM
 }
 
-// Predict classifies every instance.
+// Predict classifies every instance with a background context; see
+// PredictCtx.
 func (m *ShapeletModel) Predict(d *ts.Dataset) []int {
-	X := m.Scaler.Apply(classify.Transform(d, m.Shapelets))
-	return m.SVM.PredictAll(X)
+	pred, err := m.PredictCtx(context.Background(), d)
+	if err != nil {
+		// Unreachable: a background context never cancels and the transform
+		// has no other failure mode.
+		return nil
+	}
+	return pred
 }
 
-// Accuracy returns the model's accuracy (%) on the dataset.
+// PredictCtx classifies every instance.  A cancelled context aborts the
+// shapelet transform and returns an error matching errs.ErrCanceled.
+func (m *ShapeletModel) PredictCtx(ctx context.Context, d *ts.Dataset) ([]int, error) {
+	X, err := classify.TransformCtx(ctx, d, m.Shapelets, 1, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return m.SVM.PredictAll(m.Scaler.Apply(X)), nil
+}
+
+// Accuracy returns the model's accuracy (%) on the dataset with a
+// background context; see AccuracyCtx.
 func (m *ShapeletModel) Accuracy(d *ts.Dataset) float64 {
-	return classify.Accuracy(m.Predict(d), d.Labels())
+	acc, err := m.AccuracyCtx(context.Background(), d)
+	if err != nil {
+		return 0 // unreachable: a background context never cancels
+	}
+	return acc
+}
+
+// AccuracyCtx returns the model's accuracy (%) on the dataset.
+func (m *ShapeletModel) AccuracyCtx(ctx context.Context, d *ts.Dataset) (float64, error) {
+	pred, err := m.PredictCtx(ctx, d)
+	if err != nil {
+		return 0, err
+	}
+	return classify.Accuracy(pred, d.Labels()), nil
 }
 
 // BaseEvaluate runs the full BASE pipeline and returns its test accuracy.
@@ -183,9 +223,9 @@ func BaseEvaluateCtx(ctx context.Context, train, test *ts.Dataset, cfg BaseConfi
 	if err != nil {
 		return 0, err
 	}
-	m, err := TrainShapeletClassifier(train, sh, svmCfg)
+	m, err := TrainShapeletClassifierCtx(ctx, train, sh, svmCfg)
 	if err != nil {
 		return 0, err
 	}
-	return m.Accuracy(test), nil
+	return m.AccuracyCtx(ctx, test)
 }

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -61,6 +62,13 @@ type bspCandidate struct {
 //  4. p-cover selection: per class, candidates are greedily chosen to cover
 //     the most not-yet-covered same-class instances, ties broken by gain.
 func BSPCoverDiscover(train *ts.Dataset, cfg BSPConfig) ([]classify.Shapelet, error) {
+	return BSPCoverDiscoverCtx(context.Background(), train, cfg)
+}
+
+// BSPCoverDiscoverCtx is BSPCoverDiscover with cooperative cancellation:
+// the dominant full-scan quality stage checks ctx per instance pass inside
+// the batched distance engine.
+func BSPCoverDiscoverCtx(ctx context.Context, train *ts.Dataset, cfg BSPConfig) ([]classify.Shapelet, error) {
 	cfg = cfg.defaults()
 	if err := train.Validate(true); err != nil {
 		return nil, err
@@ -107,7 +115,10 @@ func BSPCoverDiscover(train *ts.Dataset, cfg BSPConfig) ([]classify.Shapelet, er
 	for ci := range cands {
 		queries[ci] = cands[ci].values
 	}
-	D := distMatrix(train, nil, queries, nil)
+	D, err := distMatrix(ctx, train, nil, queries, nil)
+	if err != nil {
+		return nil, err
+	}
 	for ci := range cands {
 		dists := D[ci]
 		gain, split := bestInfoGainSplit(dists, labels, cands[ci].class)
@@ -212,18 +223,24 @@ func binaryEntropy(p float64) float64 {
 	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
 }
 
-// BSPCoverEvaluate runs the full BSPCOVER pipeline and returns its test
-// accuracy.
+// BSPCoverEvaluate runs the full BSPCOVER pipeline with a background
+// context and returns its test accuracy; see BSPCoverEvaluateCtx.
 func BSPCoverEvaluate(train, test *ts.Dataset, cfg BSPConfig, svmCfg classify.SVMConfig) (float64, error) {
-	sh, err := BSPCoverDiscover(train, cfg)
+	return BSPCoverEvaluateCtx(context.Background(), train, test, cfg, svmCfg)
+}
+
+// BSPCoverEvaluateCtx runs the full BSPCOVER pipeline — discovery,
+// classifier training, and test scoring — with cooperative cancellation.
+func BSPCoverEvaluateCtx(ctx context.Context, train, test *ts.Dataset, cfg BSPConfig, svmCfg classify.SVMConfig) (float64, error) {
+	sh, err := BSPCoverDiscoverCtx(ctx, train, cfg)
 	if err != nil {
 		return 0, err
 	}
-	m, err := TrainShapeletClassifier(train, sh, svmCfg)
+	m, err := TrainShapeletClassifierCtx(ctx, train, sh, svmCfg)
 	if err != nil {
 		return 0, err
 	}
-	return m.Accuracy(test), nil
+	return m.AccuracyCtx(ctx, test)
 }
 
 // BestInfoGainSplitExported exposes the information-gain split search for

@@ -1,6 +1,8 @@
 package baselines
 
 import (
+	"context"
+
 	"ips/internal/dist"
 	"ips/internal/ts"
 )
@@ -14,7 +16,11 @@ import (
 // (candidate, instance) pair.  An optional cache reuses prepared series
 // across calls (tree growers revisit instances node after node); nil
 // prepares per instance.
-func distMatrix(train *ts.Dataset, idx []int, queries [][]float64, cache *dist.Cache) [][]float64 {
+//
+// Cancellation flows into the engine: once ctx is done the current instance
+// pass stops at its next length-group boundary and distMatrix returns a nil
+// matrix with an error matching errs.ErrCanceled.
+func distMatrix(ctx context.Context, train *ts.Dataset, idx []int, queries [][]float64, cache *dist.Cache) ([][]float64, error) {
 	if idx == nil {
 		idx = make([]int, train.Len())
 		for i := range idx {
@@ -30,10 +36,12 @@ func distMatrix(train *ts.Dataset, idx []int, queries [][]float64, cache *dist.C
 	var counts dist.Counts
 	for pos, i := range idx {
 		p := cache.Prepared(train.Instances[i].Values, &counts)
-		batch.EvalInto(p, col, &counts)
+		if err := batch.EvalIntoCtx(ctx, p, col, &counts); err != nil {
+			return nil, err
+		}
 		for qi := range queries {
 			D[qi][pos] = col[qi]
 		}
 	}
-	return D
+	return D, nil
 }

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sort"
@@ -71,6 +72,13 @@ type fsWord struct {
 // FastShapeletsDiscover runs the SAX random-masking pipeline and returns
 // top-k shapelets per class.
 func FastShapeletsDiscover(train *ts.Dataset, cfg FSConfig) ([]classify.Shapelet, error) {
+	return FastShapeletsDiscoverCtx(context.Background(), train, cfg)
+}
+
+// FastShapeletsDiscoverCtx is FastShapeletsDiscover with cooperative
+// cancellation: the per-ratio refinement stage checks ctx per instance pass
+// inside the batched distance engine.
+func FastShapeletsDiscoverCtx(ctx context.Context, train *ts.Dataset, cfg FSConfig) ([]classify.Shapelet, error) {
 	cfg = cfg.defaults()
 	if err := train.Validate(true); err != nil {
 		return nil, err
@@ -170,7 +178,10 @@ func FastShapeletsDiscover(train *ts.Dataset, cfg FSConfig) ([]classify.Shapelet
 		for i, w := range chosen {
 			queries[i] = w.rep
 		}
-		D := distMatrix(train, nil, queries, cache)
+		D, err := distMatrix(ctx, train, nil, queries, cache)
+		if err != nil {
+			return nil, err
+		}
 		for i, w := range chosen {
 			gain, _ := bestInfoGainSplit(D[i], labels, w.class)
 			out = append(out, classify.Shapelet{Class: w.class, Values: w.rep.Clone(), Score: gain})
@@ -205,15 +216,23 @@ func maskWord(word string, mask []int) string {
 }
 
 // FastShapeletsEvaluate runs the full Fast Shapelets pipeline with the
-// common shapelet-transform classifier and returns its test accuracy.
+// common shapelet-transform classifier and a background context; see
+// FastShapeletsEvaluateCtx.
 func FastShapeletsEvaluate(train, test *ts.Dataset, cfg FSConfig, svmCfg classify.SVMConfig) (float64, error) {
-	sh, err := FastShapeletsDiscover(train, cfg)
+	return FastShapeletsEvaluateCtx(context.Background(), train, test, cfg, svmCfg)
+}
+
+// FastShapeletsEvaluateCtx runs the full Fast Shapelets pipeline —
+// discovery, classifier training, and test scoring — with cooperative
+// cancellation.
+func FastShapeletsEvaluateCtx(ctx context.Context, train, test *ts.Dataset, cfg FSConfig, svmCfg classify.SVMConfig) (float64, error) {
+	sh, err := FastShapeletsDiscoverCtx(ctx, train, cfg)
 	if err != nil {
 		return 0, err
 	}
-	m, err := TrainShapeletClassifier(train, sh, svmCfg)
+	m, err := TrainShapeletClassifierCtx(ctx, train, sh, svmCfg)
 	if err != nil {
 		return 0, err
 	}
-	return m.Accuracy(test), nil
+	return m.AccuracyCtx(ctx, test)
 }

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math/rand"
 
 	"ips/internal/classify"
@@ -61,8 +62,16 @@ type SDTree struct {
 	root *sdNode
 }
 
-// SDTreeTrain builds the shapelet decision tree on the training set.
+// SDTreeTrain builds the shapelet decision tree on the training set with a
+// background context; see SDTreeTrainCtx.
 func SDTreeTrain(train *ts.Dataset, cfg SDTreeConfig) (*SDTree, error) {
+	return SDTreeTrainCtx(context.Background(), train, cfg)
+}
+
+// SDTreeTrainCtx builds the shapelet decision tree on the training set.
+// Cancellation is checked per node inside the batched distance engine; a
+// cancelled run returns a nil tree with an error matching errs.ErrCanceled.
+func SDTreeTrainCtx(ctx context.Context, train *ts.Dataset, cfg SDTreeConfig) (*SDTree, error) {
 	cfg = cfg.defaults()
 	if err := train.Validate(true); err != nil {
 		return nil, err
@@ -75,12 +84,15 @@ func SDTreeTrain(train *ts.Dataset, cfg SDTreeConfig) (*SDTree, error) {
 	// One prepared-series cache for the whole tree: child nodes revisit the
 	// same instances, so each series' prefix statistics are built once.
 	cache := dist.NewCache()
-	root := growSDNode(train, idx, cfg, rng, 0, cache)
+	root, err := growSDNode(ctx, train, idx, cfg, rng, 0, cache)
+	if err != nil {
+		return nil, err
+	}
 	return &SDTree{root: root}, nil
 }
 
 // growSDNode recursively builds one node over the instances in idx.
-func growSDNode(train *ts.Dataset, idx []int, cfg SDTreeConfig, rng *rand.Rand, depth int, cache *dist.Cache) *sdNode {
+func growSDNode(ctx context.Context, train *ts.Dataset, idx []int, cfg SDTreeConfig, rng *rand.Rand, depth int, cache *dist.Cache) (*sdNode, error) {
 	labels := train.Labels()
 	pure := true
 	for _, i := range idx[1:] {
@@ -90,7 +102,7 @@ func growSDNode(train *ts.Dataset, idx []int, cfg SDTreeConfig, rng *rand.Rand, 
 		}
 	}
 	if pure || depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf {
-		return &sdNode{label: majorityOf(labels, idx)}
+		return &sdNode{label: majorityOf(labels, idx)}, nil
 	}
 
 	// Candidate shapelets: random subsequences drawn from the node's
@@ -132,7 +144,10 @@ func growSDNode(train *ts.Dataset, idx []int, cfg SDTreeConfig, rng *rand.Rand, 
 	for ci, cand := range cands {
 		queries[ci] = cand.values
 	}
-	D := distMatrix(train, idx, queries, cache)
+	D, err := distMatrix(ctx, train, idx, queries, cache)
+	if err != nil {
+		return nil, err
+	}
 	bestGain := 0.0
 	var bestShapelet ts.Series
 	bestThreshold := 0.0
@@ -147,7 +162,7 @@ func growSDNode(train *ts.Dataset, idx []int, cfg SDTreeConfig, rng *rand.Rand, 
 		}
 	}
 	if bestShapelet == nil {
-		return &sdNode{label: majorityOf(labels, idx)}
+		return &sdNode{label: majorityOf(labels, idx)}, nil
 	}
 	// Route on the winning candidate's distance row — the values ts.Dist
 	// would recompute per instance, already in hand.
@@ -160,14 +175,22 @@ func growSDNode(train *ts.Dataset, idx []int, cfg SDTreeConfig, rng *rand.Rand, 
 		}
 	}
 	if len(leftIdx) < cfg.MinLeaf || len(rightIdx) < cfg.MinLeaf {
-		return &sdNode{label: majorityOf(labels, idx)}
+		return &sdNode{label: majorityOf(labels, idx)}, nil
+	}
+	left, err := growSDNode(ctx, train, leftIdx, cfg, rng, depth+1, cache)
+	if err != nil {
+		return nil, err
+	}
+	right, err := growSDNode(ctx, train, rightIdx, cfg, rng, depth+1, cache)
+	if err != nil {
+		return nil, err
 	}
 	return &sdNode{
 		shapelet:  bestShapelet.Clone(),
 		threshold: bestThreshold,
-		left:      growSDNode(train, leftIdx, cfg, rng, depth+1, cache),
-		right:     growSDNode(train, rightIdx, cfg, rng, depth+1, cache),
-	}
+		left:      left,
+		right:     right,
+	}, nil
 }
 
 func majorityOf(labels []int, idx []int) int {
@@ -223,10 +246,16 @@ func (t *SDTree) Shapelets() []ts.Series {
 	return out
 }
 
-// SDTreeEvaluate trains the shapelet decision tree and returns its test
-// accuracy.
+// SDTreeEvaluate trains the shapelet decision tree with a background
+// context and returns its test accuracy; see SDTreeEvaluateCtx.
 func SDTreeEvaluate(train, test *ts.Dataset, cfg SDTreeConfig) (float64, error) {
-	t, err := SDTreeTrain(train, cfg)
+	return SDTreeEvaluateCtx(context.Background(), train, test, cfg)
+}
+
+// SDTreeEvaluateCtx trains the shapelet decision tree and returns its test
+// accuracy, with cooperative cancellation during training.
+func SDTreeEvaluateCtx(ctx context.Context, train, test *ts.Dataset, cfg SDTreeConfig) (float64, error) {
+	t, err := SDTreeTrainCtx(ctx, train, cfg)
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sort"
@@ -92,6 +93,12 @@ func FStatQuality(dists []float64, labels []int) float64 {
 // (a candidate is attributed to the class whose mean distance to it is
 // smallest).
 func STDiscover(train *ts.Dataset, cfg STConfig) ([]classify.Shapelet, error) {
+	return STDiscoverCtx(context.Background(), train, cfg)
+}
+
+// STDiscoverCtx is STDiscover with cooperative cancellation: the scoring
+// stage checks ctx per instance pass inside the batched distance engine.
+func STDiscoverCtx(ctx context.Context, train *ts.Dataset, cfg STConfig) ([]classify.Shapelet, error) {
 	cfg = cfg.defaults()
 	if err := train.Validate(true); err != nil {
 		return nil, err
@@ -145,7 +152,10 @@ func STDiscover(train *ts.Dataset, cfg STConfig) ([]classify.Shapelet, error) {
 	for ci, ref := range space {
 		queries[ci] = train.Instances[ref.inst].Values[ref.at : ref.at+ref.length]
 	}
-	D := distMatrix(train, nil, queries, nil)
+	D, err := distMatrix(ctx, train, nil, queries, nil)
+	if err != nil {
+		return nil, err
+	}
 	best := map[int][]scored{}
 	for ci := range space {
 		values := ts.Series(queries[ci])
@@ -196,15 +206,21 @@ func STDiscover(train *ts.Dataset, cfg STConfig) ([]classify.Shapelet, error) {
 }
 
 // STEvaluate runs the full ST pipeline with the common shapelet-transform
-// classifier and returns its test accuracy.
+// classifier and a background context; see STEvaluateCtx.
 func STEvaluate(train, test *ts.Dataset, cfg STConfig, svmCfg classify.SVMConfig) (float64, error) {
-	sh, err := STDiscover(train, cfg)
+	return STEvaluateCtx(context.Background(), train, test, cfg, svmCfg)
+}
+
+// STEvaluateCtx runs the full ST pipeline — discovery, classifier training,
+// and test scoring — with cooperative cancellation.
+func STEvaluateCtx(ctx context.Context, train, test *ts.Dataset, cfg STConfig, svmCfg classify.SVMConfig) (float64, error) {
+	sh, err := STDiscoverCtx(ctx, train, cfg)
 	if err != nil {
 		return 0, err
 	}
-	m, err := TrainShapeletClassifier(train, sh, svmCfg)
+	m, err := TrainShapeletClassifierCtx(ctx, train, sh, svmCfg)
 	if err != nil {
 		return 0, err
 	}
-	return m.Accuracy(test), nil
+	return m.AccuracyCtx(ctx, test)
 }

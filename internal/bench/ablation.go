@@ -9,6 +9,7 @@ import (
 	"ips/internal/core"
 	"ips/internal/dabf"
 	"ips/internal/ip"
+	"ips/internal/obs"
 	"ips/internal/ts"
 )
 
@@ -47,7 +48,7 @@ func (h *Harness) Ablation(ctx context.Context, datasets []string) ([]AblationRe
 		res := AblationResult{Dataset: name}
 
 		run := func(variant string, opt core.Options, mutatePool bool) error {
-			t0 := time.Now()
+			sw := obs.NewStopwatch()
 			var acc float64
 			if mutatePool {
 				acc, err = h.evaluateWithoutDiscords(ctx, train, test, opt)
@@ -57,7 +58,7 @@ func (h *Harness) Ablation(ctx context.Context, datasets []string) ([]AblationRe
 			if err != nil {
 				return err
 			}
-			res.Rows = append(res.Rows, AblationRow{Variant: variant, Accuracy: acc, Runtime: time.Since(t0)})
+			res.Rows = append(res.Rows, AblationRow{Variant: variant, Accuracy: acc, Runtime: sw.Elapsed()})
 			return nil
 		}
 

@@ -63,22 +63,22 @@ func (h *Harness) COTE(ctx context.Context, datasets []string) ([]COTERow, error
 
 		// Shapelet-transform methods sharing the common classifier.
 		if sh, err := baselines.BaseDiscoverCtx(ctx, train, baselines.BaseConfig{K: h.k(), Workers: h.Workers}); err == nil {
-			if m, err := baselines.TrainShapeletClassifier(train, sh, classify.SVMConfig{Seed: h.Seed}); err == nil {
+			if m, err := baselines.TrainShapeletClassifierCtx(ctx, train, sh, classify.SVMConfig{Seed: h.Seed}); err == nil {
 				addMember("BASE", m.Predict)
 			}
 		}
-		if sh, err := baselines.BSPCoverDiscover(train, baselines.BSPConfig{K: h.k()}); err == nil {
-			if m, err := baselines.TrainShapeletClassifier(train, sh, classify.SVMConfig{Seed: h.Seed}); err == nil {
+		if sh, err := baselines.BSPCoverDiscoverCtx(ctx, train, baselines.BSPConfig{K: h.k()}); err == nil {
+			if m, err := baselines.TrainShapeletClassifierCtx(ctx, train, sh, classify.SVMConfig{Seed: h.Seed}); err == nil {
 				addMember("BSPCOVER", m.Predict)
 			}
 		}
-		if sh, err := baselines.STDiscover(train, baselines.STConfig{Seed: h.Seed}); err == nil {
-			if m, err := baselines.TrainShapeletClassifier(train, sh, classify.SVMConfig{Seed: h.Seed}); err == nil {
+		if sh, err := baselines.STDiscoverCtx(ctx, train, baselines.STConfig{Seed: h.Seed}); err == nil {
+			if m, err := baselines.TrainShapeletClassifierCtx(ctx, train, sh, classify.SVMConfig{Seed: h.Seed}); err == nil {
 				addMember("ST", m.Predict)
 			}
 		}
-		if sh, err := baselines.FastShapeletsDiscover(train, baselines.FSConfig{Seed: h.Seed}); err == nil {
-			if m, err := baselines.TrainShapeletClassifier(train, sh, classify.SVMConfig{Seed: h.Seed}); err == nil {
+		if sh, err := baselines.FastShapeletsDiscoverCtx(ctx, train, baselines.FSConfig{Seed: h.Seed}); err == nil {
+			if m, err := baselines.TrainShapeletClassifierCtx(ctx, train, sh, classify.SVMConfig{Seed: h.Seed}); err == nil {
 				addMember("FS", m.Predict)
 			}
 		}
@@ -87,7 +87,7 @@ func (h *Harness) COTE(ctx context.Context, datasets []string) ([]COTERow, error
 		if lts, err := baselines.LTSTrain(train, baselines.LTSConfig{Iterations: 120, Seed: h.Seed}); err == nil {
 			addMember("LTS", lts.Predict)
 		}
-		if sdt, err := baselines.SDTreeTrain(train, baselines.SDTreeConfig{Seed: h.Seed}); err == nil {
+		if sdt, err := baselines.SDTreeTrainCtx(ctx, train, baselines.SDTreeConfig{Seed: h.Seed}); err == nil {
 			addMember("SDTree", sdt.PredictAll)
 		}
 		if rotf, err := baselines.RotFTrain(train, baselines.RotFConfig{Seed: h.Seed}); err == nil {

@@ -8,6 +8,7 @@ import (
 	"ips/internal/core"
 	"ips/internal/dabf"
 	"ips/internal/ip"
+	"ips/internal/obs"
 	"ips/internal/ts"
 )
 
@@ -71,7 +72,7 @@ func (h *Harness) Fig10a(ctx context.Context, datasets []string) ([]Fig10aRow, e
 			dsp.End()
 			return nil, err
 		}
-		t0 := time.Now()
+		sw := obs.NewStopwatch()
 		psp := dsp.Child("prune-dabf")
 		bsp := psp.Child("dabf-build")
 		d, err := dabf.BuildSpan(ctx, pool, cfg.DABF, bsp)
@@ -90,9 +91,9 @@ func (h *Harness) Fig10a(ctx context.Context, datasets []string) ([]Fig10aRow, e
 		}
 		qsp.End()
 		psp.End()
-		withDABF := time.Since(t0)
+		withDABF := sw.Elapsed()
 
-		t0 = time.Now()
+		sw = obs.NewStopwatch()
 		nsp := dsp.Child("prune-naive")
 		if _, _, err := dabf.NaivePrune(ctx, pool, cfg.DABF.Dim, cfg.DABF.Sigma); err != nil {
 			nsp.End()
@@ -100,7 +101,7 @@ func (h *Harness) Fig10a(ctx context.Context, datasets []string) ([]Fig10aRow, e
 			return nil, err
 		}
 		nsp.End()
-		without := time.Since(t0)
+		without := sw.Elapsed()
 		dsp.End()
 
 		rows = append(rows, Fig10aRow{Dataset: name, WithDABF: withDABF, WithoutDAB: without})
@@ -190,7 +191,7 @@ func (h *Harness) selectionTime(ctx context.Context, train *ts.Dataset, opt core
 	pruned, _ := dabf.Prune(pool, d)
 	sp := h.Obs.Root().Child("fig10bc.selection." + train.Name)
 	sp.SetString("dt_cr", fmt.Sprint(!opt.DisableDT))
-	t0 := time.Now()
+	sw := obs.NewStopwatch()
 	if _, err := core.SelectTopK(ctx, pruned, train, d, core.SelectionConfig{
 		K:     opt.K,
 		UseDT: !opt.DisableDT,
@@ -201,5 +202,5 @@ func (h *Harness) selectionTime(ctx context.Context, train *ts.Dataset, opt core
 		return 0
 	}
 	sp.End()
-	return time.Since(t0)
+	return sw.Elapsed()
 }

@@ -9,6 +9,7 @@ import (
 
 	"ips/internal/baselines"
 	"ips/internal/classify"
+	"ips/internal/obs"
 	"ips/internal/ts"
 )
 
@@ -50,12 +51,12 @@ func (h *Harness) Fig13(ctx context.Context) (*Fig13Result, error) {
 	}
 	res.IPSShapelet = best
 
-	t0 := time.Now()
-	bspShapelets, err := baselines.BSPCoverDiscover(train, baselines.BSPConfig{K: h.k()})
+	sw := obs.NewStopwatch()
+	bspShapelets, err := baselines.BSPCoverDiscoverCtx(ctx, train, baselines.BSPConfig{K: h.k()})
 	if err != nil {
 		return nil, err
 	}
-	res.BSPRuntime = time.Since(t0)
+	res.BSPRuntime = sw.Elapsed()
 	bspBest := bspShapelets[0]
 	for _, s := range bspShapelets {
 		if s.Score > bspBest.Score {

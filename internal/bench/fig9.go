@@ -65,7 +65,7 @@ func (h *Harness) Fig9(ctx context.Context, datasets []string) ([]Fig9Result, er
 			}
 			res.Base = append(res.Base, Fig9Point{K: k, Accuracy: baseRes.Accuracy, Runtime: baseRes.Runtime})
 
-			bspRes, err := h.RunBSPCover(train, test, k)
+			bspRes, err := h.RunBSPCover(ctx, train, test, k)
 			if err != nil {
 				return nil, err
 			}

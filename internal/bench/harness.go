@@ -146,12 +146,12 @@ func (h *Harness) RunIPS(ctx context.Context, train, test *ts.Dataset) (MethodRe
 		opt.IP.Seed = h.Seed + int64(r)
 		opt.DABF.Seed = h.Seed + int64(r)
 		opt.SVM.Seed = h.Seed + int64(r)
-		t0 := time.Now()
+		sw := obs.NewStopwatch()
 		acc, m, err := core.Evaluate(ctx, train, test, opt)
 		if err != nil {
 			return MethodResult{}, nil, err
 		}
-		sumRT += time.Since(t0)
+		sumRT += sw.Elapsed()
 		sumAcc += acc
 		model = m
 	}
@@ -167,40 +167,40 @@ func (h *Harness) RunIPS(ctx context.Context, train, test *ts.Dataset) (MethodRe
 // evaluateWithOptions runs the IPS pipeline under explicit options and
 // returns accuracy plus runtime.
 func evaluateWithOptions(ctx context.Context, train, test *ts.Dataset, opt core.Options) (float64, time.Duration, error) {
-	t0 := time.Now()
+	sw := obs.NewStopwatch()
 	acc, _, err := core.Evaluate(ctx, train, test, opt)
-	return acc, time.Since(t0), err
+	return acc, sw.Elapsed(), err
 }
 
 // RunBase measures the MP baseline with the given k.
 func (h *Harness) RunBase(ctx context.Context, train, test *ts.Dataset, k int) (MethodResult, error) {
-	t0 := time.Now()
+	sw := obs.NewStopwatch()
 	acc, err := baselines.BaseEvaluateCtx(benchCtx(ctx), train, test,
 		baselines.BaseConfig{K: k, Workers: h.Workers},
 		classify.SVMConfig{Seed: h.Seed})
 	if err != nil {
 		return MethodResult{}, err
 	}
-	return MethodResult{Accuracy: acc, Runtime: time.Since(t0)}, nil
+	return MethodResult{Accuracy: acc, Runtime: sw.Elapsed()}, nil
 }
 
 // RunBSPCover measures the BSPCOVER comparator.
-func (h *Harness) RunBSPCover(train, test *ts.Dataset, k int) (MethodResult, error) {
-	t0 := time.Now()
-	acc, err := baselines.BSPCoverEvaluate(train, test,
+func (h *Harness) RunBSPCover(ctx context.Context, train, test *ts.Dataset, k int) (MethodResult, error) {
+	sw := obs.NewStopwatch()
+	acc, err := baselines.BSPCoverEvaluateCtx(benchCtx(ctx), train, test,
 		baselines.BSPConfig{K: k},
 		classify.SVMConfig{Seed: h.Seed})
 	if err != nil {
 		return MethodResult{}, err
 	}
-	return MethodResult{Accuracy: acc, Runtime: time.Since(t0)}, nil
+	return MethodResult{Accuracy: acc, Runtime: sw.Elapsed()}, nil
 }
 
 // RunNN measures a 1NN baseline.
 func (h *Harness) RunNN(train, test *ts.Dataset, cfg classify.NNConfig) MethodResult {
-	t0 := time.Now()
+	sw := obs.NewStopwatch()
 	acc := classify.EvaluateNN(train.Instances, test.Instances, cfg)
-	return MethodResult{Accuracy: acc, Runtime: time.Since(t0)}
+	return MethodResult{Accuracy: acc, Runtime: sw.Elapsed()}
 }
 
 // table formats rows of cells with a header into aligned columns.

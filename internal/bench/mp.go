@@ -7,9 +7,9 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
-	"time"
 
 	"ips/internal/mp"
+	"ips/internal/obs"
 )
 
 // MPBenchResult is one (N, w, workers) kernel measurement.
@@ -75,11 +75,11 @@ func (h *Harness) MPBench(ctx context.Context) (*MPBenchReport, error) {
 		for _, workers := range workerCounts {
 			best := 0.0
 			for attempt := 0; attempt < 3; attempt++ {
-				t0 := time.Now()
+				sw := obs.NewStopwatch()
 				if _, err := mp.SelfJoinCtx(ctx, series, w, nil, mp.Options{Workers: workers}); err != nil {
 					return nil, err
 				}
-				el := time.Since(t0).Seconds()
+				el := sw.Elapsed().Seconds()
 				if attempt == 0 || el < best {
 					best = el
 				}

@@ -55,7 +55,7 @@ func (h *Harness) Table4(ctx context.Context, datasets []string) ([]Table4Row, e
 		if err != nil {
 			return nil, err
 		}
-		bspRes, err := h.RunBSPCover(train, test, k)
+		bspRes, err := h.RunBSPCover(ctx, train, test, k)
 		if err != nil {
 			return nil, err
 		}

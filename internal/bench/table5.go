@@ -8,6 +8,7 @@ import (
 	"ips/internal/core"
 	"ips/internal/dabf"
 	"ips/internal/ip"
+	"ips/internal/obs"
 )
 
 // Table5Row holds one dataset's per-step runtime breakdown.
@@ -52,7 +53,7 @@ func (h *Harness) Table5(ctx context.Context, datasets []string) ([]Table5Row, e
 		row := Table5Row{Dataset: name}
 		dsp := h.Obs.Root().Child("table5." + name)
 
-		t0 := time.Now()
+		sw := obs.NewStopwatch()
 		gsp := dsp.Child("candidate-gen")
 		pool, err := ip.GenerateSpan(ctx, train, cfg.IP, gsp)
 		gsp.End()
@@ -60,9 +61,9 @@ func (h *Harness) Table5(ctx context.Context, datasets []string) ([]Table5Row, e
 			dsp.End()
 			return nil, err
 		}
-		row.CandidateGen = time.Since(t0)
+		row.CandidateGen = sw.Elapsed()
 
-		t0 = time.Now()
+		sw = obs.NewStopwatch()
 		psp := dsp.Child("prune-dabf")
 		bsp := psp.Child("dabf-build")
 		d, err := dabf.BuildSpan(ctx, pool, cfg.DABF, bsp)
@@ -80,9 +81,9 @@ func (h *Harness) Table5(ctx context.Context, datasets []string) ([]Table5Row, e
 			dsp.End()
 			return nil, err
 		}
-		row.PruneDABF = time.Since(t0)
+		row.PruneDABF = sw.Elapsed()
 
-		t0 = time.Now()
+		sw = obs.NewStopwatch()
 		nsp := dsp.Child("prune-naive")
 		if _, _, err := dabf.NaivePrune(ctx, pool, cfg.DABF.Dim, cfg.DABF.Sigma); err != nil {
 			nsp.End()
@@ -90,9 +91,9 @@ func (h *Harness) Table5(ctx context.Context, datasets []string) ([]Table5Row, e
 			return nil, err
 		}
 		nsp.End()
-		row.PruneNaive = time.Since(t0)
+		row.PruneNaive = sw.Elapsed()
 
-		t0 = time.Now()
+		sw = obs.NewStopwatch()
 		ssp := dsp.Child("select-dtcr")
 		if _, err := core.SelectTopK(ctx, pruned, train, d, core.SelectionConfig{K: cfg.K, UseDT: true, UseCR: true, Span: ssp}); err != nil {
 			ssp.End()
@@ -100,9 +101,9 @@ func (h *Harness) Table5(ctx context.Context, datasets []string) ([]Table5Row, e
 			return nil, err
 		}
 		ssp.End()
-		row.SelectOptimised = time.Since(t0)
+		row.SelectOptimised = sw.Elapsed()
 
-		t0 = time.Now()
+		sw = obs.NewStopwatch()
 		rsp := dsp.Child("select-raw")
 		if _, err := core.SelectTopK(ctx, pruned, train, d, core.SelectionConfig{K: cfg.K, UseDT: false, UseCR: false, Span: rsp}); err != nil {
 			rsp.End()
@@ -110,7 +111,7 @@ func (h *Harness) Table5(ctx context.Context, datasets []string) ([]Table5Row, e
 			return nil, err
 		}
 		rsp.End()
-		row.SelectRaw = time.Since(t0)
+		row.SelectRaw = sw.Elapsed()
 		dsp.End()
 
 		rows = append(rows, row)

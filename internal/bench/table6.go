@@ -66,7 +66,7 @@ func (h *Harness) Table6(ctx context.Context, datasets []string) ([]Table6Row, e
 			return nil, err
 		}
 		row.Base = baseRes.Accuracy
-		bspRes, err := h.RunBSPCover(train, test, h.k())
+		bspRes, err := h.RunBSPCover(ctx, train, test, h.k())
 		if err != nil {
 			return nil, err
 		}

@@ -59,17 +59,17 @@ func (h *Harness) Table6Extended(ctx context.Context, datasets []string) ([]Tabl
 		if err != nil {
 			return nil, err
 		}
-		row.FS, err = baselines.FastShapeletsEvaluate(train, test,
+		row.FS, err = baselines.FastShapeletsEvaluateCtx(ctx, train, test,
 			baselines.FSConfig{Seed: h.Seed}, classify.SVMConfig{Seed: h.Seed})
 		if err != nil {
 			return nil, err
 		}
-		row.ST, err = baselines.STEvaluate(train, test,
+		row.ST, err = baselines.STEvaluateCtx(ctx, train, test,
 			baselines.STConfig{Seed: h.Seed}, classify.SVMConfig{Seed: h.Seed})
 		if err != nil {
 			return nil, err
 		}
-		row.SDTree, err = baselines.SDTreeEvaluate(train, test, baselines.SDTreeConfig{Seed: h.Seed})
+		row.SDTree, err = baselines.SDTreeEvaluateCtx(ctx, train, test, baselines.SDTreeConfig{Seed: h.Seed})
 		if err != nil {
 			return nil, err
 		}

@@ -7,10 +7,10 @@ import (
 	"math"
 	"os"
 	"runtime"
-	"time"
 
 	"ips/internal/classify"
 	"ips/internal/dist"
+	"ips/internal/obs"
 	"ips/internal/ts"
 	"ips/internal/ucr"
 )
@@ -126,14 +126,17 @@ func (h *Harness) TransformBench(ctx context.Context) (*TransformBenchReport, er
 			var want, got [][]float64
 			naiveBest, engineBest := 0.0, 0.0
 			for attempt := 0; attempt < 3; attempt++ {
-				t0 := time.Now()
+				sw := obs.NewStopwatch()
 				want = naive()
-				if el := time.Since(t0).Seconds(); attempt == 0 || el < naiveBest {
+				if el := sw.Elapsed().Seconds(); attempt == 0 || el < naiveBest {
 					naiveBest = el
 				}
-				t0 = time.Now()
-				got = classify.TransformWorkers(train, shapelets, 1)
-				if el := time.Since(t0).Seconds(); attempt == 0 || el < engineBest {
+				sw = obs.NewStopwatch()
+				got, err = classify.TransformCtx(ctx, train, shapelets, 1, nil, nil)
+				if err != nil {
+					return nil, err
+				}
+				if el := sw.Elapsed().Seconds(); attempt == 0 || el < engineBest {
 					engineBest = el
 				}
 			}

@@ -46,11 +46,15 @@ type SVM struct {
 
 // TrainSVM fits one binary hinge-loss SVM per class on features X with
 // labels y.
+//
+//ips:blocking
 func TrainSVM(X [][]float64, y []int, cfg SVMConfig) (*SVM, error) {
 	return TrainSVMSpan(X, y, cfg, nil)
 }
 
 // TrainSVMSpan is TrainSVMCtx without cancellation (a background context).
+//
+//ips:blocking
 func TrainSVMSpan(X [][]float64, y []int, cfg SVMConfig, sp *obs.Span) (*SVM, error) {
 	return TrainSVMCtx(context.Background(), X, y, cfg, sp)
 }
@@ -61,6 +65,8 @@ func TrainSVMSpan(X [][]float64, y []int, cfg SVMConfig, sp *obs.Span) (*SVM, er
 // them.  A nil span disables all of it; the trained weights are identical
 // either way.  Cancellation is checked per coordinate-descent pass; a
 // cancelled run returns a nil model and an error matching errs.ErrCanceled.
+//
+//ips:blocking
 func TrainSVMCtx(ctx context.Context, X [][]float64, y []int, cfg SVMConfig, sp *obs.Span) (*SVM, error) {
 	if len(X) == 0 || len(X) != len(y) {
 		return nil, errs.BadInput(errs.StageTrain, "classify.svm", "",

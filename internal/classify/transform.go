@@ -85,18 +85,22 @@ func TransformCtx(ctx context.Context, d *ts.Dataset, shapelets []Shapelet, work
 	batch.SetKernel(DefaultKernel)
 	out := make([][]float64, len(d.Instances))
 	var total dist.Counts
-	embed := func(j int, c *dist.Counts) {
+	embed := func(j int, c *dist.Counts) error {
 		row := make([]float64, len(shapelets))
-		p := cache.Prepared(d.Instances[j].Values, c)
-		batch.EvalInto(p, row, c)
+		if err := embedRow(ctx, batch, cache, d.Instances[j].Values, row, c); err != nil {
+			return err // cancellation mid-row: row is partial, drop it
+		}
 		out[j] = row
+		return nil
 	}
 	if workers <= 1 || len(d.Instances) < 2 {
 		for j := range d.Instances {
 			if err := errs.Ctx(ctx, errs.StageTransform, "classify.transform"); err != nil {
 				return nil, err
 			}
-			embed(j, &total)
+			if err := embed(j, &total); err != nil {
+				return nil, err
+			}
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -111,7 +115,9 @@ func TransformCtx(ctx context.Context, d *ts.Dataset, shapelets []Shapelet, work
 					if ctx.Err() != nil {
 						continue // drain without working
 					}
-					embed(j, &local)
+					if err := embed(j, &local); err != nil {
+						continue // the post-Wait ctx check reports it
+					}
 				}
 				mu.Lock()
 				total.Merge(local)
@@ -133,6 +139,17 @@ func TransformCtx(ctx context.Context, d *ts.Dataset, shapelets []Shapelet, work
 		"instances", len(d.Instances), "shapelets", len(shapelets),
 		"workers", max(workers, 1), "rolling", total.Rolling, "fft", total.FFT)
 	return out, nil
+}
+
+// embedRow fills row with one instance's shapelet-transform embedding: a
+// single batched engine evaluation against the instance's prepared series.
+// This is the transform's per-instance scoring path — everything it calls
+// must stay allocation-free inside its loops.
+//
+//ips:hotpath
+func embedRow(ctx context.Context, batch *dist.Batch, cache *dist.Cache, series []float64, row []float64, c *dist.Counts) error {
+	p := cache.Prepared(series, c)
+	return batch.EvalIntoCtx(ctx, p, row, c)
 }
 
 // DefaultKernel forces the distance kernel for every transform (KernelAuto

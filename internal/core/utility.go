@@ -174,7 +174,10 @@ func rawUtilities(ctx context.Context, motifs []ip.Candidate, others []ip.Candid
 			}
 		}
 		p := cache.Prepared(in.Values, &counts)
-		batch.EvalInto(p, col, &counts)
+		if err := batch.EvalIntoCtx(ctx, p, col, &counts); err != nil {
+			dcSp.End()
+			return nil, err
+		}
 		for i := range col {
 			u.dc[i] += col[i]
 		}

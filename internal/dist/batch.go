@@ -74,6 +74,8 @@ func (b *Batch) SetKernel(k Kernel) {
 
 // Eval returns the Def. 4 distance of every query against the prepared
 // series, byte-identical per pair to ts.Dist(query, series).
+//
+//ips:blocking
 func (b *Batch) Eval(p *Prepared) []float64 {
 	out := make([]float64, len(b.queries))
 	b.EvalInto(p, out, nil)
@@ -85,6 +87,8 @@ func (b *Batch) Eval(p *Prepared) []float64 {
 // are processed grouped by length: the window Σt² vector is built once per
 // group from the prefix sums, and the fft kernel reuses one cached padded
 // series transform across every group whose pad size coincides.
+//
+//ips:blocking
 func (b *Batch) EvalInto(p *Prepared, out []float64, c *Counts) {
 	if err := b.EvalIntoCtx(context.Background(), p, out, c); err != nil {
 		// Unreachable: a background context never cancels and the batch has
@@ -98,6 +102,8 @@ func (b *Batch) EvalInto(p *Prepared, out []float64, c *Counts) {
 // the remaining groups are skipped and an error matching errs.ErrCanceled
 // is returned.  On cancellation out holds the completed groups' values and
 // arbitrary (stale) values for the rest; callers must discard it.
+//
+//ips:blocking
 func (b *Batch) EvalIntoCtx(ctx context.Context, p *Prepared, out []float64, c *Counts) error {
 	if c == nil {
 		c = &Counts{}
@@ -108,8 +114,7 @@ func (b *Batch) EvalIntoCtx(ctx context.Context, p *Prepared, out []float64, c *
 	var cbuf []complex128 // fft complex scratch, reused across queries
 	for _, g := range b.groups {
 		if err := errs.Ctx(ctx, errs.StageKernel, "dist.batch"); err != nil {
-			obs.Log(ctx).Debug("batch evaluation canceled",
-				"op", "dist.batch", "queries", len(b.queries))
+			b.logCanceled(ctx)
 			return err
 		}
 		m := g.m
@@ -121,9 +126,7 @@ func (b *Batch) EvalIntoCtx(ctx context.Context, p *Prepared, out []float64, c *
 			continue
 		}
 		if n == 0 || m > n || !p.finite {
-			obs.Log(ctx).Debug("batch group fell back to exact distances",
-				"op", "dist.batch", "query_len", m, "series_len", n,
-				"finite", p.finite, "queries", len(g.idx))
+			b.logExactFallback(ctx, m, n, p.finite, len(g.idx))
 			for _, qi := range g.idx {
 				out[qi] = ts.Dist(b.queries[qi], p.t)
 				c.Exact++
@@ -189,8 +192,26 @@ func (b *Batch) EvalIntoCtx(ctx context.Context, p *Prepared, out []float64, c *
 	return nil
 }
 
+// logCanceled and logExactFallback exist to keep their variadic ...any
+// arguments — which box one interface value per argument per call — out of
+// EvalIntoCtx's group loop; in these straight-line bodies the boxing happens
+// at most once per event instead of per iteration.
+func (b *Batch) logCanceled(ctx context.Context) {
+	obs.Log(ctx).Debug("batch evaluation canceled",
+		"op", "dist.batch", "queries", len(b.queries))
+}
+
+func (b *Batch) logExactFallback(ctx context.Context, m, n int, finite bool, queries int) {
+	obs.Log(ctx).Debug("batch group fell back to exact distances",
+		"op", "dist.batch", "query_len", m, "series_len", n,
+		"finite", finite, "queries", queries)
+}
+
 // fftMinShared converts the sliding dots of query qi into the approximate
 // un-normalised profile in place and refines the candidate minima exactly.
+// This is the batch engine's per-query inner loop; it must not allocate.
+//
+//ips:hotpath
 func (b *Batch) fftMinShared(p *Prepared, qi int, winSq, dots []float64, c *Counts) float64 {
 	qq := b.qq[qi]
 	minHat := math.Inf(1)
@@ -209,6 +230,9 @@ func (b *Batch) fftMinShared(p *Prepared, qi int, winSq, dots []float64, c *Coun
 
 // rollingMinShared is rollingMin with the per-group window Σt² vector
 // already materialised (shared across every query of the length group).
+// This is the batch engine's per-query inner loop; it must not allocate.
+//
+//ips:hotpath
 func (b *Batch) rollingMinShared(p *Prepared, qi int, winSq []float64, c *Counts) float64 {
 	q := b.queries[qi]
 	qq := b.qq[qi]

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"time"
+
+	"ips/internal/obs"
 )
 
 // LeakCheck snapshots the goroutine count so a test can assert that a
@@ -25,13 +27,13 @@ func NewLeakCheck() *LeakCheck {
 // baseline and returns a diagnostic ("" on success) including a full stack
 // dump of the leaked goroutines on failure.
 func (lc *LeakCheck) Done(timeout time.Duration) string {
-	deadline := time.Now().Add(timeout)
+	deadline := obs.NewDeadline(timeout)
 	for {
 		now := runtime.NumGoroutine()
 		if now <= lc.before {
 			return ""
 		}
-		if time.Now().After(deadline) {
+		if deadline.Exceeded() {
 			buf := make([]byte, 1<<20)
 			n := runtime.Stack(buf, true)
 			return fmt.Sprintf("goroutine leak: %d before, %d after %v drain\n%s",

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -57,13 +58,14 @@ type Pool struct {
 	ByClass map[int][]Candidate
 }
 
-// Classes returns the classes present in the pool, in map iteration order
-// callers should not rely on; use ts.Dataset.Classes for a stable order.
+// Classes returns the classes present in the pool in ascending order, so
+// downstream per-class iteration (dabf pruning, selection) is deterministic.
 func (p *Pool) Classes() []int {
 	out := make([]int, 0, len(p.ByClass))
 	for c := range p.ByClass {
 		out = append(out, c)
 	}
+	sort.Ints(out)
 	return out
 }
 
@@ -198,6 +200,8 @@ type job struct {
 // is sequential and seeded; the per-sample instance-profile computations fan
 // out over cfg.Workers goroutines, producing an identical pool for any
 // worker count.
+//
+//ips:blocking
 func Generate(ctx context.Context, d *ts.Dataset, cfg Config) (*Pool, error) {
 	return GenerateSpan(ctx, d, cfg, nil)
 }
@@ -212,6 +216,8 @@ func Generate(ctx context.Context, d *ts.Dataset, cfg Config) (*Pool, error) {
 // inside each job, at the STOMP kernel's tile granularity): once ctx is
 // done the fan-out drains its remaining jobs without computing them and
 // GenerateSpan returns a nil pool with an error matching errs.ErrCanceled.
+//
+//ips:blocking
 func GenerateSpan(ctx context.Context, d *ts.Dataset, cfg Config, sp *obs.Span) (*Pool, error) {
 	cfg = cfg.Defaults()
 	if d == nil {

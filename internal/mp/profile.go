@@ -120,6 +120,8 @@ func Diff(a, b *Profile) []float64 {
 // the diagonal-tiled kernel and its determinism contract.
 //
 // ¹ Footnote 1 of the paper: trivially overlapping neighbours are excluded.
+//
+//ips:blocking
 func SelfJoin(t []float64, w int, valid []bool) *Profile {
 	return SelfJoinOpts(t, w, valid, Options{})
 }
@@ -130,6 +132,8 @@ func SelfJoin(t []float64, w int, valid []bool) *Profile {
 // optionally mask boundary-spanning subsequences (nil means all valid).
 //
 // ABJoin is the sequential convenience form of ABJoinOpts.
+//
+//ips:blocking
 func ABJoin(a, b []float64, w int, validA, validB []bool) *Profile {
 	return ABJoinOpts(a, b, w, validA, validB, Options{})
 }

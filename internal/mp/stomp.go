@@ -168,6 +168,8 @@ func mergePartials(parts []*partial, prof *Profile) {
 }
 
 // SelfJoinOpts is SelfJoinCtx without cancellation (a background context).
+//
+//ips:blocking
 func SelfJoinOpts(t []float64, w int, valid []bool, opt Options) *Profile {
 	p, err := SelfJoinCtx(context.Background(), t, w, valid, opt)
 	if err != nil {
@@ -194,6 +196,8 @@ func SelfJoinOpts(t []float64, w int, valid []bool, opt Options) *Profile {
 // Cancelling ctx stops the join at tile granularity and returns a nil
 // profile with an error matching errs.ErrCanceled; no partial profile
 // escapes, so callers never see a half-merged result.
+//
+//ips:blocking
 func SelfJoinCtx(ctx context.Context, t []float64, w int, valid []bool, opt Options) (*Profile, error) {
 	n := len(t) - w + 1
 	if n <= 0 || w <= 0 {
@@ -227,27 +231,48 @@ func SelfJoinCtx(ctx context.Context, t []float64, w int, valid []bool, opt Opti
 	obs.Log(ctx).Debug("stomp self-join", "op", "mp.selfjoin",
 		"n", n, "w", w, "workers", workers, "tiles", len(tiles))
 
-	walk := func(pt *partial, tl tile) {
-		for k := tl.lo; k < tl.hi; k++ {
-			dot := first[k]
-			for i, j := 0, k; j < n; i, j = i+1, j+1 {
-				if i > 0 {
-					dot += t[i+w-1]*t[j+w-1] - t[i-1]*t[j-1]
-				}
-				if valid != nil && (!valid[i] || !valid[j]) {
-					continue
-				}
-				d := ts.ZNormSqDistFromStats(dot, w, means[i], stds[i], means[j], stds[j])
-				pt.update(i, d, j)
-				pt.update(j, d, i)
-			}
-		}
-	}
-	parts := runTiles(ctx, workers, tiles, n, sp, walk)
+	wk := &selfJoinWalker{t: t, w: w, n: n, valid: valid, first: first, means: means, stds: stds}
+	parts := runTiles(ctx, workers, tiles, n, sp, wk.walk)
 	return finishTiles(ctx, parts, p, "mp.selfjoin")
 }
 
+// selfJoinWalker is the STOMP tile kernel of SelfJoinCtx: the series, its
+// sliding statistics, and the seed dot products, shared read-only across
+// workers.
+type selfJoinWalker struct {
+	t           []float64
+	w, n        int
+	valid       []bool
+	first       []float64
+	means, stds []float64
+}
+
+// walk drains one diagonal tile into pt with the O(1) rolling dot-product
+// recurrence.  This is the innermost loop of the whole pipeline — it runs
+// once per matrix cell — so it must not allocate.
+//
+//ips:hotpath
+func (wk *selfJoinWalker) walk(pt *partial, tl tile) {
+	t, w, n := wk.t, wk.w, wk.n
+	for k := tl.lo; k < tl.hi; k++ {
+		dot := wk.first[k]
+		for i, j := 0, k; j < n; i, j = i+1, j+1 {
+			if i > 0 {
+				dot += t[i+w-1]*t[j+w-1] - t[i-1]*t[j-1]
+			}
+			if wk.valid != nil && (!wk.valid[i] || !wk.valid[j]) {
+				continue
+			}
+			d := ts.ZNormSqDistFromStats(dot, w, wk.means[i], wk.stds[i], wk.means[j], wk.stds[j])
+			pt.update(i, d, j)
+			pt.update(j, d, i)
+		}
+	}
+}
+
 // ABJoinOpts is ABJoinCtx without cancellation (a background context).
+//
+//ips:blocking
 func ABJoinOpts(a, b []float64, w int, validA, validB []bool, opt Options) *Profile {
 	p, err := ABJoinCtx(context.Background(), a, b, w, validA, validB, opt)
 	if err != nil {
@@ -266,6 +291,8 @@ func ABJoinOpts(a, b []float64, w int, validA, validB []bool, opt Options) *Prof
 // No exclusion zone applies because the two series are distinct.
 // validA/validB optionally mask boundary-spanning subsequences.
 // Cancellation behaves exactly as in SelfJoinCtx.
+//
+//ips:blocking
 func ABJoinCtx(ctx context.Context, a, b []float64, w int, validA, validB []bool, opt Options) (*Profile, error) {
 	na := len(a) - w + 1
 	nb := len(b) - w + 1
@@ -286,50 +313,75 @@ func ABJoinCtx(ctx context.Context, a, b []float64, w int, validA, validB []bool
 	p := &Profile{P: make([]float64, na), I: make([]int, na), W: w}
 	// Diagonal offsets k are shifted by (na−1) so the tile range is [0, nd).
 	nd := na + nb - 1
-	diagLen := func(s int) int {
-		k := s - (na - 1)
-		i0, j0 := 0, k
-		if k < 0 {
-			i0, j0 = -k, 0
-		}
-		la, lb := na-i0, nb-j0
-		if la < lb {
-			return la
-		}
-		return lb
+	wk := &abJoinWalker{
+		a: a, b: b, w: w, na: na, nb: nb,
+		validA: validA, validB: validB, ab: ab, ba: ba,
+		meansA: meansA, stdsA: stdsA, meansB: meansB, stdsB: stdsB,
 	}
 	workers := clampWorkers(opt.Workers, nd)
-	tiles := cutTiles(0, nd, workers, diagLen)
+	tiles := cutTiles(0, nd, workers, wk.diagLen)
 	sp.SetInt("workers", int64(workers))
 	sp.SetInt("tiles", int64(len(tiles)))
 	obs.Log(ctx).Debug("stomp ab-join", "op", "mp.abjoin",
 		"na", na, "nb", nb, "w", w, "workers", workers, "tiles", len(tiles))
 
-	walk := func(pt *partial, tl tile) {
-		for s := tl.lo; s < tl.hi; s++ {
-			k := s - (na - 1)
-			i0, j0 := 0, k
-			dot := 0.0
-			if k < 0 {
-				i0, j0 = -k, 0
-				dot = ba[i0]
-			} else {
-				dot = ab[j0]
+	parts := runTiles(ctx, workers, tiles, na, sp, wk.walk)
+	return finishTiles(ctx, parts, p, "mp.abjoin")
+}
+
+// abJoinWalker is the STOMP tile kernel of ABJoinCtx: both series, their
+// sliding statistics, and the seed dot products for positive (ab) and
+// negative (ba) diagonals, shared read-only across workers.
+type abJoinWalker struct {
+	a, b           []float64
+	w, na, nb      int
+	validA, validB []bool
+	ab, ba         []float64
+	meansA, stdsA  []float64
+	meansB, stdsB  []float64
+}
+
+// diagLen returns the number of cells on shifted diagonal s.
+func (wk *abJoinWalker) diagLen(s int) int {
+	k := s - (wk.na - 1)
+	i0, j0 := 0, k
+	if k < 0 {
+		i0, j0 = -k, 0
+	}
+	la, lb := wk.na-i0, wk.nb-j0
+	if la < lb {
+		return la
+	}
+	return lb
+}
+
+// walk drains one diagonal tile of the cross matrix into pt.  Like the
+// self-join kernel it runs once per cell and must not allocate.
+//
+//ips:hotpath
+func (wk *abJoinWalker) walk(pt *partial, tl tile) {
+	a, b, w := wk.a, wk.b, wk.w
+	for s := tl.lo; s < tl.hi; s++ {
+		k := s - (wk.na - 1)
+		i0, j0 := 0, k
+		dot := 0.0
+		if k < 0 {
+			i0, j0 = -k, 0
+			dot = wk.ba[i0]
+		} else {
+			dot = wk.ab[j0]
+		}
+		count := wk.diagLen(s)
+		for c := 0; c < count; c++ {
+			i, j := i0+c, j0+c
+			if c > 0 {
+				dot += a[i+w-1]*b[j+w-1] - a[i-1]*b[j-1]
 			}
-			count := diagLen(s)
-			for c := 0; c < count; c++ {
-				i, j := i0+c, j0+c
-				if c > 0 {
-					dot += a[i+w-1]*b[j+w-1] - a[i-1]*b[j-1]
-				}
-				if validA != nil && !validA[i] || validB != nil && !validB[j] {
-					continue
-				}
-				d := ts.ZNormSqDistFromStats(dot, w, meansA[i], stdsA[i], meansB[j], stdsB[j])
-				pt.update(i, d, j)
+			if wk.validA != nil && !wk.validA[i] || wk.validB != nil && !wk.validB[j] {
+				continue
 			}
+			d := ts.ZNormSqDistFromStats(dot, w, wk.meansA[i], wk.stdsA[i], wk.meansB[j], wk.stdsB[j])
+			pt.update(i, d, j)
 		}
 	}
-	parts := runTiles(ctx, workers, tiles, na, sp, walk)
-	return finishTiles(ctx, parts, p, "mp.abjoin")
 }

@@ -1,0 +1,38 @@
+package obs
+
+import "time"
+
+// Stopwatch measures elapsed wall time.  Run manifests are durations-only by
+// contract: upstream packages must never read absolute timestamps, so every
+// elapsed-time measurement flows through a Stopwatch (or a span, which uses
+// the same clock) and the wallclock lint rule keeps time.Now confined to
+// this package.  The zero value is not started; use NewStopwatch.
+type Stopwatch struct {
+	start time.Time
+}
+
+// NewStopwatch returns a stopwatch started now.
+func NewStopwatch() Stopwatch {
+	return Stopwatch{start: time.Now()}
+}
+
+// Elapsed returns the wall time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration {
+	return time.Since(s.start)
+}
+
+// Deadline is an absolute cut-off derived from the obs clock, for polling
+// loops that must give up after a timeout without carrying a raw time.Time.
+type Deadline struct {
+	at time.Time
+}
+
+// NewDeadline returns a deadline the given duration from now.
+func NewDeadline(d time.Duration) Deadline {
+	return Deadline{at: time.Now().Add(d)}
+}
+
+// Exceeded reports whether the deadline has passed.
+func (d Deadline) Exceeded() bool {
+	return time.Now().After(d.at)
+}

@@ -116,6 +116,10 @@ func DistProfile(q, t []float64) []float64 {
 //
 // Near-constant subsequences are handled conventionally: two constants are at
 // distance 0, a constant against a non-constant at distance √(2w)² = 2w.
+//
+// This runs once per matrix-profile cell; it must stay allocation-free.
+//
+//ips:hotpath
 func ZNormSqDistFromStats(qt float64, w int, meanA, stdA, meanB, stdB float64) float64 {
 	const eps = 1e-12
 	fw := float64(w)
