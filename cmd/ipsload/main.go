@@ -1,0 +1,303 @@
+// Command ipsload is a closed-loop load generator for ipsd.  By default it
+// self-hosts: it fits a model on a planted synthetic dataset, starts an
+// in-process serve.Server on a loopback port, and drives it — so one binary
+// produces a reproducible serving benchmark with no external setup.  Point
+// -url at a running ipsd to load an external daemon instead.
+//
+// For each concurrency level C in -levels, C workers POST /v1/classify in a
+// closed loop (next request only after the previous response) for -duration.
+// Per-level latency quantiles (p50/p95/p99), request counts, error counts,
+// and throughput are recorded as span attributes and histograms in an
+// obs.Manifest written to -out — the BENCH_serve.json artifact that
+// `ipsobs report` and `ipsobs check` understand.
+//
+// Usage:
+//
+//	ipsload -out BENCH_serve.json                   # self-hosted benchmark
+//	ipsload -url http://localhost:8080 -model prod  # load a live daemon
+//
+// Flags:
+//
+//	-url URL       target daemon; empty means self-host in-process
+//	-model NAME    model name to query (default planted)
+//	-levels LIST   comma-separated concurrency levels (default 1,4,16)
+//	-duration D    time spent per level (default 2s)
+//	-instances N   instances per request body (default 4)
+//	-seed N        RNG seed for the planted dataset and model fit (default 92)
+//	-workers N     serve workers per model when self-hosting (default 2)
+//	-out PATH      manifest output path (default BENCH_serve.json)
+//	-log-level L   structured log level (default warn)
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ips/internal/core"
+	"ips/internal/dabf"
+	"ips/internal/errs"
+	"ips/internal/faulty"
+	"ips/internal/ip"
+	"ips/internal/obs"
+	"ips/internal/serve"
+	"ips/internal/ts"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	url := flag.String("url", "", "target daemon base URL; empty self-hosts an in-process server")
+	model := flag.String("model", "planted", "model name to query")
+	levelsFlag := flag.String("levels", "1,4,16", "comma-separated concurrency levels")
+	duration := flag.Duration("duration", 2*time.Second, "time spent per concurrency level")
+	instances := flag.Int("instances", 4, "instances per request body")
+	seed := flag.Int64("seed", 92, "RNG seed for the planted dataset and model fit")
+	workers := flag.Int("workers", 2, "serve workers per model when self-hosting")
+	out := flag.String("out", "BENCH_serve.json", "manifest output path")
+	logLevel := flag.String("log-level", "warn", "structured log level: off, debug, info, warn, or error")
+	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipsload:", err)
+		return 2
+	}
+	levels, err := parseLevels(*levelsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipsload:", err)
+		return 2
+	}
+	if *instances < 1 {
+		fmt.Fprintln(os.Stderr, "ipsload: -instances must be at least 1")
+		return 2
+	}
+	ctx := obs.WithLogger(context.Background(), logger)
+
+	o := obs.New("ipsload")
+	runErr := bench(ctx, o, *url, *model, levels, *duration, *instances, *seed, *workers)
+	o.Finish()
+
+	m := obs.BuildManifest(o, obs.RunInfo{
+		Tool: "ipsload",
+		Seed: *seed,
+		Config: map[string]any{
+			"url":       *url,
+			"model":     *model,
+			"levels":    *levelsFlag,
+			"duration":  duration.String(),
+			"instances": *instances,
+			"workers":   *workers,
+		},
+		Err: runErr,
+	})
+	if err := m.WriteFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "ipsload: writing manifest:", err)
+		return 1
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "ipsload:", runErr)
+		return 1
+	}
+	report(os.Stdout, o, levels)
+	fmt.Fprintln(os.Stdout, "manifest:", *out)
+	return 0
+}
+
+// bench prepares the target (self-hosting if url is empty) and runs every
+// concurrency level against it.
+func bench(ctx context.Context, o *obs.Observer, url, model string, levels []int, duration time.Duration, instances int, seed int64, workers int) error {
+	train := faulty.Planted(8, 64, 2, 901+seed-92) // default seed keeps the canonical planted set
+
+	if url == "" {
+		sp := o.Root().Child("load.fit")
+		m, err := core.Fit(ctx, train, core.Options{
+			IP:   ip.Config{QN: 5, QS: 3, LengthRatios: []float64{0.2, 0.3}, Seed: seed},
+			DABF: dabf.Config{Seed: seed},
+			K:    3,
+		})
+		sp.End()
+		if err != nil {
+			return err
+		}
+		s := serve.NewServer(ctx, serve.Config{WorkersPerModel: workers, Obs: o})
+		if _, err := s.Register(ctx, model, "ipsload self-host", m); err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return errs.Wrap(errs.StageServe, "load.listen", "", err)
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			hs.Serve(ln)
+		}()
+		defer func() {
+			hs.Close()
+			<-done
+			closeCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			defer cancel()
+			s.Close(closeCtx)
+		}()
+		url = "http://" + ln.Addr().String()
+	}
+
+	body, err := requestBody(train, instances)
+	if err != nil {
+		return err
+	}
+	target := url + "/v1/classify?model=" + model
+
+	// Warm the serving path (prepared-statistics cache, connection pool) so
+	// the first level does not pay one-time costs the others skip.
+	client := &http.Client{Timeout: 30 * time.Second}
+	if err := post(client, target, body); err != nil {
+		return fmt.Errorf("warmup request: %w", err)
+	}
+
+	for _, c := range levels {
+		runLevel(o, client, target, body, c, duration)
+	}
+	return nil
+}
+
+// runLevel drives one closed-loop concurrency level and records it as a child
+// span with latency and throughput attributes.
+func runLevel(o *obs.Observer, client *http.Client, target string, body []byte, c int, duration time.Duration) {
+	sp := o.Root().Child("load.c" + strconv.Itoa(c))
+	met := o.Metrics()
+	hist := met.Histogram("load.c"+strconv.Itoa(c)+".ms",
+		[]float64{0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000})
+	requests := met.Counter("load.c" + strconv.Itoa(c) + ".requests")
+	failures := met.Counter("load.c" + strconv.Itoa(c) + ".errors")
+
+	dl := obs.NewDeadline(duration)
+	var wg sync.WaitGroup
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !dl.Exceeded() {
+				sw := obs.NewStopwatch()
+				err := post(client, target, body)
+				hist.Observe(float64(sw.Elapsed().Microseconds()) / 1000)
+				requests.Inc()
+				if err != nil {
+					failures.Inc()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	sp.End()
+
+	n := requests.Value()
+	snap := hist.Snapshot()
+	sp.SetInt("concurrency", int64(c))
+	sp.SetInt("requests", n)
+	sp.SetInt("errors", failures.Value())
+	sp.SetFloat("rps", float64(n)/duration.Seconds())
+	for _, q := range []string{"p50", "p95", "p99"} {
+		if v, ok := snap.Quantiles[q]; ok {
+			sp.SetFloat(q+"_ms", v)
+		}
+	}
+}
+
+// post performs one classify request, treating any non-200 as an error.
+func post(client *http.Client, target string, body []byte) error {
+	resp, err := client.Post(target, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, out)
+	}
+	var parsed struct {
+		Predictions []int `json:"predictions"`
+	}
+	if err := json.Unmarshal(out, &parsed); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	if len(parsed.Predictions) == 0 {
+		return fmt.Errorf("empty predictions in response")
+	}
+	return nil
+}
+
+// requestBody builds the shared JSON body from the first n planted instances,
+// cycling through the dataset when n exceeds it.
+func requestBody(train *ts.Dataset, n int) ([]byte, error) {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = train.Instances[i%len(train.Instances)].Values
+	}
+	return json.Marshal(struct {
+		Instances [][]float64 `json:"instances"`
+	}{Instances: rows})
+}
+
+// parseLevels parses the -levels flag.
+func parseLevels(s string) ([]int, error) {
+	var levels []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		c, err := strconv.Atoi(part)
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("bad concurrency level %q in -levels", part)
+		}
+		levels = append(levels, c)
+	}
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("-levels is empty")
+	}
+	return levels, nil
+}
+
+// report prints the per-level summary table.
+func report(w *os.File, o *obs.Observer, levels []int) {
+	fmt.Fprintf(w, "%-6s %9s %7s %9s %9s %9s %9s\n", "conc", "requests", "errors", "rps", "p50ms", "p95ms", "p99ms")
+	for _, c := range levels {
+		sp := o.Root().ChildByName("load.c" + strconv.Itoa(c))
+		if sp == nil {
+			continue
+		}
+		attrs := map[string]string{}
+		for _, a := range sp.Attrs() {
+			attrs[a.Key] = fmt.Sprint(a.Value)
+		}
+		fmt.Fprintf(w, "%-6d %9s %7s %9s %9s %9s %9s\n", c,
+			attrs["requests"], attrs["errors"], trim(attrs["rps"]),
+			trim(attrs["p50_ms"]), trim(attrs["p95_ms"]), trim(attrs["p99_ms"]))
+	}
+}
+
+// trim shortens a printed float to 3 significant decimals.
+func trim(s string) string {
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return strconv.FormatFloat(v, 'f', 3, 64)
+	}
+	return s
+}

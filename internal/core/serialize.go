@@ -2,7 +2,9 @@ package core
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"ips/internal/classify"
@@ -64,37 +66,81 @@ func (m *Model) SaveFile(path string) error {
 }
 
 // LoadModel reads a model previously written by Save.
+//
+// Every failure mode of a damaged file — truncated or corrupt JSON, a wrong
+// format number, missing sections, inconsistent dimensions, non-finite
+// weights — returns an error matching errs.ErrBadInput, never a raw decode
+// error and never a model that panics later: the scaler and SVM shapes are
+// fully cross-checked against the shapelet count here, because Predict
+// indexes them without bounds checks on its hot path.
 func LoadModel(r io.Reader) (*Model, error) {
+	bad := func(format string, args ...any) (*Model, error) {
+		return nil, errs.BadInput(errs.StageData, "model.load", "", format, args...)
+	}
 	var mf modelFile
 	if err := json.NewDecoder(r).Decode(&mf); err != nil {
-		return nil, errs.BadInputErr(errs.StageData, "model.load", "", err)
+		return nil, errs.BadInputErr(errs.StageData, "model.load",
+			"", fmt.Errorf("corrupt model file: %w", err))
 	}
 	if mf.Format != currentFormat {
-		return nil, errs.BadInput(errs.StageData, "model.load", "", "unsupported model format %d", mf.Format)
+		return bad("unsupported model format %d", mf.Format)
 	}
 	if mf.SVM == nil || mf.Scaler == nil || len(mf.Shapelets) == 0 {
-		return nil, errs.BadInput(errs.StageData, "model.load", "", "model file incomplete")
+		return bad("model file incomplete")
 	}
 	if len(mf.SVM.W) != len(mf.SVM.Classes) || len(mf.SVM.B) != len(mf.SVM.Classes) {
-		return nil, errs.BadInput(errs.StageData, "model.load", "", "model file SVM shape inconsistent")
+		return bad("model file SVM shape inconsistent")
+	}
+	if len(mf.SVM.Classes) < 2 {
+		return bad("model file has %d classes, need at least 2", len(mf.SVM.Classes))
 	}
 	m := &Model{
 		Scaler:  mf.Scaler,
 		SVM:     &classify.SVM{Classes: mf.SVM.Classes, W: mf.SVM.W, B: mf.SVM.B},
 		workers: mf.Workers,
 	}
-	for _, s := range mf.Shapelets {
+	for i, s := range mf.Shapelets {
+		if len(s.Values) == 0 {
+			return bad("model file shapelet %d is empty", i)
+		}
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return bad("model file shapelet %d has non-finite values", i)
+			}
+		}
 		m.Shapelets = append(m.Shapelets, classify.Shapelet{
 			Class:  s.Class,
 			Score:  s.Score,
 			Values: ts.Series(s.Values),
 		})
 	}
-	if len(m.Scaler.Mean) != len(m.Shapelets) {
-		return nil, errs.BadInput(errs.StageData, "model.load", "", "model file scaler/shapelet dimensions disagree")
+	k := len(m.Shapelets)
+	if len(m.Scaler.Mean) != k || len(m.Scaler.Std) != k {
+		return bad("model file scaler/shapelet dimensions disagree")
+	}
+	for i := range m.Scaler.Mean {
+		if !finite(m.Scaler.Mean[i]) || !finite(m.Scaler.Std[i]) || m.Scaler.Std[i] <= 0 {
+			return bad("model file scaler feature %d is degenerate", i)
+		}
+	}
+	for ci, w := range m.SVM.W {
+		if len(w) != k {
+			return bad("model file SVM weight row %d has %d features, want %d", ci, len(w), k)
+		}
+		for _, v := range w {
+			if !finite(v) {
+				return bad("model file SVM weight row %d has non-finite values", ci)
+			}
+		}
+		if !finite(m.SVM.B[ci]) {
+			return bad("model file SVM bias %d is non-finite", ci)
+		}
 	}
 	return m, nil
 }
+
+// finite reports whether v is neither NaN nor infinite.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // LoadModelFile reads a model from a file.
 func LoadModelFile(path string) (*Model, error) {

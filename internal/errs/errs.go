@@ -49,6 +49,9 @@ const (
 	StageData Stage = "data"
 	// StageBench covers the experiment harness.
 	StageBench Stage = "bench"
+	// StageServe covers the model-serving daemon (internal/serve): request
+	// admission, the batching gate, and the model registry.
+	StageServe Stage = "serve"
 )
 
 // Sentinel classification errors.  Every *Error wraps exactly one of these
@@ -69,6 +72,14 @@ var (
 	// ErrInternal marks invariant violations that indicate a bug in the
 	// pipeline itself rather than in the caller's data.
 	ErrInternal = errors.New("internal invariant violation")
+	// ErrOverload marks work rejected by backpressure: an admission queue
+	// was full and accepting the request would have grown latency without
+	// bound.  The serving layer maps it to HTTP 429.
+	ErrOverload = errors.New("overloaded")
+	// ErrUnavailable marks work refused because the serving surface (or the
+	// model it names) is draining, retired, or not loaded.  The serving
+	// layer maps it to HTTP 503.
+	ErrUnavailable = errors.New("unavailable")
 )
 
 // Error is the structured pipeline error: a classification sentinel (via
@@ -126,6 +137,18 @@ func BadInputErr(stage Stage, op, dataset string, cause error) error {
 	}
 	return &Error{Stage: stage, Op: op, Dataset: dataset,
 		Err: fmt.Errorf("%w: %w", ErrBadInput, cause)}
+}
+
+// Overload builds an ErrOverload *Error with a formatted detail message.
+func Overload(stage Stage, op, dataset, format string, args ...any) error {
+	return &Error{Stage: stage, Op: op, Dataset: dataset,
+		Err: fmt.Errorf("%w: "+format, append([]any{ErrOverload}, args...)...)}
+}
+
+// Unavailable builds an ErrUnavailable *Error with a formatted detail message.
+func Unavailable(stage Stage, op, dataset, format string, args ...any) error {
+	return &Error{Stage: stage, Op: op, Dataset: dataset,
+		Err: fmt.Errorf("%w: "+format, append([]any{ErrUnavailable}, args...)...)}
 }
 
 // Degenerate builds an ErrDegenerate *Error with a formatted detail message.

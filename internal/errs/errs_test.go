@@ -104,3 +104,25 @@ func TestWrap(t *testing.T) {
 		t.Fatalf("dataset overwritten: %+v", e)
 	}
 }
+
+func TestServeSentinels(t *testing.T) {
+	over := Overload(StageServe, "serve.admit", "m1", "queue full (%d waiting)", 256)
+	if !errors.Is(over, ErrOverload) {
+		t.Fatalf("Overload does not match ErrOverload: %v", over)
+	}
+	var e *Error
+	if !errors.As(over, &e) || e.Stage != StageServe || e.Op != "serve.admit" || e.Dataset != "m1" {
+		t.Fatalf("Overload annotation lost: %+v", e)
+	}
+	un := Unavailable(StageServe, "serve.route", "", "model %q draining", "m1")
+	if !errors.Is(un, ErrUnavailable) {
+		t.Fatalf("Unavailable does not match ErrUnavailable: %v", un)
+	}
+	// The serve sentinels are disjoint from each other and the rest of the
+	// taxonomy, so HTTP status mapping by errors.Is is unambiguous.
+	for _, other := range []error{ErrCanceled, ErrBadInput, ErrDegenerate, ErrNoShapelets, ErrInternal, ErrUnavailable} {
+		if errors.Is(over, other) {
+			t.Fatalf("ErrOverload chain also matches %v", other)
+		}
+	}
+}

@@ -154,6 +154,7 @@ func CheckTyped(err error) string {
 	for _, sentinel := range []error{
 		errs.ErrCanceled, errs.ErrBadInput, errs.ErrDegenerate,
 		errs.ErrNoShapelets, errs.ErrInternal,
+		errs.ErrOverload, errs.ErrUnavailable,
 	} {
 		if errors.Is(err, sentinel) {
 			return ""

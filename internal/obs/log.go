@@ -183,6 +183,10 @@ func ErrClass(err error) string {
 		return "no-shapelets"
 	case errors.Is(err, errs.ErrInternal):
 		return "internal"
+	case errors.Is(err, errs.ErrOverload):
+		return "overload"
+	case errors.Is(err, errs.ErrUnavailable):
+		return "unavailable"
 	}
 	return ""
 }

@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"ips/internal/classify"
+	"ips/internal/errs"
+	"ips/internal/obs"
+	"ips/internal/ts"
+)
+
+// jobKind selects which serving path a job takes after the shared transform.
+type jobKind int
+
+const (
+	kindClassify jobKind = iota
+	kindTransform
+)
+
+// job is one admitted request waiting in a model's queue.
+type job struct {
+	ctx       context.Context
+	kind      jobKind
+	instances []ts.Series
+	// done receives exactly one result; buffered so a worker never blocks on
+	// a handler that already gave up (its result is simply dropped).
+	done chan jobResult
+}
+
+// jobResult is what a worker sends back: predictions for kindClassify, the
+// raw shapelet-transform feature rows for kindTransform.
+type jobResult struct {
+	preds   []int
+	rows    [][]float64
+	version int64
+	err     error
+}
+
+// gate is one model's admission queue plus the worker pool that drains it.
+// Admission is non-blocking — a full queue is a typed overload, never an
+// unbounded wait — and each worker coalesces everything queued at wake-up
+// (capped by Config.MaxBatch) into a single transform pass so concurrent
+// requests share one batched distance evaluation and one prepared-statistics
+// cache pass over the model's shapelets.
+type gate struct {
+	srv  *Server
+	slot *slot
+	q    chan *job
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+	// hold, when non-nil (tests only), makes each worker wait for a token
+	// before collecting a group, so a test can pile N jobs into the queue and
+	// then release one token to force them through as a single batch.
+	hold chan struct{}
+}
+
+func newGate(srv *Server, sl *slot) *gate {
+	return &gate{
+		srv:  srv,
+		slot: sl,
+		q:    make(chan *job, srv.cfg.QueueDepth),
+		stop: make(chan struct{}),
+		hold: srv.cfg.gateHold,
+	}
+}
+
+// start launches the worker pool.  The goroutines are spawned by spawnWorker
+// (not inline) so each worker's closure captures nothing loop-scoped; the
+// pool joins in registry.waitGates via g.wg.
+func (g *gate) start(workers int) {
+	for i := 0; i < workers; i++ {
+		g.spawnWorker()
+	}
+}
+
+// spawnWorker adds one worker to the pool.
+func (g *gate) spawnWorker() {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		g.run()
+	}()
+}
+
+// stopOnce signals the pool to flush the queue and exit.  Idempotent.
+func (g *gate) stopOnce() {
+	g.once.Do(func() { close(g.stop) })
+}
+
+// admit enqueues j without blocking.  A full queue is the backpressure
+// signal: the caller gets a typed ErrOverload (HTTP 429) immediately instead
+// of a queue slot that would only grow its latency past its deadline.
+func (g *gate) admit(j *job) error {
+	met := g.srv.metrics()
+	select {
+	case <-g.stop:
+		return errs.Unavailable(errs.StageServe, "serve.admit", g.slot.name, "server is shutting down")
+	default:
+	}
+	select {
+	case g.q <- j:
+		met.Counter("serve.admit.accepted").Inc()
+		return nil
+	default:
+		met.Counter("serve.admit.rejected").Inc()
+		return errs.Overload(errs.StageServe, "serve.admit", g.slot.name,
+			"queue full (%d waiting)", cap(g.q))
+	}
+}
+
+// run is one worker's loop: wait for a job, coalesce whatever else is queued
+// behind it, execute the group as one batch, repeat.  On stop it flushes the
+// remaining queue (each group still executes, so graceful drain completes
+// admitted work) and exits when the queue is empty.
+func (g *gate) run() {
+	for {
+		if g.hold != nil {
+			select {
+			case <-g.hold:
+			case <-g.stop:
+				g.flush()
+				return
+			}
+		}
+		select {
+		case j := <-g.q:
+			g.exec(g.collect(j))
+		case <-g.stop:
+			g.flush()
+			return
+		}
+	}
+}
+
+// flush drains and executes everything still queued at shutdown.
+func (g *gate) flush() {
+	for {
+		select {
+		case j := <-g.q:
+			g.exec(g.collect(j))
+		default:
+			return
+		}
+	}
+}
+
+// collect returns first plus every job already queued behind it, up to the
+// batch cap.  It never waits: batching here exploits queueing that has
+// already happened under load rather than adding latency to an idle server.
+func (g *gate) collect(first *job) []*job {
+	group := []*job{first}
+	for len(group) < g.srv.cfg.MaxBatch {
+		select {
+		case j := <-g.q:
+			group = append(group, j)
+		default:
+			return group
+		}
+	}
+	return group
+}
+
+// exec runs one coalesced group.  The slot's current version is resolved
+// exactly once for the whole group — the hot-swap consistency point: every
+// job in the group sees the same model, scaler, SVM, and prepared-statistics
+// cache, even if a swap lands mid-execution.  Jobs whose deadline expired
+// while queued are answered with a typed cancellation and excluded from the
+// batch, so a stale request never burns transform work.
+func (g *gate) exec(group []*job) {
+	met := g.srv.metrics()
+	v := g.slot.cur.Load()
+	if v == nil || g.slot.retired.Load() {
+		err := errs.Unavailable(errs.StageServe, "serve.exec", g.slot.name, "model retired")
+		for _, j := range group {
+			j.done <- jobResult{err: err}
+		}
+		return
+	}
+
+	live := group[:0]
+	for _, j := range group {
+		if err := j.ctx.Err(); err != nil {
+			met.Counter("serve.queue.expired").Inc()
+			j.done <- jobResult{err: errs.Canceled(errs.StageServe, "serve.queue", g.slot.name, err)}
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return
+	}
+	met.Counter("serve.batch.groups").Inc()
+	met.Counter("serve.batch.jobs").Add(int64(len(live)))
+	if len(live) > 1 {
+		met.Counter("serve.batch.coalesced").Add(int64(len(live) - 1))
+	}
+
+	d := &ts.Dataset{Name: g.slot.name}
+	for _, j := range live {
+		for _, s := range j.instances {
+			d.Instances = append(d.Instances, ts.Instance{Values: s})
+		}
+	}
+	met.Counter("serve.batch.instances").Add(int64(len(d.Instances)))
+
+	// The transform runs under the server's lifetime context, not any single
+	// request's: the group shares one pass, and one client hanging up must
+	// not cancel its batch-mates.  Expired requests were already excluded;
+	// re-checked per job below before predicting.
+	sw := obs.NewStopwatch()
+	rows, err := classify.TransformCtx(g.srv.base, d, v.model.Shapelets, 1, nil, v.cache)
+	met.Histogram("serve.batch.ms", latencyBuckets).Observe(float64(sw.Elapsed().Microseconds()) / 1000)
+	if err != nil {
+		for _, j := range live {
+			j.done <- jobResult{err: err}
+		}
+		return
+	}
+
+	off := 0
+	for _, j := range live {
+		n := len(j.instances)
+		jr := jobResult{version: v.id}
+		switch j.kind {
+		case kindClassify:
+			jr.preds = v.model.SVM.PredictAll(v.model.Scaler.Apply(rows[off : off+n]))
+		case kindTransform:
+			jr.rows = rows[off : off+n]
+		}
+		off += n
+		j.done <- jr
+	}
+}

@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"ips/internal/errs"
+	"ips/internal/faulty"
+	"ips/internal/obs"
+	"ips/internal/ts"
+)
+
+// heldServer builds a server whose gate workers wait for one token per batch
+// group, so tests control exactly when (and how) queued jobs coalesce.
+func heldServer(t *testing.T, cfg Config) (*Server, chan struct{}, *slot) {
+	t.Helper()
+	m, _ := testModel(t)
+	hold := make(chan struct{})
+	cfg.gateHold = hold
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New("batcher-test")
+	}
+	s := NewServer(context.Background(), cfg)
+	if _, err := s.Register(context.Background(), "planted", "test", m); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	sl, err := s.reg.resolve("planted")
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	return s, hold, sl
+}
+
+func testJob(ctx context.Context, train *ts.Dataset, i int) *job {
+	return &job{
+		ctx:       ctx,
+		kind:      kindClassify,
+		instances: []ts.Series{train.Instances[i].Values},
+		done:      make(chan jobResult, 1),
+	}
+}
+
+// TestCoalescing verifies the core batching claim with the obs counters: N
+// jobs queued while the worker is held execute as ONE batch group with one
+// transform pass over all instances.
+func TestCoalescing(t *testing.T) {
+	_, train := testModel(t)
+	s, hold, sl := heldServer(t, Config{})
+	const n = 5
+	jobs := make([]*job, n)
+	for i := range jobs {
+		jobs[i] = testJob(context.Background(), train, i)
+		if err := sl.gate.admit(jobs[i]); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	hold <- struct{}{} // release exactly one batch group
+	for i, j := range jobs {
+		res := <-j.done
+		if res.err != nil {
+			t.Fatalf("job %d: %v", i, res.err)
+		}
+		if len(res.preds) != 1 || res.version != 1 {
+			t.Fatalf("job %d result = %+v", i, res)
+		}
+	}
+	met := s.metrics()
+	if got := met.Counter("serve.batch.groups").Value(); got != 1 {
+		t.Fatalf("batch groups = %d, want 1 (jobs did not coalesce)", got)
+	}
+	if got := met.Counter("serve.batch.jobs").Value(); got != n {
+		t.Fatalf("batch jobs = %d, want %d", got, n)
+	}
+	if got := met.Counter("serve.batch.coalesced").Value(); got != n-1 {
+		t.Fatalf("coalesced = %d, want %d", got, n-1)
+	}
+	if got := met.Counter("serve.batch.instances").Value(); got != n {
+		t.Fatalf("batch instances = %d, want %d", got, n)
+	}
+}
+
+// TestMaxBatchSplitsGroups: more queued jobs than MaxBatch execute as
+// multiple groups, none larger than the cap.
+func TestMaxBatchSplitsGroups(t *testing.T) {
+	_, train := testModel(t)
+	s, hold, sl := heldServer(t, Config{MaxBatch: 2})
+	const n = 5
+	jobs := make([]*job, n)
+	for i := range jobs {
+		jobs[i] = testJob(context.Background(), train, i)
+		if err := sl.gate.admit(jobs[i]); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ { // ceil(5/2) groups
+		hold <- struct{}{}
+	}
+	for i, j := range jobs {
+		if res := <-j.done; res.err != nil {
+			t.Fatalf("job %d: %v", i, res.err)
+		}
+	}
+	met := s.metrics()
+	if got := met.Counter("serve.batch.groups").Value(); got != 3 {
+		t.Fatalf("batch groups = %d, want 3", got)
+	}
+	if got := met.Counter("serve.batch.jobs").Value(); got != n {
+		t.Fatalf("batch jobs = %d, want %d", got, n)
+	}
+}
+
+// TestQueueFull429 fills the queue and asserts the next admission is an
+// immediate typed overload, not a wait.
+func TestQueueFull429(t *testing.T) {
+	_, train := testModel(t)
+	s, hold, sl := heldServer(t, Config{QueueDepth: 2})
+	j1, j2, j3 := testJob(context.Background(), train, 0), testJob(context.Background(), train, 1), testJob(context.Background(), train, 2)
+	if err := sl.gate.admit(j1); err != nil {
+		t.Fatalf("admit 1: %v", err)
+	}
+	if err := sl.gate.admit(j2); err != nil {
+		t.Fatalf("admit 2: %v", err)
+	}
+	err := sl.gate.admit(j3)
+	if err == nil {
+		t.Fatal("third admit succeeded with QueueDepth=2 and a held worker")
+	}
+	if !errors.Is(err, errs.ErrOverload) {
+		t.Fatalf("overflow error = %v, want ErrOverload", err)
+	}
+	if diag := faulty.CheckTyped(err); diag != "" {
+		t.Fatal(diag)
+	}
+	if got := statusFor(err); got != http.StatusTooManyRequests {
+		t.Fatalf("statusFor(overload) = %d, want 429", got)
+	}
+	met := s.metrics()
+	if got := met.Counter("serve.admit.rejected").Value(); got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+	// Drain the two queued jobs so Close does not count them as leaks.
+	hold <- struct{}{}
+	<-j1.done
+	<-j2.done
+}
+
+// TestDeadlineInQueue504 queues a job whose deadline fires before a worker
+// picks it up: it must come back as a typed cancellation (504) without the
+// batch ever executing it.
+func TestDeadlineInQueue504(t *testing.T) {
+	_, train := testModel(t)
+	s, hold, sl := heldServer(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	j := testJob(ctx, train, 0)
+	if err := sl.gate.admit(j); err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	<-ctx.Done() // deadline fires while the job waits in the queue
+	hold <- struct{}{}
+	res := <-j.done
+	if res.err == nil {
+		t.Fatal("expired job executed")
+	}
+	if !errors.Is(res.err, errs.ErrCanceled) || !errors.Is(res.err, context.DeadlineExceeded) {
+		t.Fatalf("expired job error = %v", res.err)
+	}
+	if diag := faulty.CheckTyped(res.err); diag != "" {
+		t.Fatal(diag)
+	}
+	if got := statusFor(res.err); got != http.StatusGatewayTimeout {
+		t.Fatalf("statusFor(queue deadline) = %d, want 504", got)
+	}
+	met := s.metrics()
+	if got := met.Counter("serve.queue.expired").Value(); got != 1 {
+		t.Fatalf("queue.expired = %d, want 1", got)
+	}
+	// The whole group expired: nothing executed, no transform ran.
+	if got := met.Counter("serve.batch.groups").Value(); got != 0 {
+		t.Fatalf("batch groups = %d, want 0", got)
+	}
+	if got := met.Counter("serve.batch.instances").Value(); got != 0 {
+		t.Fatalf("batch instances = %d, want 0", got)
+	}
+}
+
+// TestRetiredInQueue503: jobs already queued when the model is retired fail
+// typed at execution rather than running against a dead model.
+func TestRetiredInQueue503(t *testing.T) {
+	_, train := testModel(t)
+	s, hold, sl := heldServer(t, Config{})
+	j := testJob(context.Background(), train, 0)
+	if err := sl.gate.admit(j); err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if _, err := s.Retire(context.Background(), "planted"); err != nil {
+		t.Fatalf("retire: %v", err)
+	}
+	hold <- struct{}{}
+	res := <-j.done
+	if !errors.Is(res.err, errs.ErrUnavailable) {
+		t.Fatalf("retired-in-queue error = %v, want ErrUnavailable", res.err)
+	}
+	if got := statusFor(res.err); got != http.StatusServiceUnavailable {
+		t.Fatalf("statusFor = %d, want 503", got)
+	}
+}
+
+// TestCloseFlushesQueue: jobs still queued at Close are answered (executed
+// by the shutdown flush), never dropped.
+func TestCloseFlushesQueue(t *testing.T) {
+	m, train := testModel(t)
+	hold := make(chan struct{})
+	s := NewServer(context.Background(), Config{Obs: obs.New("flush-test"), gateHold: hold})
+	if _, err := s.Register(context.Background(), "planted", "test", m); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	sl, _ := s.reg.resolve("planted")
+	jobs := make([]*job, 3)
+	for i := range jobs {
+		jobs[i] = testJob(context.Background(), train, i)
+		if err := sl.gate.admit(jobs[i]); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil { // workers flush without any hold token
+		t.Fatalf("close: %v", err)
+	}
+	for i, j := range jobs {
+		select {
+		case res := <-j.done:
+			if res.err != nil {
+				t.Fatalf("flushed job %d: %v", i, res.err)
+			}
+		default:
+			t.Fatalf("job %d got no result from the shutdown flush", i)
+		}
+	}
+	if err := sl.gate.admit(testJob(context.Background(), train, 0)); !errors.Is(err, errs.ErrUnavailable) {
+		t.Fatalf("post-close admit = %v, want ErrUnavailable", err)
+	}
+}

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"ips/internal/errs"
+	"ips/internal/obs"
+)
+
+// errModelNotFound marks a request naming a model the registry does not
+// hold.  It chains through ErrBadInput — the name came from the caller — but
+// carries its own identity so statusFor can answer 404 rather than 400.
+var errModelNotFound = errors.New("model not found")
+
+// notFound builds the typed not-found error for name.
+func notFound(op, name string) error {
+	return &errs.Error{Stage: errs.StageServe, Op: op, Dataset: name,
+		Err: fmt.Errorf("%w: %w: %q", errs.ErrBadInput, errModelNotFound, name)}
+}
+
+// StatusClientClosedRequest is the (nginx-convention) status for a request
+// whose client went away before the response was ready.
+const StatusClientClosedRequest = 499
+
+// statusFor maps the errs taxonomy onto the serving HTTP contract:
+//
+//	ErrOverload           429  queue full, retry with backoff
+//	ErrUnavailable        503  draining / retired / not loaded yet
+//	deadline exceeded     504  the request's deadline fired
+//	client cancellation   499  the client hung up first
+//	model not found       404
+//	body too large        413
+//	ErrBadInput           400
+//	anything else         500
+//
+// Order matters: a deadline that fires mid-body-read gets wrapped in a
+// bad-input decode error, and the cancellation must win so the client sees
+// the timeout, not a parse complaint.
+func statusFor(err error) int {
+	var tooBig *http.MaxBytesError
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, errs.ErrOverload):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errs.ErrUnavailable):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, errs.ErrCanceled):
+		return StatusClientClosedRequest
+	case errors.Is(err, errModelNotFound):
+		return http.StatusNotFound
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, errs.ErrBadInput):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error  string `json:"error"`
+	Class  string `json:"class,omitempty"`
+	Stage  string `json:"stage,omitempty"`
+	Op     string `json:"op,omitempty"`
+	Status int    `json:"status"`
+}
+
+// writeError renders err as its typed JSON error response and returns the
+// status it wrote (for the route metrics).  Server-side failures log at
+// Warn, client-side ones at Debug — a client sending garbage is not an
+// incident.
+func writeError(ctx context.Context, w http.ResponseWriter, err error) int {
+	status := statusFor(err)
+	resp := errorResponse{Error: err.Error(), Class: obs.ErrClass(err), Status: status}
+	var e *errs.Error
+	if errors.As(err, &e) {
+		resp.Stage = string(e.Stage)
+		resp.Op = e.Op
+	}
+	if status >= 500 && status != http.StatusServiceUnavailable && status != http.StatusGatewayTimeout {
+		obs.Log(ctx).Warn("request failed", obs.ErrAttrs(err)...)
+	} else {
+		obs.Log(ctx).Debug("request rejected", obs.ErrAttrs(err)...)
+	}
+	writeJSON(ctx, w, status, resp)
+	return status
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"ips/internal/faulty"
+)
+
+// TestHTTPFaultMatrix drives every faulty.HTTPFault against the classify
+// route: each misbehaving client must get exactly the documented typed
+// status with a JSON error body naming the errs class — never a panic,
+// never a 200, never a hung connection — and the server must serve a clean
+// request immediately afterwards.
+func TestHTTPFaultMatrix(t *testing.T) {
+	_, train := testModel(t)
+	_, hs := testServer(t, Config{})
+	cleanBody, _ := evalBody(t, train, 1)
+	cleanURL := hs.URL + "/v1/classify?model=planted"
+
+	for _, f := range faulty.HTTPFaults() {
+		t.Run(f.Name, func(t *testing.T) {
+			url := cleanURL
+			if f.Timeout > 0 {
+				url += "&timeout_ms=" + strconv.Itoa(int(f.Timeout/time.Millisecond))
+			}
+			ctx := context.Background()
+			if f.CancelAfter > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, f.CancelAfter)
+				defer cancel()
+			}
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, f.Body())
+			if err != nil {
+				t.Fatalf("build request: %v", err)
+			}
+			req.Header.Set("Content-Type", f.ContentType)
+			resp, err := http.DefaultClient.Do(req)
+
+			if f.WantStatus == 0 {
+				// Client-side failure expected: the transport must report the
+				// cancellation, and the server must shrug it off.
+				if err == nil {
+					resp.Body.Close()
+					t.Fatalf("expected a client-side error, got HTTP %d", resp.StatusCode)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("round trip: %v", err)
+				}
+				out, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil {
+					t.Fatalf("read body: %v", rerr)
+				}
+				if resp.StatusCode == http.StatusOK {
+					t.Fatalf("fault answered 200 with body %s", out)
+				}
+				if resp.StatusCode != f.WantStatus {
+					t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, f.WantStatus, out)
+				}
+				var er errorResponse
+				if err := json.Unmarshal(out, &er); err != nil {
+					t.Fatalf("error body is not JSON: %v (%s)", err, out)
+				}
+				if er.Class != f.WantClass {
+					t.Fatalf("error class = %q, want %q (body %s)", er.Class, f.WantClass, out)
+				}
+				if er.Status != f.WantStatus {
+					t.Fatalf("body status = %d, want %d", er.Status, f.WantStatus)
+				}
+			}
+
+			// The server must stay healthy after every fault.
+			cresp, cout := postJSON(t, cleanURL, cleanBody)
+			if cresp.StatusCode != http.StatusOK {
+				t.Fatalf("clean request after fault: status %d, body %s", cresp.StatusCode, cout)
+			}
+		})
+	}
+}
+
+// TestHTTPFaultMatrixTransform spot-checks that the transform route shares
+// the decode contract.
+func TestHTTPFaultMatrixTransform(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	for _, f := range faulty.HTTPFaults() {
+		if f.Name != "truncated-json" && f.Name != "wrong-content-type" {
+			continue
+		}
+		req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/transform?model=planted", f.Body())
+		if err != nil {
+			t.Fatalf("build request: %v", err)
+		}
+		req.Header.Set("Content-Type", f.ContentType)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != f.WantStatus {
+			t.Fatalf("%s: status = %d, want %d (body %s)", f.Name, resp.StatusCode, f.WantStatus, out)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package ucr
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -22,13 +23,19 @@ func LoadTSV(path string) (*ts.Dataset, error) {
 		return nil, err
 	}
 	defer f.Close()
+	return ParseTSV(f, strings.TrimSuffix(filepath.Base(path), filepath.Ext(path)))
+}
 
+// ParseTSV reads the UCR TSV format from any reader — a file, an HTTP
+// request body, a buffer — naming the dataset name.  Diagnostics cite name
+// and line number; label remapping follows LoadTSV.
+func ParseTSV(r io.Reader, name string) (*ts.Dataset, error) {
 	type row struct {
 		label string
 		vals  ts.Series
 	}
 	var rows []row
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
 	lineNo := 0
 	for sc.Scan() {
@@ -39,13 +46,13 @@ func LoadTSV(path string) (*ts.Dataset, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("ucr: %s:%d: need a label and at least one value", path, lineNo)
+			return nil, fmt.Errorf("ucr: %s:%d: need a label and at least one value", name, lineNo)
 		}
 		vals := make(ts.Series, len(fields)-1)
 		for i, fstr := range fields[1:] {
 			v, err := strconv.ParseFloat(fstr, 64)
 			if err != nil {
-				return nil, fmt.Errorf("ucr: %s:%d: bad value %q: %w", path, lineNo, fstr, err)
+				return nil, fmt.Errorf("ucr: %s:%d: bad value %q: %w", name, lineNo, fstr, err)
 			}
 			vals[i] = v
 		}
@@ -55,7 +62,7 @@ func LoadTSV(path string) (*ts.Dataset, error) {
 		return nil, err
 	}
 	if len(rows) == 0 {
-		return nil, fmt.Errorf("ucr: %s: empty dataset", path)
+		return nil, fmt.Errorf("ucr: %s: empty dataset", name)
 	}
 
 	// Dense label assignment.
@@ -88,9 +95,9 @@ func LoadTSV(path string) (*ts.Dataset, error) {
 		dense[l] = i
 	}
 
-	d := &ts.Dataset{Name: strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))}
-	for _, r := range rows {
-		d.Instances = append(d.Instances, ts.Instance{Values: r.vals, Label: dense[r.label]})
+	d := &ts.Dataset{Name: name}
+	for _, rw := range rows {
+		d.Instances = append(d.Instances, ts.Instance{Values: rw.vals, Label: dense[rw.label]})
 	}
 	return d, nil
 }
