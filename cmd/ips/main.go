@@ -22,6 +22,9 @@
 //	-load FILE   classify with a previously saved model instead of training
 //	-dist-kernel auto|rolling|fft  force the shapelet transform's distance
 //	             kernel (debugging/measurement; output identical for any value)
+//	-precision float64|float32  transform kernel arithmetic width; float64
+//	             (default) is byte-deterministic, float32 trades documented
+//	             tolerance for throughput
 //
 // Observability (see internal/obs):
 //
@@ -81,6 +84,7 @@ func main() {
 	progress := flag.Bool("progress", false, "stream stage progress to stderr")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof, expvar, /metrics, and /debug/flight on this address (e.g. :6060)")
 	distKernel := flag.String("dist-kernel", "auto", "force the transform's distance kernel: auto, rolling, or fft (output identical)")
+	precision := flag.String("precision", "float64", "transform kernel arithmetic: float64 (byte-deterministic) or float32 (faster, approximate)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long, e.g. 30s or 5m (0 = no limit)")
 	flag.Parse()
 
@@ -102,6 +106,12 @@ func main() {
 		os.Exit(2)
 	} else {
 		classify.DefaultKernel = k
+	}
+	if p, err := dist.ParsePrecision(*precision); err != nil {
+		fmt.Fprintln(os.Stderr, "ips:", err)
+		os.Exit(2)
+	} else {
+		classify.DefaultPrecision = p
 	}
 
 	train, test, err := loadData(ctx, *dataset, *data, *trainPath, *testPath, *seed)

@@ -35,6 +35,7 @@
 //	-tfout FILE  write the "transform" experiment's report as JSON
 //	             (e.g. BENCH_transform.json)
 //	-dist-kernel auto|rolling|fft  force the transform's distance kernel
+//	-precision float64|float32  transform kernel arithmetic width
 //	             (debugging/measurement; results identical for any value)
 //
 // Observability (see internal/obs):
@@ -90,6 +91,7 @@ func main() {
 	mpOut := flag.String("mpout", "", "write the mp experiment's kernel report as JSON to this file")
 	tfOut := flag.String("tfout", "", "write the transform experiment's report as JSON to this file")
 	distKernel := flag.String("dist-kernel", "auto", "force the transform's distance kernel: auto, rolling, or fft (results identical)")
+	precision := flag.String("precision", "float64", "transform kernel arithmetic: float64 (byte-deterministic) or float32 (faster, approximate)")
 	logLevel := flag.String("log-level", "off", "structured log level: off, debug, info, warn, or error")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	manifestPath := flag.String("manifest", "", "write a run manifest (JSON) to this file; inspect with ipsobs")
@@ -114,6 +116,12 @@ func main() {
 	if err := setDistKernel(*distKernel); err != nil {
 		fmt.Fprintln(os.Stderr, "ipsbench:", err)
 		os.Exit(2)
+	}
+	if p, err := dist.ParsePrecision(*precision); err != nil {
+		fmt.Fprintln(os.Stderr, "ipsbench:", err)
+		os.Exit(2)
+	} else {
+		classify.DefaultPrecision = p
 	}
 
 	if flag.NArg() == 0 {

@@ -59,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"ips/internal/dist"
 	"ips/internal/obs"
 	"ips/internal/serve"
 )
@@ -98,11 +99,17 @@ func run() int {
 	maxBody := flag.Int64("max-body", 16<<20, "request body cap in bytes")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget")
 	debugAddr := flag.String("debug-addr", "", "serve pprof, /metrics, and /debug/flight on this address (e.g. :6060)")
+	precision := flag.String("precision", "float64", "transform kernel arithmetic: float64 (byte-deterministic) or float32 (faster, approximate)")
 	logLevel := flag.String("log-level", "info", "structured log level: off, debug, info, warn, or error")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	flag.Parse()
 
 	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipsd:", err)
+		return 2
+	}
+	prec, err := dist.ParsePrecision(*precision)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ipsd:", err)
 		return 2
@@ -123,6 +130,7 @@ func run() int {
 		DefaultTimeout:  *timeout,
 		MaxTimeout:      *maxTimeout,
 		MaxBodyBytes:    *maxBody,
+		Precision:       prec,
 		Obs:             o,
 	})
 	for _, p := range models.pairs {

@@ -177,19 +177,43 @@ func dualCD(ctx context.Context, X [][]float64, y []int, class, dim int, cfg SVM
 // m.Classes.
 func (m *SVM) Decision(x []float64) []float64 {
 	out := make([]float64, len(m.Classes))
+	m.DecisionInto(x, out)
+	return out
+}
+
+// DecisionInto writes the decision value of each class for x into dec
+// (len(dec) must equal len(m.Classes)).  It is the allocation-free form of
+// Decision for serving loops that own their scratch.
+//
+//ips:hotpath
+func (m *SVM) DecisionInto(x, dec []float64) {
 	for ci := range m.Classes {
 		var s float64
 		for j, v := range x {
 			s += m.W[ci][j] * v
 		}
-		out[ci] = s + m.B[ci]
+		dec[ci] = s + m.B[ci]
 	}
-	return out
 }
 
 // Predict returns the class with the highest decision value.
 func (m *SVM) Predict(x []float64) int {
 	dec := m.Decision(x)
+	best := 0
+	for i := 1; i < len(dec); i++ {
+		if dec[i] > dec[best] {
+			best = i
+		}
+	}
+	return m.Classes[best]
+}
+
+// PredictRow is Predict with caller-owned decision scratch (len(dec) must
+// equal len(m.Classes)); it allocates nothing.
+//
+//ips:hotpath
+func (m *SVM) PredictRow(x, dec []float64) int {
+	m.DecisionInto(x, dec)
 	best := 0
 	for i := 1; i < len(dec); i++ {
 		if dec[i] > dec[best] {

@@ -58,47 +58,82 @@ func TransformCached(d *ts.Dataset, shapelets []Shapelet, workers int, sp *obs.S
 }
 
 // TransformCtx is the shapelet transform with cooperative cancellation and
-// an optional prepared-series cache.  Passing a cache lets repeated
-// transforms over the same dataset (train then test splits sharing storage,
-// cross-validation folds) reuse per-series prefix statistics and padded
-// FFTs across calls; nil prepares per call.
+// an optional prepared-series cache; it delegates to TransformWith with the
+// package-level DefaultKernel and DefaultPrecision knobs.
+func TransformCtx(ctx context.Context, d *ts.Dataset, shapelets []Shapelet, workers int, sp *obs.Span, cache *dist.Cache) ([][]float64, error) {
+	return TransformWith(ctx, d, shapelets, TransformConfig{
+		Workers: workers, Span: sp, Cache: cache,
+		Kernel: DefaultKernel, Precision: DefaultPrecision,
+	})
+}
+
+// TransformConfig parameterises TransformWith.  The zero value is a
+// sequential, uncached, auto-kernel, float64 transform.
+type TransformConfig struct {
+	// Workers is the per-instance embedding fan-out (<=1 means sequential).
+	// Output is identical for any value.
+	Workers int
+	// Span receives the embedding-shape and kernel-mix attributes.
+	Span *obs.Span
+	// Cache, when non-nil, memoises prepared per-series statistics across
+	// calls (train/test splits sharing storage, cross-validation folds);
+	// nil prepares per call.
+	Cache *dist.Cache
+	// Kernel forces the distance kernel (dist.KernelAuto selects per query
+	// length).  Kernel choice never changes results.
+	Kernel dist.Kernel
+	// Precision selects the kernel arithmetic width.  The float64 default is
+	// byte-identical to the per-pair ts.Dist loop; dist.PrecisionFloat32 is
+	// the opt-in approximate throughput variant (see dist.Precision).
+	Precision dist.Precision
+}
+
+// TransformWith is the shapelet transform with cooperative cancellation and
+// the full engine configuration.
 //
 // Each instance's embedding row is one batched engine evaluation: the
 // shapelets are grouped by length once up front, and every row shares the
-// per-(series, length) sliding statistics.  The output is byte-identical to
-// the per-pair ts.Dist loop for any worker count and either kernel.
+// per-(series, length) sliding statistics.  Each worker owns a dist.Scratch
+// arena, so the per-group working set is allocated once per worker and
+// reused across every instance.  At the default float64 precision the output
+// is byte-identical to the per-pair ts.Dist loop for any worker count and
+// either kernel.
 //
 // Cancellation is checked per instance: once ctx is done the workers keep
 // draining the job channel (so the producer never blocks) but skip the
-// embeddings, and TransformCtx returns a nil matrix with an error matching
+// embeddings, and TransformWith returns a nil matrix with an error matching
 // errs.ErrCanceled.  No partially-written matrix escapes.
-func TransformCtx(ctx context.Context, d *ts.Dataset, shapelets []Shapelet, workers int, sp *obs.Span, cache *dist.Cache) ([][]float64, error) {
+func TransformWith(ctx context.Context, d *ts.Dataset, shapelets []Shapelet, cfg TransformConfig) ([][]float64, error) {
+	workers, sp, cache := cfg.Workers, cfg.Span, cfg.Cache
 	sp.SetInt("instances", int64(len(d.Instances)))
 	sp.SetInt("shapelets", int64(len(shapelets)))
 	sp.SetInt("workers", int64(max(workers, 1)))
+	sp.SetString("precision", cfg.Precision.String())
 	sp.Metrics().Counter("classify.transform.dists").Add(int64(len(d.Instances)) * int64(len(shapelets)))
 	queries := make([][]float64, len(shapelets))
 	for i, s := range shapelets {
 		queries[i] = s.Values
 	}
 	batch := dist.NewBatch(queries)
-	batch.SetKernel(DefaultKernel)
+	batch.SetKernel(cfg.Kernel)
+	batch.SetPrecision(cfg.Precision)
 	out := make([][]float64, len(d.Instances))
 	var total dist.Counts
-	embed := func(j int, c *dist.Counts) error {
+	embed := func(j int, c *dist.Counts, s *dist.Scratch) error {
 		row := make([]float64, len(shapelets))
-		if err := embedRow(ctx, batch, cache, d.Instances[j].Values, row, c); err != nil {
+		if err := embedRow(ctx, batch, cache, d.Instances[j].Values, row, c, s); err != nil {
 			return err // cancellation mid-row: row is partial, drop it
 		}
 		out[j] = row
 		return nil
 	}
 	if workers <= 1 || len(d.Instances) < 2 {
+		var scratch dist.Scratch
 		for j := range d.Instances {
 			if err := errs.Ctx(ctx, errs.StageTransform, "classify.transform"); err != nil {
 				return nil, err
 			}
-			if err := embed(j, &total); err != nil {
+			if err := embed(j, &total, &scratch); err != nil {
 				return nil, err
 			}
 		}
@@ -111,11 +146,12 @@ func TransformCtx(ctx context.Context, d *ts.Dataset, shapelets []Shapelet, work
 			go func() {
 				defer wg.Done()
 				var local dist.Counts
+				var scratch dist.Scratch
 				for j := range ch {
 					if ctx.Err() != nil {
 						continue // drain without working
 					}
-					if err := embed(j, &local); err != nil {
+					if err := embed(j, &local, &scratch); err != nil {
 						continue // the post-Wait ctx check reports it
 					}
 				}
@@ -142,14 +178,15 @@ func TransformCtx(ctx context.Context, d *ts.Dataset, shapelets []Shapelet, work
 }
 
 // embedRow fills row with one instance's shapelet-transform embedding: a
-// single batched engine evaluation against the instance's prepared series.
-// This is the transform's per-instance scoring path — everything it calls
-// must stay allocation-free inside its loops.
+// single batched engine evaluation against the instance's prepared series,
+// drawing its working set from the worker's scratch arena.  This is the
+// transform's per-instance scoring path — everything it calls must stay
+// allocation-free inside its loops.
 //
 //ips:hotpath
-func embedRow(ctx context.Context, batch *dist.Batch, cache *dist.Cache, series []float64, row []float64, c *dist.Counts) error {
+func embedRow(ctx context.Context, batch *dist.Batch, cache *dist.Cache, series []float64, row []float64, c *dist.Counts, s *dist.Scratch) error {
 	p := cache.Prepared(series, c)
-	return batch.EvalIntoCtx(ctx, p, row, c)
+	return batch.EvalScratchCtx(ctx, p, row, c, s)
 }
 
 // DefaultKernel forces the distance kernel for every transform (KernelAuto
@@ -157,6 +194,12 @@ func embedRow(ctx context.Context, batch *dist.Batch, cache *dist.Cache, series 
 // flag and for benchmarks; kernel choice never changes results.  Set it
 // before any transform runs, not concurrently with one.
 var DefaultKernel = dist.KernelAuto
+
+// DefaultPrecision selects the kernel arithmetic width for every transform
+// routed through TransformCtx and its wrappers.  It exists for the CLIs'
+// -precision flag; the float64 default keeps the byte-determinism contract.
+// Set it before any transform runs, not concurrently with one.
+var DefaultPrecision = dist.PrecisionFloat64
 
 // Scaler standardises features to zero mean and unit variance, fitted on
 // training data and applied to both splits.
@@ -207,6 +250,17 @@ func (s *Scaler) Apply(X [][]float64) [][]float64 {
 		out[j] = r
 	}
 	return out
+}
+
+// ApplyRowInto standardises one feature row into dst (len(dst) must equal
+// len(row)).  It is the allocation-free single-row form of Apply for serving
+// loops that own their output storage.
+//
+//ips:hotpath
+func (s *Scaler) ApplyRowInto(dst, row []float64) {
+	for i, v := range row {
+		dst[i] = (v - s.Mean[i]) / s.Std[i]
+	}
 }
 
 // Accuracy returns the fraction of predictions matching the truth, in

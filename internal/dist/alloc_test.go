@@ -1,0 +1,104 @@
+package dist
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// allocBatch builds a batch spanning several length groups (short lengths
+// resolve to the rolling kernel, the long one crosses into fft on a cached
+// Prepared) plus a synthetic series, mirroring a serving model's shapelets.
+func allocBatch() (*Batch, []float64) {
+	lengths := []int{8, 16, 64}
+	var queries [][]float64
+	for _, m := range lengths {
+		for k := 0; k < 3; k++ {
+			q := make([]float64, m)
+			for i := range q {
+				q[i] = math.Sin(float64(i+k)*0.3) + 0.1*float64(k)
+			}
+			queries = append(queries, q)
+		}
+	}
+	series := make([]float64, 256)
+	for i := range series {
+		series[i] = math.Cos(float64(i) * 0.07)
+	}
+	return NewBatch(queries), series
+}
+
+// requireZeroAllocs asserts fn performs no allocations per run after one
+// warm-up call.
+func requireZeroAllocs(t *testing.T, what string, fn func()) {
+	t.Helper()
+	fn() // warm-up: grow-once buffers and lazy caches fill here
+	if allocs := testing.AllocsPerRun(50, fn); allocs != 0 {
+		t.Errorf("%s: %v allocs/run after warm-up, want 0", what, allocs)
+	}
+}
+
+// TestBatchEvalAllocs pins the arena contract of EvalScratchCtx: with a warm
+// Scratch, re-evaluating a batch allocates nothing — neither on the
+// scratch-prepared path (the serve loop: every request series is new) nor on
+// the cached-Prepared path (CV folds re-evaluating resident series), in
+// either precision.
+func TestBatchEvalAllocs(t *testing.T) {
+	ctx := context.Background()
+	b, series := allocBatch()
+	b32, _ := allocBatch()
+	b32.SetPrecision(PrecisionFloat32)
+
+	out := make([]float64, b.Len())
+	var c Counts
+	var evalErr error
+
+	for _, tc := range []struct {
+		name  string
+		batch *Batch
+	}{
+		{"float64", b},
+		{"float32", b32},
+	} {
+		var s Scratch
+		requireZeroAllocs(t, tc.name+"/scratch-prepared", func() {
+			p := s.Prepare(series)
+			if err := tc.batch.EvalScratchCtx(ctx, p, out, &c, &s); err != nil {
+				evalErr = err
+			}
+		})
+
+		var s2 Scratch
+		p := Prepare(series) // resident series: fft transforms cache on it
+		requireZeroAllocs(t, tc.name+"/cached-prepared", func() {
+			if err := tc.batch.EvalScratchCtx(ctx, p, out, &c, &s2); err != nil {
+				evalErr = err
+			}
+		})
+	}
+	if evalErr != nil {
+		t.Fatalf("eval: %v", evalErr)
+	}
+}
+
+// TestScratchMatchesEvalInto pins that the scratch path is a pure
+// refactoring of EvalInto at float64: byte-identical output on both the
+// cached-Prepared and scratch-prepared routes (kernel choice differs between
+// them, which by contract never changes results).
+func TestScratchMatchesEvalInto(t *testing.T) {
+	b, series := allocBatch()
+	p := Prepare(series)
+	want := make([]float64, b.Len())
+	b.EvalInto(p, want, nil)
+
+	var s Scratch
+	got := make([]float64, b.Len())
+	if err := b.EvalScratchCtx(context.Background(), s.Prepare(series), got, nil, &s); err != nil {
+		t.Fatalf("scratch eval: %v", err)
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("query %d: scratch route = %v, EvalInto = %v (must be byte-identical)", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package fft
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+)
+
+// This file is the single-precision mirror of the complex128 transform: a
+// radix-2 Cooley–Tukey core over complex64 plus the padded-series FT32 used
+// by the opt-in float32 distance kernels in internal/dist.  Halving the
+// element width halves the bytes the cache-bandwidth-bound sliding-dots pass
+// moves, which is the whole point of the float32 variant; twiddle factors are
+// still generated in float64 and rounded once per butterfly stage, so the
+// only precision loss is the float32 arithmetic itself, not sloppy
+// trigonometry.
+
+// dft32 is the unchecked complex64 transform core; len(x) must be a power of
+// two.
+func dft32(x []complex64, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		angle := 2 * math.Pi / float64(size)
+		if !inverse {
+			angle = -angle
+		}
+		wStep := complex64(complex(float32(math.Cos(angle)), float32(math.Sin(angle))))
+		for start := 0; start < n; start += size {
+			w := complex64(complex(1, 0))
+			half := size / 2
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// idft32 is the unchecked inverse transform with 1/n scaling.
+func idft32(x []complex64) {
+	dft32(x, true)
+	inv := 1 / float32(len(x))
+	for i := range x {
+		x[i] *= complex(inv, 0)
+	}
+}
+
+// FT32 is the float32 counterpart of FT: the forward complex64 transform of
+// a real series zero-padded to a fixed power-of-two length, precomputed once
+// and reused across every query slid against the series.  Immutable after
+// construction and safe for concurrent use.
+type FT32 struct {
+	size int
+	n    int
+	freq []complex64
+}
+
+// NewFT32 computes the padded forward transform of t.  size must be a power
+// of two with size >= len(t)+m-1 for every query length m the caller intends
+// to slide.
+func NewFT32(t []float32, size int) (*FT32, error) {
+	if err := checkLen(size); err != nil {
+		return nil, err
+	}
+	if size < len(t) {
+		return nil, errors.New("fft: transform size smaller than series")
+	}
+	freq := make([]complex64, size)
+	for i, v := range t {
+		freq[i] = complex(v, 0)
+	}
+	dft32(freq, false)
+	return &FT32{size: size, n: len(t), freq: freq}, nil
+}
+
+// Size returns the transform length.
+func (f *FT32) Size() int { return f.size }
+
+// SeriesLen returns the length of the series the transform was built from.
+func (f *FT32) SeriesLen() int { return f.n }
+
+// SlidingDotsInto32 computes dot(q, t[j:j+len(q)]) in float32 for every
+// window j of the prepared series into out, which must hold
+// len(t)-len(q)+1 values.  scratch is an optional reusable buffer, grown
+// when its capacity is below Size() and returned so callers can thread it
+// through a query loop without reallocating.
+func (f *FT32) SlidingDotsInto32(q []float32, out []float32, scratch []complex64) ([]complex64, error) {
+	m := len(q)
+	w := f.n - m + 1
+	if m == 0 || w <= 0 {
+		return scratch, errors.New("fft: query length out of range")
+	}
+	if m+f.n-1 > f.size {
+		return scratch, errors.New("fft: transform size too small for query")
+	}
+	if len(out) < w {
+		return scratch, errors.New("fft: output shorter than window count")
+	}
+	if cap(scratch) < f.size {
+		scratch = make([]complex64, f.size)
+	}
+	scratch = scratch[:f.size]
+	for i, v := range q {
+		scratch[m-1-i] = complex(v, 0)
+	}
+	for i := m; i < f.size; i++ {
+		scratch[i] = 0
+	}
+	dft32(scratch, false)
+	for i := range scratch {
+		scratch[i] *= f.freq[i]
+	}
+	idft32(scratch)
+	for j := 0; j < w; j++ {
+		out[j] = real(scratch[m-1+j])
+	}
+	return scratch, nil
+}

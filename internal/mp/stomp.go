@@ -31,8 +31,10 @@ type tile struct{ lo, hi int }
 // cutTiles partitions the diagonal offsets [lo, hi) into tiles of roughly
 // equal cell count, so dynamic tile scheduling stays balanced even though
 // early diagonals of a self-join are much longer than late ones.  cells(k)
-// returns the number of matrix cells on diagonal k.
-func cutTiles(lo, hi, workers int, cells func(k int) int) []tile {
+// returns the number of matrix cells on diagonal k; tilesPerWorker comes
+// from the calibrated autotuner (see autotune.go) and is purely a
+// scheduling knob — the profile is byte-identical for any value.
+func cutTiles(lo, hi, workers, tilesPerWorker int, cells func(k int) int) []tile {
 	if workers <= 1 {
 		return []tile{{lo, hi}}
 	}
@@ -40,9 +42,6 @@ func cutTiles(lo, hi, workers int, cells func(k int) int) []tile {
 	for k := lo; k < hi; k++ {
 		total += cells(k)
 	}
-	// A few tiles per worker lets the pool absorb uneven diagonals without
-	// shrinking tiles so far that channel traffic dominates.
-	const tilesPerWorker = 4
 	target := total/(workers*tilesPerWorker) + 1
 	var out []tile
 	start, acc := lo, 0
@@ -140,13 +139,50 @@ func finishTiles(ctx context.Context, parts []*partial, p *Profile, op string) (
 	return p, nil
 }
 
+// parallelMergeMin is the profile length below which the min-merge stays
+// sequential: under it the per-position work is too small to pay for
+// goroutine startup and the barrier.
+const parallelMergeMin = 4096
+
 // mergePartials min-reduces the partial profiles into prof (squared
-// distances), then converts to distances in place.  The reduction uses the
-// same total order as partial.update, so the result is independent of both
-// the worker count and the tile schedule.
+// distances), then converts to distances in place.  Each output position is
+// computed independently from the same partials under the same total order
+// as partial.update, so the reduction parallelises over contiguous position
+// chunks — one per merging goroutine — with a result independent of the
+// worker count, the tile schedule, and the chunking.
 func mergePartials(parts []*partial, prof *Profile) {
 	n := len(prof.P)
-	for pos := 0; pos < n; pos++ {
+	workers := len(parts)
+	if workers <= 1 || n < parallelMergeMin {
+		mergeRange(parts, prof, 0, n)
+	} else {
+		chunk := (n + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				mergeRange(parts, prof, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	for _, pt := range parts {
+		putPartial(pt)
+	}
+}
+
+// mergeRange min-reduces positions [lo, hi) of the partials into prof.
+// Runs once per output position across the whole profile — it must not
+// allocate.
+//
+//ips:hotpath
+func mergeRange(parts []*partial, prof *Profile, lo, hi int) {
+	for pos := lo; pos < hi; pos++ {
 		best, bestIdx := math.Inf(1), -1
 		for _, pt := range parts {
 			d, idx := pt.p[pos], pt.i[pos]
@@ -161,9 +197,6 @@ func mergePartials(parts []*partial, prof *Profile) {
 			prof.P[pos] = math.Sqrt(best)
 		}
 		prof.I[pos] = bestIdx
-	}
-	for _, pt := range parts {
-		putPartial(pt)
 	}
 }
 
@@ -225,7 +258,8 @@ func SelfJoinCtx(ctx context.Context, t []float64, w int, valid []bool, opt Opti
 	first := ts.SlidingDots(t[:w], t) // first[k] = dot(t[0:w], t[k:k+w])
 
 	workers := clampWorkers(opt.Workers, n-lo)
-	tiles := cutTiles(lo, n, workers, func(k int) int { return n - k })
+	tpw := tuneTilesPerWorker(n, w, workers, diagCells(lo, n))
+	tiles := cutTiles(lo, n, workers, tpw, func(k int) int { return n - k })
 	sp.SetInt("workers", int64(workers))
 	sp.SetInt("tiles", int64(len(tiles)))
 	obs.Log(ctx).Debug("stomp self-join", "op", "mp.selfjoin",
@@ -319,7 +353,9 @@ func ABJoinCtx(ctx context.Context, a, b []float64, w int, validA, validB []bool
 		meansA: meansA, stdsA: stdsA, meansB: meansB, stdsB: stdsB,
 	}
 	workers := clampWorkers(opt.Workers, nd)
-	tiles := cutTiles(0, nd, workers, wk.diagLen)
+	// Every cross-matrix cell lies on exactly one diagonal: na·nb total.
+	tpw := tuneTilesPerWorker(na+nb, w, workers, na*nb)
+	tiles := cutTiles(0, nd, workers, tpw, wk.diagLen)
 	sp.SetInt("workers", int64(workers))
 	sp.SetInt("tiles", int64(len(tiles)))
 	obs.Log(ctx).Debug("stomp ab-join", "op", "mp.abjoin",

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ips/internal/obs"
+	"ips/internal/ts"
+)
+
+// TestServeExecAllocs pins the serving layer's arena contract: once a gate
+// worker's scratch is warm, executing a classify batch group allocates
+// nothing — the request series is scratch-prepared, the embedding evaluates
+// into reusable row buffers, predictions append into the job's
+// admission-preallocated storage, and every metric handle was resolved at
+// gate construction.  Runs with observability ON, so the assertion covers
+// the counters and the latency histogram too.
+func TestServeExecAllocs(t *testing.T) {
+	m, train := testModel(t)
+	s := NewServer(context.Background(), Config{Obs: obs.New("alloc-test")})
+	if _, err := s.Register(context.Background(), "planted", "test", m); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	sl, err := s.reg.resolve("planted")
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	g := sl.gate
+
+	// The job is built once outside the measured loop, exactly as a handler
+	// builds it at admission: result storage preallocated, done buffered.
+	j := &job{
+		ctx:       context.Background(),
+		kind:      kindClassify,
+		instances: []ts.Series{train.Instances[0].Values, train.Instances[1].Values},
+		preds:     make([]int, 0, 2),
+		done:      make(chan jobResult, 1),
+	}
+	es := &execScratch{group: make([]*job, 0, s.cfg.MaxBatch)}
+	group := append(es.group, j)
+	es.group = group
+
+	var execErr error
+	run := func() {
+		g.exec(group, es)
+		res := <-j.done
+		if res.err != nil {
+			execErr = res.err
+		}
+	}
+	run() // warm-up: scratch buffers grow, metric names intern
+	if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
+		t.Errorf("serve classify exec: %v allocs/run after warm-up, want 0", allocs)
+	}
+	if execErr != nil {
+		t.Fatalf("exec: %v", execErr)
+	}
+	if len(j.preds) != 2 {
+		t.Fatalf("preds = %v, want 2 predictions", j.preds)
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"context"
 	"sync"
 
-	"ips/internal/classify"
+	"ips/internal/dist"
 	"ips/internal/errs"
 	"ips/internal/obs"
 	"ips/internal/ts"
@@ -23,6 +23,13 @@ type job struct {
 	ctx       context.Context
 	kind      jobKind
 	instances []ts.Series
+	// preds is the classify job's result storage, preallocated by the handler
+	// at admission (capacity len(instances)) so the steady-state exec loop
+	// writes predictions without allocating.
+	preds []int
+	// rows is the transform job's result storage, filled at execution (the
+	// feature rows are the response payload, so they must escape the worker).
+	rows [][]float64
 	// done receives exactly one result; buffered so a worker never blocks on
 	// a handler that already gave up (its result is simply dropped).
 	done chan jobResult
@@ -54,16 +61,47 @@ type gate struct {
 	// before collecting a group, so a test can pile N jobs into the queue and
 	// then release one token to force them through as a single batch.
 	hold chan struct{}
+	// Metric handles are resolved once at construction (nil-safe no-ops when
+	// observability is off) so the exec loop never touches the registry map.
+	cntAccepted, cntRejected *obs.Counter
+	cntExpired, cntGroups    *obs.Counter
+	cntJobs, cntCoalesced    *obs.Counter
+	cntInstances             *obs.Counter
+	histBatch                *obs.Histogram
 }
 
 func newGate(srv *Server, sl *slot) *gate {
+	met := srv.metrics()
 	return &gate{
 		srv:  srv,
 		slot: sl,
 		q:    make(chan *job, srv.cfg.QueueDepth),
 		stop: make(chan struct{}),
 		hold: srv.cfg.gateHold,
+
+		cntAccepted:  met.Counter("serve.admit.accepted"),
+		cntRejected:  met.Counter("serve.admit.rejected"),
+		cntExpired:   met.Counter("serve.queue.expired"),
+		cntGroups:    met.Counter("serve.batch.groups"),
+		cntJobs:      met.Counter("serve.batch.jobs"),
+		cntCoalesced: met.Counter("serve.batch.coalesced"),
+		cntInstances: met.Counter("serve.batch.instances"),
+		histBatch:    met.Histogram("serve.batch.ms", latencyBuckets),
 	}
+}
+
+// execScratch is one gate worker's grow-once working set: the distance
+// engine's scratch arena, a kernel-mix accumulator flushed per group, the
+// embedding/scaled/decision row buffers, and the reusable group slice.  One
+// per worker goroutine; after warm-up the classify exec loop runs entirely
+// inside it without allocating (asserted by TestServeExecAllocs).
+type execScratch struct {
+	scratch dist.Scratch
+	counts  dist.Counts
+	row     []float64
+	scaled  []float64
+	dec     []float64
+	group   []*job
 }
 
 // start launches the worker pool.  The goroutines are spawned by spawnWorker
@@ -93,7 +131,6 @@ func (g *gate) stopOnce() {
 // signal: the caller gets a typed ErrOverload (HTTP 429) immediately instead
 // of a queue slot that would only grow its latency past its deadline.
 func (g *gate) admit(j *job) error {
-	met := g.srv.metrics()
 	select {
 	case <-g.stop:
 		return errs.Unavailable(errs.StageServe, "serve.admit", g.slot.name, "server is shutting down")
@@ -101,45 +138,48 @@ func (g *gate) admit(j *job) error {
 	}
 	select {
 	case g.q <- j:
-		met.Counter("serve.admit.accepted").Inc()
+		g.cntAccepted.Inc()
 		return nil
 	default:
-		met.Counter("serve.admit.rejected").Inc()
+		g.cntRejected.Inc()
 		return errs.Overload(errs.StageServe, "serve.admit", g.slot.name,
 			"queue full (%d waiting)", cap(g.q))
 	}
 }
 
 // run is one worker's loop: wait for a job, coalesce whatever else is queued
-// behind it, execute the group as one batch, repeat.  On stop it flushes the
-// remaining queue (each group still executes, so graceful drain completes
-// admitted work) and exits when the queue is empty.
+// behind it, execute the group as one batch, repeat.  The worker's scratch
+// arena lives across iterations — that's what makes the steady state
+// allocation-free.  On stop it flushes the remaining queue (each group still
+// executes, so graceful drain completes admitted work) and exits when the
+// queue is empty.
 func (g *gate) run() {
+	es := &execScratch{group: make([]*job, 0, g.srv.cfg.MaxBatch)}
 	for {
 		if g.hold != nil {
 			select {
 			case <-g.hold:
 			case <-g.stop:
-				g.flush()
+				g.flush(es)
 				return
 			}
 		}
 		select {
 		case j := <-g.q:
-			g.exec(g.collect(j))
+			g.exec(g.collect(j, es), es)
 		case <-g.stop:
-			g.flush()
+			g.flush(es)
 			return
 		}
 	}
 }
 
 // flush drains and executes everything still queued at shutdown.
-func (g *gate) flush() {
+func (g *gate) flush(es *execScratch) {
 	for {
 		select {
 		case j := <-g.q:
-			g.exec(g.collect(j))
+			g.exec(g.collect(j, es), es)
 		default:
 			return
 		}
@@ -147,29 +187,31 @@ func (g *gate) flush() {
 }
 
 // collect returns first plus every job already queued behind it, up to the
-// batch cap.  It never waits: batching here exploits queueing that has
-// already happened under load rather than adding latency to an idle server.
-func (g *gate) collect(first *job) []*job {
-	group := []*job{first}
+// batch cap, reusing the worker's group slice.  It never waits: batching
+// here exploits queueing that has already happened under load rather than
+// adding latency to an idle server.
+func (g *gate) collect(first *job, es *execScratch) []*job {
+	group := append(es.group[:0], first)
 	for len(group) < g.srv.cfg.MaxBatch {
 		select {
 		case j := <-g.q:
 			group = append(group, j)
 		default:
+			es.group = group // keep any growth for the next batch
 			return group
 		}
 	}
+	es.group = group
 	return group
 }
 
 // exec runs one coalesced group.  The slot's current version is resolved
 // exactly once for the whole group — the hot-swap consistency point: every
-// job in the group sees the same model, scaler, SVM, and prepared-statistics
-// cache, even if a swap lands mid-execution.  Jobs whose deadline expired
-// while queued are answered with a typed cancellation and excluded from the
-// batch, so a stale request never burns transform work.
-func (g *gate) exec(group []*job) {
-	met := g.srv.metrics()
+// job in the group sees the same model, scaler, SVM, and prepared batch,
+// even if a swap lands mid-execution.  Jobs whose deadline expired while
+// queued are answered with a typed cancellation and excluded from the batch,
+// so a stale request never burns transform work.
+func (g *gate) exec(group []*job, es *execScratch) {
 	v := g.slot.cur.Load()
 	if v == nil || g.slot.retired.Load() {
 		err := errs.Unavailable(errs.StageServe, "serve.exec", g.slot.name, "model retired")
@@ -180,56 +222,94 @@ func (g *gate) exec(group []*job) {
 	}
 
 	live := group[:0]
+	nInstances := 0
 	for _, j := range group {
 		if err := j.ctx.Err(); err != nil {
-			met.Counter("serve.queue.expired").Inc()
+			g.cntExpired.Inc()
 			j.done <- jobResult{err: errs.Canceled(errs.StageServe, "serve.queue", g.slot.name, err)}
 			continue
 		}
 		live = append(live, j)
+		nInstances += len(j.instances)
 	}
 	if len(live) == 0 {
 		return
 	}
-	met.Counter("serve.batch.groups").Inc()
-	met.Counter("serve.batch.jobs").Add(int64(len(live)))
+	g.cntGroups.Inc()
+	g.cntJobs.Add(int64(len(live)))
 	if len(live) > 1 {
-		met.Counter("serve.batch.coalesced").Add(int64(len(live) - 1))
+		g.cntCoalesced.Add(int64(len(live) - 1))
 	}
+	g.cntInstances.Add(int64(nInstances))
 
-	d := &ts.Dataset{Name: g.slot.name}
-	for _, j := range live {
-		for _, s := range j.instances {
-			d.Instances = append(d.Instances, ts.Instance{Values: s})
-		}
-	}
-	met.Counter("serve.batch.instances").Add(int64(len(d.Instances)))
-
-	// The transform runs under the server's lifetime context, not any single
+	// Evaluation runs under the server's lifetime context, not any single
 	// request's: the group shares one pass, and one client hanging up must
-	// not cancel its batch-mates.  Expired requests were already excluded;
-	// re-checked per job below before predicting.
+	// not cancel its batch-mates.  Expired requests were already excluded.
 	sw := obs.NewStopwatch()
-	rows, err := classify.TransformCtx(g.srv.base, d, v.model.Shapelets, 1, nil, v.cache)
-	met.Histogram("serve.batch.ms", latencyBuckets).Observe(float64(sw.Elapsed().Microseconds()) / 1000)
+	err := g.evalGroup(v, live, es)
+	g.histBatch.Observe(float64(sw.Elapsed().Microseconds()) / 1000)
+	es.counts.AddTo(g.srv.metrics())
+	es.counts = dist.Counts{}
 	if err != nil {
 		for _, j := range live {
 			j.done <- jobResult{err: err}
 		}
 		return
 	}
-
-	off := 0
 	for _, j := range live {
-		n := len(j.instances)
-		jr := jobResult{version: v.id}
+		j.done <- jobResult{preds: j.preds, rows: j.rows, version: v.id}
+	}
+}
+
+// evalGroup embeds (and, for classify jobs, scores) every live job against
+// the resolved version, entirely inside the worker's scratch: request series
+// are scratch-prepared (they are seen once — the identity cache would only
+// leak), the embedding evaluates into the reusable row buffers, and classify
+// predictions append into the job's admission-preallocated storage.  After
+// warm-up the classify path allocates nothing; transform rows are the
+// response payload and must escape, so that path allocates exactly the rows
+// it returns.
+func (g *gate) evalGroup(v *version, live []*job, es *execScratch) error {
+	m := v.model
+	k := len(m.Shapelets)
+	if cap(es.row) < k {
+		es.row = make([]float64, k)
+		es.scaled = make([]float64, k)
+	}
+	es.row = es.row[:k]
+	es.scaled = es.scaled[:k]
+	nc := len(m.SVM.Classes)
+	if cap(es.dec) < nc {
+		es.dec = make([]float64, nc)
+	}
+	es.dec = es.dec[:nc]
+	for _, j := range live {
 		switch j.kind {
 		case kindClassify:
-			jr.preds = v.model.SVM.PredictAll(v.model.Scaler.Apply(rows[off : off+n]))
+			if cap(j.preds) < len(j.instances) {
+				// Handlers preallocate; this backstops tests building jobs by hand.
+				j.preds = make([]int, 0, len(j.instances))
+			}
+			j.preds = j.preds[:0]
+			for _, s := range j.instances {
+				p := es.scratch.Prepare(s)
+				if err := v.batch.EvalScratchCtx(g.srv.base, p, es.row, &es.counts, &es.scratch); err != nil {
+					return err
+				}
+				m.Scaler.ApplyRowInto(es.scaled, es.row)
+				j.preds = append(j.preds, m.SVM.PredictRow(es.scaled, es.dec))
+			}
 		case kindTransform:
-			jr.rows = rows[off : off+n]
+			j.rows = make([][]float64, len(j.instances))
+			for i, s := range j.instances {
+				row := make([]float64, k)
+				p := es.scratch.Prepare(s)
+				if err := v.batch.EvalScratchCtx(g.srv.base, p, row, &es.counts, &es.scratch); err != nil {
+					return err
+				}
+				j.rows[i] = row
+			}
 		}
-		off += n
-		j.done <- jr
 	}
+	return nil
 }

@@ -123,6 +123,11 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request, kind jobKind
 	}
 
 	j := &job{ctx: ctx, kind: kind, instances: instances, done: make(chan jobResult, 1)}
+	if kind == kindClassify {
+		// Result storage is allocated here, at admission, so the gate's
+		// steady-state exec loop stays allocation-free.
+		j.preds = make([]int, 0, len(instances))
+	}
 	if err := sl.gate.admit(j); err != nil {
 		status = writeError(ctx, w, err)
 		return

@@ -21,11 +21,15 @@ type version struct {
 	id     int64
 	source string
 	model  *core.Model
-	// cache memoises prepared per-series statistics across every request
-	// served by this version — the "keep prepared statistics resident"
-	// amortization the batching gate exists for.  It dies with the version:
-	// a swap must not serve distances prepared for another model's storage.
-	cache *dist.Cache
+	// batch is the version's shapelet queries grouped by length and prepared
+	// exactly once — the "keep prepared statistics resident" amortization the
+	// batching gate exists for.  Every request served by this version
+	// evaluates against it with a worker-owned dist.Scratch, so the
+	// steady-state classify loop allocates nothing and retains nothing per
+	// request.  (An earlier design memoised request series into a per-version
+	// dist.Cache keyed by slice identity; since request storage is never seen
+	// twice, that cache was a per-request memory leak.)
+	batch *dist.Batch
 }
 
 // slot is one model name: an atomically swappable current version plus the
@@ -93,7 +97,14 @@ func (s *Server) Register(ctx context.Context, name, source string, m *core.Mode
 	}
 	r.mu.Unlock()
 
-	v := &version{id: sl.lastID.Add(1), source: source, model: m, cache: dist.NewCache()}
+	queries := make([][]float64, len(m.Shapelets))
+	for i, sh := range m.Shapelets {
+		queries[i] = sh.Values
+	}
+	batch := dist.NewBatch(queries)
+	batch.SetKernel(s.cfg.Kernel)
+	batch.SetPrecision(s.cfg.Precision)
+	v := &version{id: sl.lastID.Add(1), source: source, model: m, batch: batch}
 	sl.cur.Store(v)
 	sl.retired.Store(false)
 	// The worker pool's lifetime is the server's, not this registering
