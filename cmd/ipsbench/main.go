@@ -17,6 +17,8 @@
 //	transform (shapelet-transform micro-benchmark: naive per-pair loop vs
 //	         the batched distance engine; snapshot with -tfout
 //	         BENCH_transform.json)
+//	stream  (STOMPI streaming-append micro-benchmark: per-append cost vs
+//	         full recompute; snapshot with -streamout BENCH_stream.json)
 //
 // Flags:
 //
@@ -34,6 +36,8 @@
 //	             (e.g. BENCH_mp.json)
 //	-tfout FILE  write the "transform" experiment's report as JSON
 //	             (e.g. BENCH_transform.json)
+//	-streamout FILE  write the "stream" experiment's report as JSON
+//	             (e.g. BENCH_stream.json)
 //	-dist-kernel auto|rolling|fft  force the transform's distance kernel
 //	-precision float64|float32  transform kernel arithmetic width
 //	             (debugging/measurement; results identical for any value)
@@ -90,6 +94,7 @@ func main() {
 	workers := flag.Int("workers", 1, "parallelise the IPS pipeline and STOMP kernels (results identical for any value)")
 	mpOut := flag.String("mpout", "", "write the mp experiment's kernel report as JSON to this file")
 	tfOut := flag.String("tfout", "", "write the transform experiment's report as JSON to this file")
+	streamOut := flag.String("streamout", "", "write the stream experiment's report as JSON to this file")
 	distKernel := flag.String("dist-kernel", "auto", "force the transform's distance kernel: auto, rolling, or fft (results identical)")
 	precision := flag.String("precision", "float64", "transform kernel arithmetic: float64 (byte-deterministic) or float32 (faster, approximate)")
 	logLevel := flag.String("log-level", "off", "structured log level: off, debug, info, warn, or error")
@@ -190,6 +195,19 @@ func main() {
 		},
 		"cote":     func() error { _, err := h.COTE(ctx, nil); return err },
 		"ablation": func() error { _, err := h.Ablation(ctx, nil); return err },
+		"stream": func() error {
+			rep, err := h.StreamBench(ctx)
+			if err != nil {
+				return err
+			}
+			if *streamOut != "" {
+				if err := rep.WriteJSON(*streamOut); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "stream report written to %s\n", *streamOut)
+			}
+			return nil
+		},
 		"transform": func() error {
 			rep, err := h.TransformBench(ctx)
 			if err != nil {

@@ -10,16 +10,22 @@
 //
 // Routes:
 //
-//	POST /v1/classify?model=NAME[&timeout_ms=N]   predictions for instances
-//	POST /v1/transform?model=NAME[&timeout_ms=N]  shapelet-transform features
-//	GET  /admin/models                            registry listing
-//	POST /admin/models                            {"action":"load"|"alias"|"retire", ...}
-//	GET  /healthz                                 200 serving, 503 draining
+//	POST   /v1/classify?model=NAME[&timeout_ms=N]   predictions for instances
+//	POST   /v1/transform?model=NAME[&timeout_ms=N]  shapelet-transform features
+//	POST   /v1/stream?model=NAME[&window=N]         open a streaming session
+//	POST   /v1/stream?session=ID                    append points, get prediction + drift
+//	DELETE /v1/stream?session=ID                    close a streaming session
+//	GET    /admin/models                            registry listing
+//	POST   /admin/models                            {"action":"load"|"alias"|"retire", ...}
+//	GET    /healthz                                 200 serving, 503 draining
 //
-// Request bodies are application/json ({"instances": [[...], ...]}) or
-// text/tab-separated-values (UCR TSV rows; the label column is ignored).
-// Backpressure is typed: 429 when a model's queue is full, 503 while
-// draining or for a retired model, 504 when the request deadline fires.
+// Request bodies are application/json ({"instances": [[...], ...]}, or
+// {"points": [...]} on the streaming route) or text/tab-separated-values
+// (UCR TSV rows; the label column is ignored).  Backpressure is typed: 429
+// when a model's queue is full or the streaming session/point caps are hit,
+// 503 while draining or for a retired model, 504 when the request deadline
+// fires.  Streaming sessions pin the model version they were created
+// against, so a hot-swap never changes an open session's predictions.
 //
 // Flags:
 //
@@ -32,6 +38,8 @@
 //	-timeout D          default per-request deadline (default 10s)
 //	-max-timeout D      cap on client-requested deadlines (default 60s)
 //	-max-body N         request body cap in bytes (default 16 MiB)
+//	-max-streams N      concurrently open streaming sessions (default 1024)
+//	-stream-points N    total points one streaming session may ingest (default 1048576)
 //	-drain-timeout D    graceful shutdown budget on SIGINT/SIGTERM (default 15s)
 //
 // Observability (see internal/obs):
@@ -97,6 +105,8 @@ func run() int {
 	timeout := flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
 	maxBody := flag.Int64("max-body", 16<<20, "request body cap in bytes")
+	maxStreams := flag.Int("max-streams", 1024, "concurrently open streaming sessions")
+	streamPoints := flag.Int("stream-points", 1<<20, "total points one streaming session may ingest")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget")
 	debugAddr := flag.String("debug-addr", "", "serve pprof, /metrics, and /debug/flight on this address (e.g. :6060)")
 	precision := flag.String("precision", "float64", "transform kernel arithmetic: float64 (byte-deterministic) or float32 (faster, approximate)")
@@ -130,6 +140,8 @@ func run() int {
 		DefaultTimeout:  *timeout,
 		MaxTimeout:      *maxTimeout,
 		MaxBodyBytes:    *maxBody,
+		MaxStreams:      *maxStreams,
+		MaxStreamPoints: *streamPoints,
 		Precision:       prec,
 		Obs:             o,
 	})

@@ -52,6 +52,9 @@ const (
 	// StageServe covers the model-serving daemon (internal/serve): request
 	// admission, the batching gate, and the model registry.
 	StageServe Stage = "serve"
+	// StageStream covers online ingest (internal/stream): incremental
+	// profile maintenance, delta shapelet transform, and drift detection.
+	StageStream Stage = "stream"
 )
 
 // Sentinel classification errors.  Every *Error wraps exactly one of these

@@ -1,0 +1,174 @@
+package faulty_test
+
+// Robustness coverage for the streaming layer: the fault injectors drive
+// corrupted series through mp.NewIncremental and stream.Append, which must
+// reject bad points typed (errs.ErrBadInput) without mutating state, survive
+// degenerate-but-legal input (constant runs, single points), and stop
+// cleanly under the cancellation storm with no goroutine leaks.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"ips/internal/classify"
+	"ips/internal/errs"
+	"ips/internal/faulty"
+	"ips/internal/mp"
+	"ips/internal/stream"
+	"ips/internal/ts"
+)
+
+// streamShapelets cuts a few subsequences of the planted dataset into a
+// shapelet set, so the stream under test exercises the delta transform.
+func streamShapelets(d *ts.Dataset) []classify.Shapelet {
+	var out []classify.Shapelet
+	for i, ln := range []int{5, 9, 16} {
+		in := d.Instances[i%len(d.Instances)]
+		out = append(out, classify.Shapelet{Class: in.Label, Values: in.Values[:ln].Clone()})
+	}
+	return out
+}
+
+// TestStreamFaultMatrix drives every value-level fault through the streaming
+// append path.  WantErr faults that corrupt values must come back as typed
+// ErrBadInput with the stream state untouched; survivable faults must append
+// cleanly end to end.
+func TestStreamFaultMatrix(t *testing.T) {
+	clean := faulty.Planted(4, 48, 2, 3301)
+	shapelets := streamShapelets(clean)
+	for _, f := range faulty.Faults() {
+		t.Run(f.Name, func(t *testing.T) {
+			corrupted := f.Apply(clean)
+			if len(corrupted.Instances) == 0 {
+				t.Skip("dataset-level fault, no series to stream")
+			}
+			st, err := stream.New(stream.Config{Window: 6, Shapelets: shapelets})
+			if err != nil {
+				t.Fatalf("stream.New: %v", err)
+			}
+			var sawErr error
+			for _, in := range corrupted.Instances {
+				before := st.N()
+				if _, err := st.Append(context.Background(), in.Values); err != nil {
+					if msg := faulty.CheckTyped(err); msg != "" {
+						t.Fatal(msg)
+					}
+					if !errors.Is(err, errs.ErrBadInput) {
+						t.Fatalf("append error is not ErrBadInput: %v", err)
+					}
+					if st.N() != before {
+						t.Fatalf("rejected append mutated state: %d -> %d", before, st.N())
+					}
+					sawErr = err
+					continue
+				}
+			}
+			if f.WantErr && sawErr == nil && hasBadValue(corrupted) {
+				t.Fatal("value-corrupting fault streamed without a typed rejection")
+			}
+			// The stream stays usable after any mix of rejections.
+			if _, err := st.Append(context.Background(), []float64{0.5, 1.5}); err != nil {
+				t.Fatalf("append after faults: %v", err)
+			}
+		})
+	}
+}
+
+// hasBadValue reports whether any instance carries a non-finite point — the
+// only corruption the streaming path itself is responsible for catching.
+func hasBadValue(d *ts.Dataset) bool {
+	for _, in := range d.Instances {
+		for _, v := range in.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestIncrementalFaultTyped pins the same contract one layer down, on the
+// raw STOMPI state: bad construction and bad appends are typed, and a
+// rejected append never corrupts the profile.
+func TestIncrementalFaultTyped(t *testing.T) {
+	if _, err := mp.NewIncremental([]float64{1, math.NaN()}, 2); faulty.CheckTyped(err) != "" || !errors.Is(err, errs.ErrBadInput) {
+		t.Fatalf("NaN seed: %v", err)
+	}
+	inc, err := mp.NewIncremental([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantP := inc.Profile()
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		err := inc.Append(bad)
+		if msg := faulty.CheckTyped(err); msg != "" {
+			t.Fatal(msg)
+		}
+		if !errors.Is(err, errs.ErrBadInput) {
+			t.Fatalf("Append(%v): %v", bad, err)
+		}
+	}
+	gotP := inc.Profile()
+	for j := range wantP.P {
+		if math.Float64bits(wantP.P[j]) != math.Float64bits(gotP.P[j]) || wantP.I[j] != gotP.I[j] {
+			t.Fatalf("rejected appends changed profile at %d", j)
+		}
+	}
+}
+
+// TestCancellationStormStream sweeps cancellation across the streaming
+// append path: every run must finish or fail as ErrCanceled, the feature
+// state must stay consistent (resumable), and no goroutines may leak.
+func TestCancellationStormStream(t *testing.T) {
+	clean := faulty.Planted(4, 64, 2, 3302)
+	shapelets := streamShapelets(clean)
+	series := clean.Instances[0].Values
+	if msg := faulty.Storm(12, 3*time.Millisecond, func(ctx context.Context) error {
+		st, err := stream.New(stream.Config{Window: 8, Shapelets: shapelets})
+		if err != nil {
+			return err
+		}
+		for _, in := range clean.Instances {
+			if _, err := st.Append(ctx, in.Values); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); msg != "" {
+		t.Fatal(msg)
+	}
+
+	// A cancelled append leaves the stream resumable: finishing the series
+	// under a live context yields features byte-identical to an uncancelled
+	// stream fed the same points.
+	ctx, cancel := context.WithCancel(context.Background())
+	st, err := stream.New(stream.Config{Window: 8, Shapelets: shapelets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(ctx, series[:20]); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := st.Append(ctx, series[20:]); !errors.Is(err, errs.ErrCanceled) {
+		t.Fatalf("append on dead ctx: %v", err)
+	}
+	if _, err := st.Append(context.Background(), nil); err != nil {
+		t.Fatalf("resume append: %v", err)
+	}
+	want, err := stream.New(stream.Config{Window: 8, Shapelets: shapelets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := want.Append(context.Background(), series[:20]); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range want.Features() {
+		if math.Float64bits(st.Features()[i]) != math.Float64bits(v) {
+			t.Fatalf("feature %d diverged after cancellation: %v != %v", i, st.Features()[i], v)
+		}
+	}
+}

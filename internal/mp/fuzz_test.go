@@ -128,3 +128,51 @@ func FuzzMASS(f *testing.F) {
 		}
 	})
 }
+
+// FuzzIncremental cross-checks the STOMPI append path against a fresh
+// SelfJoin recompute: for an arbitrary finite series, an arbitrary window,
+// and an arbitrary seed/append split point, the incrementally maintained
+// profile must be byte-identical to the batch kernel's.  This is the same
+// contract TestIncrementalByteIdentity pins on curated cases, explored over
+// random shapes — zero-variance runs, overflow-scale magnitudes, windows
+// longer than the series.
+func FuzzIncremental(f *testing.F) {
+	f.Add([]byte{}, uint8(4), uint8(0))
+	f.Add(make([]byte, 8*12), uint8(3), uint8(5)) // constant series, split mid-way
+	seed := make([]byte, 8*30)
+	for i := range seed {
+		seed[i] = byte(i * 53)
+	}
+	f.Add(seed, uint8(6), uint8(10))
+	f.Fuzz(func(t *testing.T, data []byte, wRaw, splitRaw uint8) {
+		if len(data) > 8*256 {
+			return // keep the O(N²) reference join inside fuzz-time budget
+		}
+		series := fuzzSeries(data)
+		w := 1 + int(wRaw)%32
+		split := 0
+		if len(series) > 0 {
+			split = int(splitRaw) % (len(series) + 1)
+		}
+		inc, err := NewIncremental(series[:split], w)
+		if err != nil {
+			t.Fatalf("NewIncremental(finite series): %v", err)
+		}
+		for _, v := range series[split:] {
+			if err := inc.Append(v); err != nil {
+				t.Fatalf("Append(%v): %v", v, err)
+			}
+		}
+		got := inc.Profile()
+		want := SelfJoinOpts(series, w, nil, Options{Workers: 1})
+		n := len(series) - w + 1
+		if n <= 0 {
+			if got.Len() != 0 {
+				t.Fatalf("sub-window input produced %d entries", got.Len())
+			}
+			return
+		}
+		checkProfileFinite(t, got, n)
+		profilesEqual(t, got, want, len(series))
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"ips/internal/errs"
 	"ips/internal/ts"
 )
 
@@ -12,12 +13,22 @@ import (
 // distance-profile pass, so stopping after a fraction of the rows yields an
 // unbiased approximation.  fraction in (0,1] selects how many rows to
 // process; fraction 1 reproduces the exact profile of SelfJoin.
+//
+// Contract: whenever the series admits at least one window (n > 0), at
+// least one row is processed — the row count ceil(fraction·n) is clamped to
+// [1, n], so a tiny n·fraction product (or a subnormal fraction that
+// underflows the multiply to zero) can never yield the silent all-Inf
+// profile a zero-row pass would produce.  A fraction outside (0, 1],
+// including NaN, falls back to 1 (the exact join).
 func STAMP(t []float64, w int, fraction float64, seed int64) *Profile {
 	n := len(t) - w + 1
 	if n <= 0 || w <= 0 {
 		return &Profile{W: w}
 	}
-	if fraction <= 0 || fraction > 1 {
+	// !(x > 0 && x <= 1) is deliberately NaN-safe: both comparisons are
+	// false for NaN, so a NaN fraction lands here instead of flowing into
+	// Ceil and producing an undefined slice bound below.
+	if !(fraction > 0 && fraction <= 1) {
 		fraction = 1
 	}
 	p := &Profile{P: make([]float64, n), I: make([]int, n), W: w}
@@ -32,6 +43,12 @@ func STAMP(t []float64, w int, fraction float64, seed int64) *Profile {
 	rng := rand.New(rand.NewSource(seed))
 	order := rng.Perm(n)
 	rows := int(math.Ceil(fraction * float64(n)))
+	if rows < 1 {
+		rows = 1 // n > 0: an anytime profile with zero rows carries no signal
+	}
+	if rows > n {
+		rows = n
+	}
 	for _, i := range order[:rows] {
 		prof := MASS(t[i:i+w], t)
 		for j, d := range prof {
@@ -56,66 +73,153 @@ func STAMP(t []float64, w int, fraction float64, seed int64) *Profile {
 }
 
 // Incremental maintains a self-join matrix profile under appends (STOMPI):
-// each Append extends the series and updates the profile in O(N) rather
-// than recomputing the O(N²) join.
+// each Append extends the series by one point and updates the profile in
+// O(N) — one rolling-statistics advance, one O(N) dot-row update along the
+// matrix diagonals, and one O(N) min pass — instead of recomputing the
+// O(N²) join.
+//
+// The maintained profile is byte-identical to a fresh SelfJoin over the
+// current series after every append, by construction rather than by
+// tolerance: window statistics advance through the same ts.Rolling state
+// MovingMeanStd walks, every dot product is reached by rolling the same
+// diagonal recurrence (rollDot) from the same ts.Dot seed the batch kernel
+// uses, distances go through ts.ZNormSqDistFromStats with the smaller
+// window index first exactly as the tile walker passes them, and ties on
+// exact distance resolve to the lower neighbour index as in mergeRange.
+//
+// Incremental is not safe for concurrent use; callers serialise appends.
 type Incremental struct {
 	t    ts.Series
 	w    int
 	excl int
 	p    []float64 // squared z-norm distances (sqrt applied on Profile())
 	i    []int
+	// Sliding-window statistics of every window so far, grown one entry
+	// per append past the first full window; roll is the cumulative-sum
+	// state of the newest window.
+	means, stds []float64
+	roll        ts.Rolling
+	// dots[j] = dot(t[j:j+w], t[last:last+w]) for the newest window: the
+	// previous append's row, reused by the STOMPI recurrence — entry j of
+	// the new row is one rollDot step from entry j−1 of the old row, both
+	// cells of the same matrix diagonal.
+	dots []float64
 }
 
 // NewIncremental starts an incremental profile over the initial series.
-func NewIncremental(initial []float64, w int) *Incremental {
+// It rejects w < 1 and non-finite initial values as typed errs.ErrBadInput
+// — the silent-garbage alternative (NaN poisoning every future profile
+// entry it touches) is exactly what the batch path's validation prevents.
+// The initial profile is seeded by replaying the appends, so it is
+// byte-identical to SelfJoin for the same reason every later step is.
+func NewIncremental(initial []float64, w int) (*Incremental, error) {
+	if w < 1 {
+		return nil, errs.BadInput(errs.StageKernel, "mp.incremental", "", "window must be >= 1 (got %d)", w)
+	}
+	for idx, v := range initial {
+		if !isFinite(v) {
+			return nil, errs.BadInput(errs.StageKernel, "mp.incremental", "", "non-finite value %v at index %d", v, idx)
+		}
+	}
 	excl := w / 2
 	if excl < 1 {
 		excl = 1
 	}
-	inc := &Incremental{t: append(ts.Series(nil), initial...), w: w, excl: excl}
-	n := len(initial) - w + 1
-	if n > 0 {
-		base := SelfJoin(initial, w, nil)
-		inc.p = make([]float64, n)
-		inc.i = append([]int(nil), base.I...)
-		for j, v := range base.P {
-			if math.IsInf(v, 1) {
-				inc.p[j] = math.Inf(1)
-			} else {
-				inc.p[j] = v * v
-			}
-		}
+	inc := &Incremental{w: w, excl: excl}
+	inc.Reserve(len(initial))
+	for _, v := range initial {
+		inc.appendPoint(v)
 	}
-	return inc
+	return inc, nil
 }
 
-// Append adds one value to the series and updates the profile.
-func (inc *Incremental) Append(v float64) {
+// Append adds one value to the series and updates the profile in O(N).
+// A non-finite value is rejected as typed errs.ErrBadInput before any
+// state changes, so the profile remains valid and further appends may
+// continue.  Degenerate (constant) trailing windows are not an error: they
+// flow through the same near-zero-std guards as the batch kernel (two
+// constant windows are at distance 0, a constant and a non-constant window
+// at the maximum 2w) and stay byte-identical to SelfJoin.
+func (inc *Incremental) Append(v float64) error {
+	if !isFinite(v) {
+		return errs.BadInput(errs.StageKernel, "mp.incremental", "", "non-finite value %v appended at index %d", v, len(inc.t))
+	}
+	inc.appendPoint(v)
+	return nil
+}
+
+// Reserve grows the internal buffers to hold a series of total points
+// without further allocation, so a caller that knows (or bounds) its
+// stream length makes every subsequent Append allocation-free.
+func (inc *Incremental) Reserve(total int) {
+	nw := total - inc.w + 1
+	if nw < 0 {
+		nw = 0
+	}
+	inc.t = growFloats(inc.t, total)
+	inc.p = growFloats(inc.p, nw)
+	inc.means = growFloats(inc.means, nw)
+	inc.stds = growFloats(inc.stds, nw)
+	inc.dots = growFloats(inc.dots, nw)
+	inc.i = growInts(inc.i, nw)
+}
+
+// appendPoint is the STOMPI kernel: one point in, one profile row out.
+// It runs once per streamed point on the serving path, so after Reserve it
+// must not allocate.
+//
+//ips:hotpath
+func (inc *Incremental) appendPoint(v float64) {
 	inc.t = append(inc.t, v)
 	n := len(inc.t) - inc.w + 1
 	if n <= 0 {
 		return
 	}
-	// The new subsequence is the last one; compute its dot products against
-	// all others directly (O(N·w) — the simple STOMPI variant; the rolling
-	// optimisation would reuse the previous row).
 	newIdx := n - 1
-	q := inc.t[newIdx:]
-	means, stds := ts.MovingMeanStd(inc.t, inc.w)
-	dots := ts.SlidingDots(q, inc.t)
-	best := math.Inf(1)
-	bestJ := -1
-	for j := 0; j < n-1; j++ {
-		diff := newIdx - j
-		if diff <= inc.excl {
-			continue
-		}
-		d := ts.ZNormSqDistFromStats(dots[j], inc.w, means[newIdx], stds[newIdx], means[j], stds[j])
+	w := inc.w
+	t := inc.t
+
+	// Window statistics: the first full window seeds the shared Rolling
+	// state; every later window is one Advance — the identical walk
+	// MovingMeanStd performs, so the stats are bitwise equal to a batch
+	// recompute.
+	if newIdx == 0 {
+		inc.roll = ts.NewRolling(t[:w])
+	} else {
+		inc.roll.Advance(t[newIdx-1], t[newIdx+w-1])
+	}
+	m, s := inc.roll.MeanStd()
+	inc.means = append(inc.means, m)
+	inc.stds = append(inc.stds, s)
+
+	// Dot-row update.  Pair (j, newIdx) lies on diagonal newIdx−j, whose
+	// previous cell (j−1, newIdx−1) is entry j−1 of last append's row;
+	// walking j downward consumes each old entry before overwriting it,
+	// so the update is in place.  Entry 0 opens diagonal newIdx and is
+	// seeded exactly as SlidingDots seeds it for the batch kernel.
+	// Excluded diagonals (newIdx−j <= excl) are maintained but never
+	// scored; a cell stays on its diagonal forever, so they can never
+	// leak into a distance.
+	inc.dots = append(inc.dots, 0)
+	for j := newIdx; j >= 1; j-- {
+		inc.dots[j] = rollDot(inc.dots[j-1], t[j-1], t[newIdx-1], t[j+w-1], t[newIdx+w-1])
+	}
+	inc.dots[0] = ts.Dot(t[:w], t[newIdx:newIdx+w])
+
+	// Min pass: update old positions that gain newIdx as nearest
+	// neighbour, and reduce the new row.  Both comparisons are strictly
+	// `<`: newIdx is the largest index in play, so on an exact tie the
+	// established lower neighbour index must win, matching mergeRange's
+	// total order on (distance, neighbour index).  Scanning j upward makes
+	// the new row's own ties resolve to the lowest j the same way.
+	best, bestJ := math.Inf(1), -1
+	lim := newIdx - inc.excl // score exactly the pairs with newIdx−j > excl
+	for j := 0; j < lim; j++ {
+		d := ts.ZNormSqDistFromStats(inc.dots[j], w, inc.means[j], inc.stds[j], m, s)
 		if d < best {
-			best = d
-			bestJ = j
+			best, bestJ = d, j
 		}
-		if j < len(inc.p) && d < inc.p[j] {
+		if d < inc.p[j] {
 			inc.p[j] = d
 			inc.i[j] = newIdx
 		}
@@ -139,3 +243,74 @@ func (inc *Incremental) Profile() *Profile {
 
 // Len returns the current series length.
 func (inc *Incremental) Len() int { return len(inc.t) }
+
+// Windows returns the number of profile positions (series windows) so far.
+func (inc *Incremental) Windows() int { return len(inc.p) }
+
+// W returns the window length.
+func (inc *Incremental) W() int { return inc.w }
+
+// Series returns the accumulated series.  The slice is the live internal
+// buffer — callers must treat it as read-only and must not retain it
+// across Appends (growth may move it).
+func (inc *Incremental) Series() []float64 { return inc.t }
+
+// DistAt returns the profile distance (not squared) at window j.
+func (inc *Incremental) DistAt(j int) float64 {
+	v := inc.p[j]
+	if math.IsInf(v, 1) {
+		return v
+	}
+	return math.Sqrt(v)
+}
+
+// MinIndex returns the window with the smallest profile distance — the
+// motif — or -1 while no window has a neighbour.  Ties resolve to the
+// lowest index.  It is an O(N) scan that does not allocate.
+func (inc *Incremental) MinIndex() int {
+	best, bestJ := math.Inf(1), -1
+	for j, v := range inc.p {
+		if v < best {
+			best, bestJ = v, j
+		}
+	}
+	return bestJ
+}
+
+// MaxIndex returns the window with the largest finite profile distance —
+// the discord — or -1 if no window has a finite distance.  Ties resolve to
+// the lowest index.  It is an O(N) scan that does not allocate.
+func (inc *Incremental) MaxIndex() int {
+	best, bestJ := math.Inf(-1), -1
+	for j, v := range inc.p {
+		if !math.IsInf(v, 1) && v > best {
+			best, bestJ = v, j
+		}
+	}
+	return bestJ
+}
+
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// growFloats returns s with capacity at least n, preserving contents.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		out := make([]float64, len(s), n)
+		copy(out, s)
+		return out
+	}
+	return s
+}
+
+// growInts returns s with capacity at least n, preserving contents.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		out := make([]int, len(s), n)
+		copy(out, s)
+		return out
+	}
+	return s
+}

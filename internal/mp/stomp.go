@@ -25,6 +25,21 @@ type Options struct {
 	Span *obs.Span
 }
 
+// rollDot advances a diagonal dot product one cell: the window pair
+// (i, j) slides to (i+1, j+1), dropping the products of the elements that
+// leave and entering the ones that arrive.  Every path that walks a matrix
+// diagonal — the self-join and AB-join tile walkers and the STOMPI append
+// in Incremental — MUST roll through this one function: byte-identity
+// between the batch and incremental profiles depends on every cell's dot
+// being computed by the same compiled expression (so e.g. a platform's
+// fused-multiply-add decisions apply identically), not merely the same
+// formula written twice.
+//
+//ips:hotpath
+func rollDot(dot, aOld, bOld, aNew, bNew float64) float64 {
+	return dot + (aNew*bNew - aOld*bOld)
+}
+
 // tile is a half-open range [lo, hi) of diagonal offsets.
 type tile struct{ lo, hi int }
 
@@ -292,7 +307,7 @@ func (wk *selfJoinWalker) walk(pt *partial, tl tile) {
 		dot := wk.first[k]
 		for i, j := 0, k; j < n; i, j = i+1, j+1 {
 			if i > 0 {
-				dot += t[i+w-1]*t[j+w-1] - t[i-1]*t[j-1]
+				dot = rollDot(dot, t[i-1], t[j-1], t[i+w-1], t[j+w-1])
 			}
 			if wk.valid != nil && (!wk.valid[i] || !wk.valid[j]) {
 				continue
@@ -411,7 +426,7 @@ func (wk *abJoinWalker) walk(pt *partial, tl tile) {
 		for c := 0; c < count; c++ {
 			i, j := i0+c, j0+c
 			if c > 0 {
-				dot += a[i+w-1]*b[j+w-1] - a[i-1]*b[j-1]
+				dot = rollDot(dot, a[i-1], b[j-1], a[i+w-1], b[j+w-1])
 			}
 			if wk.validA != nil && !wk.validA[i] || wk.validB != nil && !wk.validB[j] {
 				continue

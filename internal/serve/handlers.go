@@ -10,7 +10,6 @@ import (
 	"mime"
 	"net/http"
 	"strconv"
-	"time"
 
 	"ips/internal/errs"
 	"ips/internal/obs"
@@ -20,11 +19,14 @@ import (
 
 // Mount registers the serving routes on mux:
 //
-//	POST /v1/classify?model=NAME[&timeout_ms=N]   classify instances
-//	POST /v1/transform?model=NAME[&timeout_ms=N]  shapelet-transform features
-//	GET  /admin/models                            registry listing
-//	POST /admin/models                            load / alias / retire
-//	GET  /healthz                                 200 serving, 503 draining
+//	POST   /v1/classify?model=NAME[&timeout_ms=N]   classify instances
+//	POST   /v1/transform?model=NAME[&timeout_ms=N]  shapelet-transform features
+//	POST   /v1/stream?model=NAME[&window=N]         open a streaming session
+//	POST   /v1/stream?session=ID                    append points to a session
+//	DELETE /v1/stream?session=ID                    close a session
+//	GET    /admin/models                            registry listing
+//	POST   /admin/models                            load / alias / retire
+//	GET    /healthz                                 200 serving, 503 draining
 //
 // The eval routes accept two body encodings, selected by Content-Type:
 // application/json ({"instances": [[...], ...]}) and text/tab-separated-values
@@ -36,6 +38,8 @@ func (s *Server) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/transform", func(w http.ResponseWriter, r *http.Request) {
 		s.handleEval(w, r, kindTransform, "transform")
 	})
+	mux.HandleFunc("POST /v1/stream", s.handleStream)
+	mux.HandleFunc("DELETE /v1/stream", s.handleStreamDelete)
 	mux.HandleFunc("GET /admin/models", s.handleModelsGet)
 	mux.HandleFunc("POST /admin/models", s.handleModelsPost)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -91,19 +95,11 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request, kind jobKind
 		return
 	}
 
-	timeout := s.cfg.DefaultTimeout
-	if tm := r.URL.Query().Get("timeout_ms"); tm != "" {
-		ms, err := strconv.Atoi(tm)
-		if err != nil || ms <= 0 {
-			status = writeError(r.Context(), w, errs.BadInput(errs.StageServe, "serve."+route, name, "bad timeout_ms %q", tm))
-			return
-		}
-		timeout = time.Duration(ms) * time.Millisecond
-		if timeout > s.cfg.MaxTimeout {
-			timeout = s.cfg.MaxTimeout
-		}
+	ctx, cancel, err := s.requestCtx(r, route, name)
+	if err != nil {
+		status = writeError(r.Context(), w, err)
+		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
 	sl, err := s.reg.resolve(name)

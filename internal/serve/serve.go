@@ -63,6 +63,13 @@ type Config struct {
 	// series are scratch-prepared per batch, which always resolves to the
 	// rolling kernel — the knob exists for parity with the CLIs.
 	Kernel dist.Kernel
+	// MaxStreams caps concurrently open streaming sessions (default 1024).
+	// A create that would exceed it is refused with a typed 429.
+	MaxStreams int
+	// MaxStreamPoints caps the total points one streaming session may
+	// ingest (default 1<<20).  An append that would exceed it is refused
+	// whole with a typed 429 before any state changes.
+	MaxStreamPoints int
 	// Precision selects the distance-kernel arithmetic width for every
 	// transform the server runs.  The float64 zero value keeps responses
 	// byte-identical to the offline pipeline; dist.PrecisionFloat32 opts into
@@ -100,6 +107,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 16 << 20
 	}
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = 1024
+	}
+	if c.MaxStreamPoints <= 0 {
+		c.MaxStreamPoints = 1 << 20
+	}
 	return c
 }
 
@@ -108,6 +121,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg      Config
 	reg      *registry
+	streams  sessionTable
 	base     context.Context // lifetime context batch execution runs under
 	cancel   context.CancelFunc
 	draining atomic.Bool

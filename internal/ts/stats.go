@@ -49,6 +49,53 @@ func ZNormInto(dst, src []float64) {
 	}
 }
 
+// Rolling is the cumulative-sum state behind one sliding window of the
+// moving statistics: the running Σt and Σt² of the current length-w window.
+// MovingMeanStd and the incremental matrix profile (mp.Incremental) both
+// advance their windows through this one type, so a window statistic reached
+// by streaming appends is bitwise identical to the one a batch recompute
+// produces — the byte-determinism contract of the STOMPI append path rests
+// on this shared code path, not on two copies of the same formula.
+type Rolling struct {
+	sum, sumSq float64
+	w          int
+}
+
+// NewRolling seeds the state from the first window (the slice is the whole
+// window; its length is w).
+func NewRolling(first []float64) Rolling {
+	var r Rolling
+	r.w = len(first)
+	for i := 0; i < r.w; i++ {
+		r.sum += first[i]
+		r.sumSq += first[i] * first[i]
+	}
+	return r
+}
+
+// Advance slides the window one step: out leaves on the left, in enters on
+// the right.
+//
+//ips:hotpath
+func (r *Rolling) Advance(out, in float64) {
+	r.sum += in - out
+	r.sumSq += in*in - out*out
+}
+
+// MeanStd returns the current window's mean and (population) standard
+// deviation, with the round-off guard of MovingMeanStd.
+//
+//ips:hotpath
+func (r *Rolling) MeanStd() (mean, std float64) {
+	fw := float64(r.w)
+	m := r.sum / fw
+	v := r.sumSq/fw - m*m
+	if v < 0 {
+		v = 0 // guard against round-off
+	}
+	return m, math.Sqrt(v)
+}
+
 // MovingMeanStd returns the mean and standard deviation of every length-w
 // window of t, computed with cumulative sums in O(len(t)).
 func MovingMeanStd(t []float64, w int) (means, stds []float64) {
@@ -58,25 +105,13 @@ func MovingMeanStd(t []float64, w int) (means, stds []float64) {
 	}
 	means = make([]float64, n)
 	stds = make([]float64, n)
-	var sum, sumSq float64
-	for i := 0; i < w; i++ {
-		sum += t[i]
-		sumSq += t[i] * t[i]
-	}
-	fw := float64(w)
+	r := NewRolling(t[:w])
 	for i := 0; ; i++ {
-		m := sum / fw
-		v := sumSq/fw - m*m
-		if v < 0 {
-			v = 0 // guard against round-off
-		}
-		means[i] = m
-		stds[i] = math.Sqrt(v)
+		means[i], stds[i] = r.MeanStd()
 		if i+1 >= n {
 			break
 		}
-		sum += t[i+w] - t[i]
-		sumSq += t[i+w]*t[i+w] - t[i]*t[i]
+		r.Advance(t[i], t[i+w])
 	}
 	return means, stds
 }

@@ -39,6 +39,7 @@ import (
 	"ips/internal/errs"
 	"ips/internal/ip"
 	"ips/internal/obs"
+	"ips/internal/stream"
 	"ips/internal/ts"
 	"ips/internal/ucr"
 )
@@ -83,6 +84,16 @@ type (
 	Error = errs.Error
 	// Stage identifies the pipeline stage an Error originated in.
 	Stage = errs.Stage
+	// Stream is online per-series state: an incremental matrix profile
+	// (STOMPI), a delta-evaluated shapelet transform, and drift detection.
+	// Build one with NewStream; it is not safe for concurrent use.
+	Stream = stream.Stream
+	// StreamConfig parameterises a Stream; see NewStream for the common case.
+	StreamConfig = stream.Config
+	// StreamDriftConfig tunes a Stream's drift detector.
+	StreamDriftConfig = stream.DriftConfig
+	// StreamUpdate is the state reported after each Stream.Append.
+	StreamUpdate = stream.Update
 )
 
 // Pipeline stages, for matching Error.Stage.
@@ -97,6 +108,7 @@ const (
 	StageKernel       = errs.StageKernel
 	StageData         = errs.StageData
 	StageBench        = errs.StageBench
+	StageStream       = errs.StageStream
 )
 
 // Sentinel errors; match with errors.Is.
@@ -197,3 +209,36 @@ func CrossValidate(ctx context.Context, d *Dataset, opt Options, folds int, seed
 // LookupDataset returns the archive metadata for a UCR dataset name; an
 // unknown name yields an error matching ErrUnknownDataset.
 func LookupDataset(name string) (DatasetMeta, error) { return ucr.Find(name) }
+
+// NewStream opens a streaming classifier for one series against a trained
+// model: points appended with Stream.Append update an incremental matrix
+// profile (byte-identical to a batch recompute), a shapelet-transform
+// feature vector brought current by delta-evaluation, the model's
+// prediction, and a drift detector that flags when the series' behaviour
+// departs from its own history — the signal to re-fit.  window is the
+// matrix-profile window length; pass 0 for the default (the model's
+// shortest shapelet).  For full control build a StreamConfig and call
+// NewStreamConfig.
+func NewStream(m *Model, window int) (*Stream, error) {
+	if m == nil {
+		return nil, errs.BadInput(errs.StageStream, "ips.newstream", "", "model is nil")
+	}
+	if window <= 0 {
+		for _, sh := range m.Shapelets {
+			if window == 0 || len(sh.Values) < window {
+				window = len(sh.Values)
+			}
+		}
+	}
+	return stream.New(stream.Config{
+		Window:    window,
+		Shapelets: m.Shapelets,
+		Scaler:    m.Scaler,
+		SVM:       m.SVM,
+	})
+}
+
+// NewStreamConfig opens a streaming classifier from an explicit config —
+// use it for profile-only streams (no shapelets), point caps, or custom
+// drift thresholds.
+func NewStreamConfig(cfg StreamConfig) (*Stream, error) { return stream.New(cfg) }
